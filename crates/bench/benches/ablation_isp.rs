@@ -1,0 +1,53 @@
+//! Ablation bench: cost of the ISP epoch-boundary computation as its
+//! iteration cap varies (the paper caps at 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memnet_net::{LinkId, ModuleId, Topology, TopologyKind};
+use memnet_policy::{Mechanism, PolicyConfig, PolicyKind, PowerController};
+use memnet_simcore::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// Builds a 34-module controller with one epoch of synthetic telemetry.
+fn primed_controller(iterations: usize) -> PowerController {
+    let topo = Topology::build(TopologyKind::TernaryTree, 34);
+    let mut cfg = PolicyConfig::new(PolicyKind::NetworkAware, Mechanism::VwlRoo, 0.05);
+    cfg.isp_iterations = iterations;
+    let mut c = PowerController::new(topo.clone(), cfg, SimDuration::from_ns(30));
+    for m in topo.modules() {
+        for _ in 0..(200 / (m.0 + 1)) {
+            c.on_dram_read(ModuleId(m.0));
+        }
+    }
+    for l in topo.links() {
+        for i in 0..(400 / (l.0 + 1)) as u64 {
+            let t = SimTime::from_ps(i * 250_000);
+            c.on_packet_arrival(l, t, true);
+            c.on_packet_departure(l, t, t, t + SimDuration::from_ps(3_200), 5, true);
+            c.on_idle_interval(LinkId(l.0), SimDuration::from_ns(200));
+        }
+    }
+    c
+}
+
+fn bench_isp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isp_epoch_end_34_modules");
+    for iterations in [1usize, 2, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter_batched(
+                    || primed_controller(iters),
+                    |mut ctrl| {
+                        black_box(ctrl.epoch_end(SimTime::from_ps(100_000_000)));
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isp);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! DRAM vault timing-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memnet_dram::{DramParams, Vault, VaultOp};
+use memnet_simcore::SimTime;
+use std::hint::black_box;
+
+fn bench_vault_stream(c: &mut Criterion) {
+    let params = DramParams::hmc_gen2();
+    c.bench_function("vault_stream_512_ops", |b| {
+        b.iter(|| {
+            let mut vault = Vault::new(&params, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            let mut issued = 0u64;
+            for i in 0..512u64 {
+                while !vault.has_space() {
+                    now = vault.next_issue_time(now).expect("ops queued");
+                    issued += vault.advance(now).len() as u64;
+                }
+                let bank = (i % params.banks_per_vault as u64) as usize;
+                let op = if i % 3 == 0 {
+                    VaultOp::write(i, bank, now)
+                } else {
+                    VaultOp::read(i, bank, now)
+                };
+                vault.enqueue(op).expect("space was checked");
+            }
+            while vault.occupancy() > 0 {
+                now = vault.next_issue_time(now).expect("ops queued");
+                issued += vault.advance(now).len() as u64;
+            }
+            black_box(issued)
+        });
+    });
+}
+
+criterion_group!(benches, bench_vault_stream);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end simulator throughput: one short run per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memnet_core::{NetworkScale, PolicyKind, SimConfig};
+use memnet_net::TopologyKind;
+use memnet_policy::Mechanism;
+use memnet_simcore::SimDuration;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_50us_mixD_star");
+    group.sample_size(10);
+    for (label, policy, mech) in [
+        ("full_power", PolicyKind::FullPower, Mechanism::FullPower),
+        ("unaware_vwl_roo", PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        ("aware_vwl_roo", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let report = SimConfig::builder()
+                    .workload("mixD")
+                    .topology(TopologyKind::Star)
+                    .scale(NetworkScale::Big)
+                    .policy(policy)
+                    .mechanism(mech)
+                    .eval_period(SimDuration::from_us(50))
+                    .build()
+                    .expect("valid configuration")
+                    .run();
+                black_box(report.completed_reads)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

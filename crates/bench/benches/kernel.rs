@@ -1,0 +1,53 @@
+//! Microbenchmarks of the simulation kernel: event queue, RNG, delay
+//! monitors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memnet_net::mech::BwMode;
+use memnet_policy::DelayMonitor;
+use memnet_simcore::{EventQueue, SimTime, SplitMix64};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_ps(rng.next_below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("splitmix64_exp_1k", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.next_exp(4_000.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_delay_monitor(c: &mut Criterion) {
+    c.bench_function("delay_monitor_record_1k", |b| {
+        b.iter(|| {
+            let mut m = DelayMonitor::new(BwMode::FULL_VWL);
+            for i in 0..1_000u64 {
+                m.record(SimTime::from_ps(i * 3_000), 5, i % 3 != 0);
+            }
+            black_box(m.read_latency_sum())
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_delay_monitor);
+criterion_main!(benches);

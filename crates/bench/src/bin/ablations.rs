@@ -1,0 +1,70 @@
+//! Ablations of the design choices DESIGN.md calls out: ISP iteration
+//! cap, epoch length, response-link wakeup chaining, and the leftover-AMS
+//! rescue pool.
+//!
+//! Usage: `cargo run --release --bin ablations` (honors `MEMNET_EVAL_US`).
+
+use memnet_core::{run_pair, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
+use memnet_net::TopologyKind;
+use memnet_policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn base() -> SimConfigBuilder {
+    let eval_us = std::env::var("MEMNET_EVAL_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    SimConfig::builder()
+        .workload("cg.D")
+        .topology(TopologyKind::Star)
+        .scale(NetworkScale::Big)
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::VwlRoo)
+        .alpha(0.05)
+        .eval_period(SimDuration::from_us(eval_us))
+}
+
+fn report(label: &str, cfg: SimConfig) {
+    let (managed, baseline) = run_pair(cfg);
+    println!(
+        "{label:<28} power {:6.2} W  saved {:5.1}%  degradation {:5.2}%  violations {:4}",
+        managed.power.watts(),
+        100.0 * managed.power_reduction_vs(&baseline),
+        100.0 * managed.degradation_vs(&baseline),
+        managed.violations,
+    );
+}
+
+fn main() {
+    println!("== ablation: ISP iteration cap (paper: 3) ==");
+    for iters in [1usize, 2, 3, 5] {
+        report(
+            &format!("isp_iterations={iters}"),
+            base().isp_iterations(iters).build().unwrap(),
+        );
+    }
+
+    println!("\n== ablation: epoch length (paper: 100 us) ==");
+    for epoch_us in [25u64, 50, 100, 200] {
+        report(
+            &format!("epoch={epoch_us}us"),
+            base().epoch(SimDuration::from_us(epoch_us)).build().unwrap(),
+        );
+    }
+
+    println!("\n== ablation: response-link wakeup chaining (SVI-B) ==");
+    for on in [true, false] {
+        report(
+            &format!("wake_chaining={on}"),
+            base().mechanism(Mechanism::Roo).wake_chaining(on).build().unwrap(),
+        );
+    }
+
+    println!("\n== ablation: leftover-AMS rescue pool (SVI-A3) ==");
+    for on in [true, false] {
+        report(
+            &format!("rescue_pool={on}"),
+            base().rescue_pool(on).build().unwrap(),
+        );
+    }
+}

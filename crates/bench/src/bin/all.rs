@@ -1,0 +1,29 @@
+//! Runs the full experiment suite — every table and figure — sharing one
+//! result matrix so each configuration is simulated exactly once.
+use memnet_bench::{figures, Matrix, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let mut m = Matrix::new();
+    let sections: Vec<(&str, String)> = vec![
+        ("Tables I-III", figures::tables()),
+        ("Figure 4", figures::fig04()),
+        ("Figure 5", figures::fig05(&mut m, &settings)),
+        ("Figure 6", figures::fig06(&mut m, &settings)),
+        ("Figure 8", figures::fig08(&mut m, &settings)),
+        ("Figure 9", figures::fig09(&mut m, &settings)),
+        ("Figure 11", figures::fig11(&mut m, &settings)),
+        ("Figure 12", figures::fig12(&mut m, &settings)),
+        ("Figure 13", figures::fig13(&mut m, &settings)),
+        ("Figure 15", figures::fig15(&mut m, &settings)),
+        ("Figure 16", figures::fig16(&mut m, &settings)),
+        ("Figure 17", figures::fig17(&mut m, &settings)),
+        ("Figure 18", figures::fig18(&mut m, &settings)),
+        ("Section VII-A", figures::sec7a(&mut m, &settings)),
+    ];
+    for (title, body) in sections {
+        println!("==================== {title} ====================");
+        println!("{body}");
+    }
+    eprintln!("[all] total configurations simulated: {}", m.len());
+}

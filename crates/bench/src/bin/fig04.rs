@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (workload memory access CDFs).
+fn main() {
+    print!("{}", memnet_bench::figures::fig04());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig15 data series.
+use memnet_bench::{Matrix, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let mut matrix = Matrix::new();
+    print!("{}", memnet_bench::figures::fig15(&mut matrix, &settings));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Tables I, II and III.
+fn main() {
+    print!("{}", memnet_bench::figures::tables());
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Each `fig*` binary prints one figure's data series; the `all` binary
+//! runs the full suite sharing one [`Matrix`] of simulation results so
+//! common configurations (e.g. the full-power baselines) are simulated
+//! once.
+//!
+//! Simulated evaluation time defaults to 1 ms per run (the paper uses
+//! 10 ms); set `MEMNET_EVAL_US` to lengthen or shorten it, and
+//! `MEMNET_THREADS` to bound the sweep parallelism.
+
+pub mod figures;
+pub mod matrix;
+pub mod settings;
+
+pub use matrix::{Key, Matrix};
+pub use settings::Settings;

@@ -1,0 +1,203 @@
+//! The experiment matrix: a memoized store of simulation results keyed by
+//! configuration, filled by parallel sweeps.
+
+use std::collections::HashMap;
+
+use memnet_core::{AddressMapping, NetworkScale, PolicyKind, RunReport, SimConfig};
+use memnet_net::mech::RooParams;
+use memnet_net::TopologyKind;
+use memnet_policy::Mechanism;
+
+use crate::settings::Settings;
+
+/// A hashable identity for one simulation configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Topology.
+    pub topology: TopologyKind,
+    /// Network scale.
+    pub scale: NetworkScale,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// α in tenths of a percent (25 = 2.5 %).
+    pub alpha_tenths_pct: u32,
+    /// ROO wakeup latency in ns (14 or 20).
+    pub roo_wakeup_ns: u32,
+    /// Address mapping.
+    pub mapping: AddressMapping,
+}
+
+impl Key {
+    /// A key for the main-study configuration space.
+    pub fn main(
+        workload: &'static str,
+        topology: TopologyKind,
+        scale: NetworkScale,
+        policy: PolicyKind,
+        mechanism: Mechanism,
+        alpha: f64,
+    ) -> Key {
+        Key {
+            workload,
+            topology,
+            scale,
+            policy,
+            mechanism,
+            alpha_tenths_pct: (alpha * 1000.0).round() as u32,
+            roo_wakeup_ns: 14,
+            mapping: AddressMapping::Contiguous,
+        }
+    }
+
+    /// The full-power baseline key matching this configuration. α and the
+    /// ROO wakeup latency are normalized (full-power links have neither),
+    /// so every managed variant shares one baseline run.
+    pub fn baseline(&self) -> Key {
+        Key {
+            policy: PolicyKind::FullPower,
+            mechanism: Mechanism::FullPower,
+            alpha_tenths_pct: 50,
+            roo_wakeup_ns: 14,
+            ..self.clone()
+        }
+    }
+
+    /// α as a fraction.
+    pub fn alpha(&self) -> f64 {
+        f64::from(self.alpha_tenths_pct) / 1000.0
+    }
+
+    fn to_config(&self, settings: &Settings) -> SimConfig {
+        let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
+        SimConfig::builder()
+            .workload(self.workload)
+            .topology(self.topology)
+            .scale(self.scale)
+            .policy(self.policy)
+            .mechanism(self.mechanism)
+            .alpha(self.alpha().max(0.001))
+            .roo_params(roo)
+            .mapping(self.mapping)
+            .eval_period(settings.eval_period)
+            .seed(settings.seed)
+            .build()
+            .expect("matrix keys are valid configurations")
+    }
+}
+
+/// Memoized experiment results.
+#[derive(Debug, Default)]
+pub struct Matrix {
+    reports: HashMap<Key, RunReport>,
+}
+
+impl Matrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Matrix::default()
+    }
+
+    /// Ensures every key has been simulated, sweeping the missing ones in
+    /// parallel.
+    pub fn ensure(&mut self, keys: &[Key], settings: &Settings) {
+        let missing: Vec<Key> = {
+            let mut seen = std::collections::HashSet::new();
+            keys.iter()
+                .filter(|k| !self.reports.contains_key(*k) && seen.insert((*k).clone()))
+                .cloned()
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        eprintln!(
+            "[matrix] simulating {} configurations ({} threads, {} per run)...",
+            missing.len(),
+            settings.threads,
+            settings.eval_period
+        );
+        let configs = missing.iter().map(|k| k.to_config(settings)).collect();
+        let reports = memnet_core::sweep(configs, settings.threads);
+        for (k, r) in missing.into_iter().zip(reports) {
+            self.reports.insert(k, r);
+        }
+    }
+
+    /// Fetches a previously ensured report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never ensured.
+    pub fn get(&self, key: &Key) -> &RunReport {
+        self.reports
+            .get(key)
+            .unwrap_or_else(|| panic!("configuration not simulated: {key:?}"))
+    }
+
+    /// Number of simulated configurations.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if nothing has been simulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_simcore::SimDuration;
+
+    fn tiny_settings() -> Settings {
+        Settings {
+            eval_period: SimDuration::from_us(20),
+            threads: 2,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn ensure_is_memoized() {
+        let mut m = Matrix::new();
+        let k = Key::main(
+            "mixD",
+            TopologyKind::DaisyChain,
+            NetworkScale::Small,
+            PolicyKind::FullPower,
+            Mechanism::FullPower,
+            0.05,
+        );
+        m.ensure(&[k.clone(), k.clone()], &tiny_settings());
+        assert_eq!(m.len(), 1);
+        let before = m.get(&k).completed_reads;
+        m.ensure(&[k.clone()], &tiny_settings());
+        assert_eq!(m.get(&k).completed_reads, before);
+    }
+
+    #[test]
+    fn baseline_key_swaps_policy_only() {
+        let k = Key::main(
+            "mixB",
+            TopologyKind::Star,
+            NetworkScale::Big,
+            PolicyKind::NetworkAware,
+            Mechanism::VwlRoo,
+            0.025,
+        );
+        let b = k.baseline();
+        assert_eq!(b.policy, PolicyKind::FullPower);
+        assert_eq!(b.mechanism, Mechanism::FullPower);
+        assert_eq!(b.workload, "mixB");
+        assert_eq!(b.scale, NetworkScale::Big);
+        assert!((k.alpha() - 0.025).abs() < 1e-9);
+        // Baselines are normalized so every alpha shares one FP run.
+        assert_eq!(b.alpha_tenths_pct, 50);
+        assert_eq!(b, k.baseline().baseline());
+    }
+}

@@ -1,0 +1,62 @@
+//! Harness settings from the environment.
+
+use memnet_simcore::SimDuration;
+
+/// Batch-level experiment settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Settings {
+    /// Simulated evaluation period per run.
+    pub eval_period: SimDuration,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Settings {
+    /// Reads settings from `MEMNET_EVAL_US` / `MEMNET_THREADS` /
+    /// `MEMNET_SEED`, defaulting to 1 ms, all cores, and a fixed seed.
+    pub fn from_env() -> Self {
+        let eval_us = std::env::var("MEMNET_EVAL_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1_000);
+        let threads = std::env::var("MEMNET_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            });
+        let seed = std::env::var("MEMNET_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0xC0FFEE);
+        Settings {
+            eval_period: SimDuration::from_us(eval_us.max(1)),
+            threads: threads.max(1),
+            seed,
+        }
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            eval_period: SimDuration::from_us(1_000),
+            threads: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = Settings::default();
+        assert_eq!(s.eval_period, SimDuration::from_ms(1));
+        assert!(s.threads >= 1);
+    }
+}

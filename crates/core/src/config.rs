@@ -1,0 +1,415 @@
+//! Simulation configuration and builder.
+
+use std::error::Error;
+use std::fmt;
+
+use memnet_dram::DramParams;
+use memnet_net::mech::RooParams;
+use memnet_net::TopologyKind;
+use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
+use memnet_simcore::SimDuration;
+use memnet_workload::{catalog, WorkloadSpec};
+use serde::Serialize;
+
+use crate::engine::Engine;
+use crate::metrics::RunReport;
+
+/// Which network-size study a run belongs to.
+///
+/// Small maps the *i*-th contiguous 4 GB of physical space to HMC *i*
+/// (HMCs fully used); big maps the *i*-th contiguous 1 GB, producing a
+/// network four times larger for the same footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum NetworkScale {
+    /// 4 GB per HMC (the paper's small network study).
+    Small,
+    /// 1 GB per HMC (the paper's big network study).
+    Big,
+}
+
+impl NetworkScale {
+    /// Both scales, small first.
+    pub const ALL: [NetworkScale; 2] = [NetworkScale::Small, NetworkScale::Big];
+
+    /// GB of the physical address space mapped to each HMC.
+    pub const fn chunk_gb(self) -> u64 {
+        match self {
+            NetworkScale::Small => 4,
+            NetworkScale::Big => 1,
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkScale::Small => "small",
+            NetworkScale::Big => "big",
+        }
+    }
+}
+
+/// How physical lines map onto modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AddressMapping {
+    /// The *i*-th contiguous chunk goes to HMC *i* (the paper's default;
+    /// consolidates accesses onto few modules so others can power down).
+    Contiguous,
+    /// 4 KB pages interleave round-robin over all modules (used with the
+    /// §VII-A static selection comparison).
+    PageInterleaved,
+}
+
+/// Error from [`SimConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The requested workload name is not in the catalog.
+    UnknownWorkload(String),
+    /// α must be positive (and sensibly below 1).
+    BadAlpha(String),
+    /// The evaluation period must be positive.
+    BadEvalPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            ConfigError::BadAlpha(m) => write!(f, "invalid alpha: {m}"),
+            ConfigError::BadEvalPeriod => f.write_str("evaluation period must be positive"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A complete, validated simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// Network shape.
+    pub topology: TopologyKind,
+    /// Small (4 GB/HMC) or big (1 GB/HMC) study.
+    pub scale: NetworkScale,
+    /// Management policy.
+    pub policy: PolicyKind,
+    /// Circuit-level link mechanism.
+    pub mechanism: Mechanism,
+    /// Allowable slowdown factor α.
+    pub alpha: f64,
+    /// Management epoch length.
+    pub epoch: SimDuration,
+    /// Cycle-accurate evaluation period.
+    pub eval_period: SimDuration,
+    /// ROO wakeup physics.
+    pub roo_params: RooParams,
+    /// Physical line → module mapping.
+    pub mapping: AddressMapping,
+    /// RNG seed (deterministic runs for equal seeds).
+    pub seed: u64,
+    /// Maximum outstanding reads at the processor (Table II ROB depth).
+    pub max_outstanding_reads: usize,
+    /// Processor-side write buffer entries.
+    pub write_buffer: usize,
+    /// DRAM timing parameters (Table I).
+    pub dram: DramParams,
+    /// Maximum ISP iterations for network-aware management (paper: 3).
+    pub isp_iterations: usize,
+    /// §VI-B response-link wakeup chaining (ablation knob).
+    pub wake_chaining: bool,
+    /// §VI-A3 leftover-AMS rescue pool (ablation knob).
+    pub rescue_pool: bool,
+    /// Maximum packet-trace events to record (0 disables tracing).
+    pub trace_limit: usize,
+}
+
+impl SimConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
+    /// Number of HMCs the workload footprint needs at this scale.
+    pub fn n_hmcs(&self) -> usize {
+        self.workload.footprint_gb.div_ceil(self.scale.chunk_gb()) as usize
+    }
+
+    /// Lines of physical space mapped to each HMC chunk.
+    pub fn chunk_lines(&self) -> u64 {
+        self.scale.chunk_gb() * (1 << 30) / self.dram.line_bytes
+    }
+
+    /// The policy configuration this run hands to the power controller.
+    pub fn policy_config(&self) -> PolicyConfig {
+        let mut cfg = PolicyConfig::new(self.policy, self.mechanism, self.alpha);
+        cfg.epoch = self.epoch;
+        cfg.roo_params = self.roo_params;
+        cfg.isp_iterations = self.isp_iterations;
+        cfg.wake_chaining = self.wake_chaining;
+        if !self.rescue_pool {
+            cfg.rescue_max_requests = 0;
+        }
+        cfg
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(self) -> RunReport {
+        Engine::new(self).run()
+    }
+}
+
+/// Builder for [`SimConfig`] with paper defaults.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    workload: String,
+    topology: TopologyKind,
+    scale: NetworkScale,
+    policy: PolicyKind,
+    mechanism: Mechanism,
+    alpha: f64,
+    epoch: SimDuration,
+    eval_period: SimDuration,
+    roo_params: RooParams,
+    mapping: AddressMapping,
+    seed: u64,
+    max_outstanding_reads: usize,
+    write_buffer: usize,
+    dram: DramParams,
+    isp_iterations: usize,
+    wake_chaining: bool,
+    rescue_pool: bool,
+    trace_limit: usize,
+}
+
+impl SimConfigBuilder {
+    /// Creates a builder with paper defaults: mixB on a small ternary
+    /// tree, full power, α = 5 %, 100 µs epochs, 1 ms evaluation.
+    pub fn new() -> Self {
+        SimConfigBuilder {
+            workload: "mixB".to_owned(),
+            topology: TopologyKind::TernaryTree,
+            scale: NetworkScale::Small,
+            policy: PolicyKind::FullPower,
+            mechanism: Mechanism::FullPower,
+            alpha: 0.05,
+            epoch: SimDuration::from_us(100),
+            eval_period: SimDuration::from_ms(1),
+            roo_params: RooParams::fast(),
+            mapping: AddressMapping::Contiguous,
+            seed: 0xC0FFEE,
+            max_outstanding_reads: 64,
+            write_buffer: 128,
+            dram: DramParams::hmc_gen2(),
+            isp_iterations: 3,
+            wake_chaining: true,
+            rescue_pool: true,
+            trace_limit: 0,
+        }
+    }
+
+    /// Selects the workload by its paper name ("ua.D", "mixB", ...).
+    pub fn workload(mut self, name: &str) -> Self {
+        self.workload = name.to_owned();
+        self
+    }
+
+    /// Selects the network topology.
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = kind;
+        self
+    }
+
+    /// Selects the network scale (small / big study).
+    pub fn scale(mut self, scale: NetworkScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Selects the management policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the circuit-level link mechanism.
+    pub fn mechanism(mut self, mechanism: Mechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the allowable slowdown factor α (e.g. 0.025 or 0.05).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the management epoch length.
+    pub fn epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Sets the simulated evaluation period.
+    pub fn eval_period(mut self, period: SimDuration) -> Self {
+        self.eval_period = period;
+        self
+    }
+
+    /// Sets ROO wakeup physics (14 ns default, 20 ns sensitivity).
+    pub fn roo_params(mut self, params: RooParams) -> Self {
+        self.roo_params = params;
+        self
+    }
+
+    /// Sets the address mapping.
+    pub fn mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum outstanding reads at the processor.
+    pub fn max_outstanding_reads(mut self, n: usize) -> Self {
+        self.max_outstanding_reads = n;
+        self
+    }
+
+    /// Sets the maximum ISP iterations (network-aware management).
+    pub fn isp_iterations(mut self, n: usize) -> Self {
+        self.isp_iterations = n;
+        self
+    }
+
+    /// Enables or disables §VI-B wakeup chaining (ablation knob).
+    pub fn wake_chaining(mut self, on: bool) -> Self {
+        self.wake_chaining = on;
+        self
+    }
+
+    /// Enables or disables the §VI-A3 rescue pool (ablation knob).
+    pub fn rescue_pool(mut self, on: bool) -> Self {
+        self.rescue_pool = on;
+        self
+    }
+
+    /// Records up to `limit` packet-trace events (see [`crate::trace`]).
+    pub fn trace_limit(mut self, limit: usize) -> Self {
+        self.trace_limit = limit;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the invalid field.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let workload = catalog::by_name(&self.workload)
+            .ok_or_else(|| ConfigError::UnknownWorkload(self.workload.clone()))?;
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::BadAlpha(format!(
+                "alpha must be in (0, 1), got {}",
+                self.alpha
+            )));
+        }
+        if self.eval_period.is_zero() {
+            return Err(ConfigError::BadEvalPeriod);
+        }
+        Ok(SimConfig {
+            workload,
+            topology: self.topology,
+            scale: self.scale,
+            policy: self.policy,
+            mechanism: self.mechanism,
+            alpha: self.alpha,
+            epoch: self.epoch,
+            eval_period: self.eval_period,
+            roo_params: self.roo_params,
+            mapping: self.mapping,
+            seed: self.seed,
+            max_outstanding_reads: self.max_outstanding_reads,
+            write_buffer: self.write_buffer,
+            dram: self.dram,
+            isp_iterations: self.isp_iterations,
+            wake_chaining: self.wake_chaining,
+            rescue_pool: self.rescue_pool,
+            trace_limit: self.trace_limit,
+        })
+    }
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert_eq!(cfg.workload.name, "mixB");
+        assert_eq!(cfg.n_hmcs(), 3); // 12 GB over 4 GB chunks
+    }
+
+    #[test]
+    fn big_scale_quadruples_module_count() {
+        let small = SimConfig::builder().workload("is.D").build().unwrap();
+        let big = SimConfig::builder()
+            .workload("is.D")
+            .scale(NetworkScale::Big)
+            .build()
+            .unwrap();
+        assert_eq!(small.n_hmcs(), 9); // 36 GB / 4
+        assert_eq!(big.n_hmcs(), 36); // 36 GB / 1
+        assert_eq!(big.chunk_lines(), (1 << 30) / 64);
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        let err = SimConfig::builder().workload("nope").build().unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownWorkload(_)));
+    }
+
+    #[test]
+    fn invalid_alpha_is_rejected() {
+        let err = SimConfig::builder().alpha(0.0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::BadAlpha(_)));
+        let err = SimConfig::builder().alpha(1.5).build().unwrap_err();
+        assert!(matches!(err, ConfigError::BadAlpha(_)));
+    }
+
+    #[test]
+    fn zero_eval_period_is_rejected() {
+        let err = SimConfig::builder()
+            .eval_period(SimDuration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::BadEvalPeriod);
+    }
+
+    #[test]
+    fn policy_config_carries_tunables_through() {
+        let cfg = SimConfig::builder()
+            .policy(PolicyKind::NetworkAware)
+            .mechanism(Mechanism::VwlRoo)
+            .alpha(0.025)
+            .epoch(SimDuration::from_us(50))
+            .roo_params(RooParams::slow())
+            .build()
+            .unwrap();
+        let pc = cfg.policy_config();
+        assert_eq!(pc.kind, PolicyKind::NetworkAware);
+        assert_eq!(pc.alpha, 0.025);
+        assert_eq!(pc.epoch, SimDuration::from_us(50));
+        assert_eq!(pc.roo_params, RooParams::slow());
+    }
+}

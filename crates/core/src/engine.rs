@@ -1,0 +1,726 @@
+//! The discrete-event simulation engine.
+//!
+//! Wires the processor front-end, the link fabric, the per-module vault
+//! arrays and the power controller together and runs the event loop for
+//! the configured evaluation period.
+//!
+//! ## Packet life cycle
+//!
+//! 1. The front-end injects a read/write request into the request link of
+//!    the root module.
+//! 2. Each link serializes the packet (flit time × flits at the current
+//!    bandwidth mode), hands it to the receiving module after one SERDES
+//!    latency, and the router forwards it toward the destination after a
+//!    4-cycle router latency.
+//! 3. At the destination the request enters the addressed vault (buffered
+//!    in the module's ingress hold if the 16-entry vault queue is full).
+//! 4. Read completions generate 5-flit response packets that retrace the
+//!    path upstream; the front-end retires the transaction when the
+//!    response reaches the processor.
+//!
+//! ## Power management hooks
+//!
+//! Every link enqueue/transmission feeds the [`PowerController`]; epoch
+//! boundaries apply its mode decisions (bandwidth changes take the
+//! mechanism's reconfiguration latency); rapid-on/off links turn off after
+//! their idleness threshold and wake on demand — or proactively for
+//! response links when a DRAM read is in flight, with network-aware
+//! wakeup chaining propagating wakes up the response path.
+
+use std::collections::HashMap;
+
+use memnet_dram::{line_to_vault_bank, Vault, VaultOp};
+use memnet_net::link::LinkSim;
+use memnet_net::mech::LinkPowerMode;
+use memnet_net::{Direction, LinkId, ModuleId, NodeRef, Packet, PacketKind, Topology};
+use memnet_policy::{PowerController, ViolationAction};
+use memnet_power::{EnergyBreakdown, HmcPowerModel};
+use memnet_simcore::{EventQueue, SimDuration, SimTime, SplitMix64};
+
+use crate::config::{AddressMapping, SimConfig};
+use crate::frontend::{Frontend, InjectStep};
+use crate::metrics::{LinkTelemetry, PowerSummary, RunReport};
+use crate::trace::{Trace, TraceEvent, TracePoint};
+
+/// Router traversal latency: four pipeline cycles at the 0.64 ns flit
+/// clock.
+pub const ROUTER_LATENCY: SimDuration = SimDuration::from_ps(4 * 640);
+
+#[derive(Debug, Clone)]
+enum Event {
+    TryInject,
+    LinkTryStart(LinkId),
+    LinkDone(LinkId),
+    Deliver(LinkId, Packet),
+    EnqueueLink(LinkId, Packet),
+    VaultIngress(ModuleId, Packet),
+    VaultTick(ModuleId, usize),
+    VaultDone(ModuleId, usize, u64, bool),
+    WakeDone(LinkId),
+    TurnOffCheck(LinkId, SimTime),
+    ModeApply(LinkId),
+    ChainWake(LinkId),
+    EpochEnd,
+}
+
+/// The assembled simulator. Construct with [`Engine::new`], execute with
+/// [`Engine::run`].
+pub struct Engine {
+    cfg: SimConfig,
+    topo: Topology,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    end: SimTime,
+
+    links: Vec<LinkSim>,
+    /// In-flight transmission per link: (packet, queue arrival, start).
+    in_flight: Vec<Option<(Packet, SimTime, SimTime)>>,
+
+    vaults: Vec<Vec<Vault>>,
+    /// Module-side ingress hold per vault (packet, original arrival).
+    vault_hold: Vec<Vec<std::collections::VecDeque<(Packet, SimTime)>>>,
+    /// Earliest scheduled tick per vault (event dedup).
+    vault_tick_at: Vec<Vec<SimTime>>,
+    /// Reads currently inside each module's vaults (for wakeup chaining).
+    vault_reads_in_flight: Vec<u32>,
+
+    controller: PowerController,
+    frontend: Frontend,
+    power_model: HmcPowerModel,
+
+    /// Read packets awaiting their DRAM completion, keyed by packet id.
+    outstanding_reads: HashMap<u64, Packet>,
+    routes: Vec<Vec<ModuleId>>,
+    next_packet_id: u64,
+    /// Earliest pending TryInject event (dedup guard: completions and
+    /// schedule waits would otherwise pile up duplicate events).
+    inject_armed: SimTime,
+
+    // --- metrics accumulation ---
+    flits_routed: Vec<u64>,
+    hops_sum: u64,
+    hops_count: u64,
+    trace: Trace,
+}
+
+impl Engine {
+    /// Builds the simulator for `cfg`.
+    pub fn new(cfg: SimConfig) -> Engine {
+        let n = cfg.n_hmcs();
+        let topo = Topology::build(cfg.topology, n);
+        let start = SimTime::ZERO;
+        let mut controller = PowerController::new(
+            topo.clone(),
+            cfg.policy_config(),
+            cfg.dram.nominal_read_latency(),
+        );
+        // Initial modes apply at construction with no transition latency.
+        let initial = controller.initial_decisions();
+        let mut links: Vec<LinkSim> = initial
+            .iter()
+            .map(|d| LinkSim::new(d.link, d.mode.bw, start))
+            .collect();
+        for (l, d) in links.iter_mut().zip(&initial) {
+            l.set_roo_params(cfg.roo_params);
+            l.set_roo_threshold(d.mode.roo);
+        }
+        let vaults = (0..n)
+            .map(|_| (0..cfg.dram.vaults).map(|_| Vault::new(&cfg.dram, start)).collect())
+            .collect();
+        let vault_hold = (0..n)
+            .map(|_| (0..cfg.dram.vaults).map(|_| Default::default()).collect())
+            .collect();
+        let vault_tick_at = (0..n).map(|_| vec![SimTime::MAX; cfg.dram.vaults]).collect();
+        let frontend = Frontend::new(
+            cfg.workload.clone(),
+            SplitMix64::new(cfg.seed),
+            cfg.max_outstanding_reads,
+            cfg.write_buffer,
+        );
+        let routes = topo.modules().map(|m| topo.route(m)).collect();
+        let end = start + cfg.eval_period;
+        Engine {
+            queue: EventQueue::with_capacity(4096),
+            now: start,
+            end,
+            in_flight: vec![None; topo.n_links()],
+            vaults,
+            vault_hold,
+            vault_tick_at,
+            vault_reads_in_flight: vec![0; n],
+            controller,
+            frontend,
+            power_model: HmcPowerModel::paper(),
+            outstanding_reads: HashMap::new(),
+            routes,
+            next_packet_id: 0,
+            inject_armed: SimTime::MAX,
+            flits_routed: vec![0; n],
+            hops_sum: 0,
+            hops_count: 0,
+            trace: Trace::with_limit(cfg.trace_limit),
+            links,
+            topo,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to the end of the evaluation period and
+    /// produces the report.
+    pub fn run(mut self) -> RunReport {
+        // Arm idleness timers for links that start with an ROO threshold.
+        for l in self.topo.links().collect::<Vec<_>>() {
+            self.arm_turnoff(l);
+        }
+        let start = self.now;
+        self.arm_inject(start);
+        self.schedule(self.now + self.cfg.epoch, Event::EpochEnd);
+
+        let debug = std::env::var_os("MEMNET_DEBUG").is_some();
+        let mut processed: u64 = 0;
+        let mut histo = [0u64; 13];
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            if debug {
+                processed += 1;
+                let idx = match ev {
+                    Event::TryInject => 0,
+                    Event::LinkTryStart(_) => 1,
+                    Event::LinkDone(_) => 2,
+                    Event::Deliver(..) => 3,
+                    Event::EnqueueLink(..) => 4,
+                    Event::VaultIngress(..) => 5,
+                    Event::VaultTick(..) => 6,
+                    Event::VaultDone(..) => 7,
+                    Event::WakeDone(_) => 8,
+                    Event::TurnOffCheck(..) => 9,
+                    Event::ModeApply(_) => 10,
+                    Event::ChainWake(_) => 11,
+                    Event::EpochEnd => 12,
+                };
+                histo[idx] += 1;
+                if processed.is_multiple_of(1_000_000) {
+                    eprintln!(
+                        "[engine] {processed} events, now={}, pending={}, histo={histo:?}, out_rd={}, out_wr={}, inj={}, done_rd={}",
+                        self.now,
+                        self.queue.len(),
+                        self.frontend.outstanding_reads(),
+                        self.frontend.outstanding_writes(),
+                        self.frontend.injected_reads() + self.frontend.injected_writes(),
+                        self.frontend.completed_reads(),
+                    );
+                }
+            }
+            self.handle(ev);
+        }
+        self.now = self.end;
+        self.finalize()
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.queue.push(at, ev);
+    }
+
+    #[inline]
+    fn trace(&mut self, packet: &Packet, point: TracePoint) {
+        if self.trace.active() {
+            self.trace.record(TraceEvent {
+                time: self.now,
+                packet: packet.id,
+                kind: packet.kind,
+                point,
+            });
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::TryInject => self.on_try_inject(),
+            Event::LinkTryStart(l) => self.on_link_try_start(l),
+            Event::LinkDone(l) => self.on_link_done(l),
+            Event::Deliver(l, pkt) => self.on_deliver(l, pkt),
+            Event::EnqueueLink(l, pkt) => self.on_enqueue_link(l, pkt),
+            Event::VaultIngress(m, pkt) => self.on_vault_ingress(m, pkt),
+            Event::VaultTick(m, v) => self.on_vault_tick(m, v),
+            Event::VaultDone(m, v, id, is_read) => self.on_vault_done(m, v, id, is_read),
+            Event::WakeDone(l) => self.on_wake_done(l),
+            Event::TurnOffCheck(l, token) => self.on_turnoff_check(l, token),
+            Event::ModeApply(l) => self.on_mode_apply(l),
+            Event::ChainWake(l) => self.on_chain_wake(l),
+            Event::EpochEnd => self.on_epoch_end(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Address mapping
+    // ------------------------------------------------------------------
+
+    fn module_of_line(&self, line: u64) -> ModuleId {
+        let n = self.topo.len() as u64;
+        let chunk = self.cfg.chunk_lines();
+        let m = match self.cfg.mapping {
+            AddressMapping::Contiguous => (line / chunk).min(n - 1),
+            AddressMapping::PageInterleaved => {
+                // 4 KB pages (64 lines) rotate over modules.
+                (line / 64) % n
+            }
+        };
+        ModuleId(m as usize)
+    }
+
+    fn line_in_module(&self, line: u64) -> u64 {
+        match self.cfg.mapping {
+            AddressMapping::Contiguous => line % self.cfg.chunk_lines(),
+            AddressMapping::PageInterleaved => {
+                let n = self.topo.len() as u64;
+                let page = line / 64;
+                (page / n) * 64 + line % 64
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Injection
+    // ------------------------------------------------------------------
+
+    /// Schedules a TryInject at `at` unless one is already pending at or
+    /// before that time.
+    fn arm_inject(&mut self, at: SimTime) {
+        if at < self.inject_armed {
+            self.inject_armed = at;
+            self.schedule(at, Event::TryInject);
+        }
+    }
+
+    fn on_try_inject(&mut self) {
+        // Stale duplicate (a newer arm superseded this event): ignore.
+        if self.inject_armed != self.now {
+            return;
+        }
+        self.inject_armed = SimTime::MAX;
+        loop {
+            match self.frontend.step(self.now) {
+                InjectStep::Inject(req) => {
+                    let dest = self.module_of_line(req.line_addr);
+                    let kind = if req.is_read {
+                        PacketKind::ReadRequest
+                    } else {
+                        PacketKind::WriteRequest
+                    };
+                    let pkt = Packet {
+                        id: self.next_packet_id,
+                        kind,
+                        dest,
+                        line_addr: req.line_addr,
+                        created: self.now,
+                    };
+                    self.next_packet_id += 1;
+                    self.trace(&pkt, TracePoint::Inject);
+                    self.hops_sum += u64::from(self.topo.depth(dest));
+                    self.hops_count += 1;
+                    let root = self.routes[dest.0][0];
+                    let link = LinkId::of(root, Direction::Request);
+                    let now = self.now;
+                    self.schedule(now, Event::EnqueueLink(link, pkt));
+                }
+                InjectStep::WaitUntil(t) => {
+                    self.arm_inject(t);
+                    return;
+                }
+                InjectStep::ReadWindowFull | InjectStep::WriteBufferFull => return,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Links
+    // ------------------------------------------------------------------
+
+    fn on_enqueue_link(&mut self, l: LinkId, pkt: Packet) {
+        self.controller.on_packet_arrival(l, self.now, pkt.kind.is_read());
+        self.links[l.0].enqueue_unchecked(pkt, self.now);
+        if self.links[l.0].is_off() {
+            self.wake_link(l);
+        } else if self.links[l.0].is_idle_on() {
+            let now = self.now;
+            self.schedule(now, Event::LinkTryStart(l));
+        }
+    }
+
+    fn on_link_try_start(&mut self, l: LinkId) {
+        if self.in_flight[l.0].is_some() {
+            return;
+        }
+        let last_end = self.links[l.0].last_activity_end();
+        if let Some((pkt, arrival, done)) = self.links[l.0].start_transmission(self.now) {
+            // An idle gap ended: feed the ROO histogram.
+            if self.now > last_end {
+                self.controller.on_idle_interval(l, self.now - last_end);
+            }
+            self.trace(&pkt, TracePoint::LinkStart(l));
+            self.in_flight[l.0] = Some((pkt, arrival, self.now));
+            self.schedule(done, Event::LinkDone(l));
+        }
+    }
+
+    fn on_link_done(&mut self, l: LinkId) {
+        self.links[l.0].finish_transmission(self.now);
+        let (pkt, arrival, start) = self.in_flight[l.0].take().expect("transmission in flight");
+        self.trace(&pkt, TracePoint::LinkDone(l));
+        // Route/SERDES energy is charged to the downstream module.
+        self.flits_routed[l.edge_module().0] += pkt.flits();
+        // The measured departure includes any SERDES stretch beyond the
+        // nominal pipeline (the constant base latency cancels against FEL).
+        let departure = self.now + self.links[l.0].bw_mode().serdes_overhead();
+        let action = self.controller.on_packet_departure(
+            l,
+            arrival,
+            start,
+            departure,
+            pkt.flits(),
+            pkt.kind.is_read(),
+        );
+        if action == ViolationAction::ForceFullPower {
+            self.force_full_power(l);
+        }
+        let serdes = self.links[l.0].serdes_latency();
+        let deliver_at = self.now + serdes;
+        self.schedule(deliver_at, Event::Deliver(l, pkt));
+        if self.links[l.0].queue_len() > 0 {
+            let now = self.now;
+            self.schedule(now, Event::LinkTryStart(l));
+        } else {
+            self.arm_turnoff(l);
+        }
+    }
+
+    fn on_deliver(&mut self, l: LinkId, pkt: Packet) {
+        let m = l.edge_module();
+        match l.direction() {
+            Direction::Request => {
+                if pkt.dest == m {
+                    let at = self.now + ROUTER_LATENCY;
+                    self.schedule(at, Event::VaultIngress(m, pkt));
+                } else {
+                    // Forward toward the destination.
+                    let route = &self.routes[pkt.dest.0];
+                    let pos = route.iter().position(|&x| x == m).expect("module on route");
+                    let next = route[pos + 1];
+                    let at = self.now + ROUTER_LATENCY;
+                    self.schedule(at, Event::EnqueueLink(LinkId::of(next, Direction::Request), pkt));
+                }
+            }
+            Direction::Response => match self.topo.parent(m) {
+                NodeRef::Processor => {
+                    self.trace(&pkt, TracePoint::Retire);
+                    self.frontend.complete_read(self.now - pkt.created);
+                    let now = self.now;
+                    self.arm_inject(now);
+                }
+                NodeRef::Module(p) => {
+                    let at = self.now + ROUTER_LATENCY;
+                    self.schedule(at, Event::EnqueueLink(LinkId::of(p, Direction::Response), pkt));
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Vaults
+    // ------------------------------------------------------------------
+
+    fn on_vault_ingress(&mut self, m: ModuleId, pkt: Packet) {
+        self.trace(&pkt, TracePoint::VaultEnqueue(m));
+        let line = self.line_in_module(pkt.line_addr);
+        let (v, bank) = line_to_vault_bank(line, &self.cfg.dram);
+        if pkt.kind == PacketKind::ReadRequest {
+            self.vault_reads_in_flight[m.0] += 1;
+            self.outstanding_reads.insert(pkt.id, pkt);
+        } else {
+            // Posted write: absorbed into the module.
+            self.frontend.retire_write();
+            let now = self.now;
+            self.arm_inject(now);
+        }
+        let op = VaultOp {
+            id: pkt.id,
+            bank,
+            is_read: pkt.kind == PacketKind::ReadRequest,
+            arrival: self.now,
+        };
+        if self.vaults[m.0][v].enqueue(op).is_ok() {
+            self.arm_vault_tick(m, v);
+        } else {
+            self.vault_hold[m.0][v].push_back((pkt, self.now));
+        }
+    }
+
+    fn arm_vault_tick(&mut self, m: ModuleId, v: usize) {
+        if let Some(t) = self.vaults[m.0][v].next_issue_time(self.now) {
+            if t < self.vault_tick_at[m.0][v] {
+                self.vault_tick_at[m.0][v] = t;
+                self.schedule(t, Event::VaultTick(m, v));
+            }
+        }
+    }
+
+    fn on_vault_tick(&mut self, m: ModuleId, v: usize) {
+        self.vault_tick_at[m.0][v] = SimTime::MAX;
+        let issued = self.vaults[m.0][v].advance(self.now);
+        let mut reads_issued = false;
+        for op in issued {
+            reads_issued |= op.op.is_read;
+            self.schedule(op.completion, Event::VaultDone(m, v, op.op.id, op.op.is_read));
+        }
+        // Proactively wake the module's response link while the DRAM
+        // array is being read (both §V and §VI do this for ROO links);
+        // the ≥30 ns access hides the 14 ns wake.
+        if reads_issued && self.cfg.mechanism.uses_roo() {
+            self.wake_response_for_read(m);
+        }
+        self.drain_vault_hold(m, v);
+        self.arm_vault_tick(m, v);
+    }
+
+    fn drain_vault_hold(&mut self, m: ModuleId, v: usize) {
+        while self.vaults[m.0][v].has_space() {
+            let Some((pkt, arrival)) = self.vault_hold[m.0][v].pop_front() else { break };
+            let line = self.line_in_module(pkt.line_addr);
+            let (_, bank) = line_to_vault_bank(line, &self.cfg.dram);
+            let op = VaultOp {
+                id: pkt.id,
+                bank,
+                is_read: pkt.kind == PacketKind::ReadRequest,
+                arrival,
+            };
+            self.vaults[m.0][v]
+                .enqueue(op)
+                .expect("space was checked");
+        }
+    }
+
+    fn on_vault_done(&mut self, m: ModuleId, v: usize, id: u64, is_read: bool) {
+        if is_read {
+            self.controller.on_dram_read(m);
+            self.vault_reads_in_flight[m.0] -= 1;
+            let pkt = self
+                .outstanding_reads
+                .remove(&id)
+                .expect("read completion for unknown packet");
+            self.trace(&pkt, TracePoint::VaultDone(m));
+            let resp = pkt.to_response();
+            let at = self.now + ROUTER_LATENCY;
+            self.schedule(at, Event::EnqueueLink(LinkId::of(m, Direction::Response), resp));
+        }
+        self.drain_vault_hold(m, v);
+        self.arm_vault_tick(m, v);
+    }
+
+    // ------------------------------------------------------------------
+    // ROO mechanics
+    // ------------------------------------------------------------------
+
+    fn wake_link(&mut self, l: LinkId) {
+        if !self.links[l.0].is_off() {
+            return;
+        }
+        let done = self.links[l.0].start_wake(self.now);
+        self.schedule(done, Event::WakeDone(l));
+        // Network-aware chaining: a waking response link warns its
+        // upstream response link so the wake latency pipelines.
+        if self.controller.wake_chaining() && l.direction() == Direction::Response {
+            self.propagate_chain(l);
+        }
+    }
+
+    fn propagate_chain(&mut self, l: LinkId) {
+        if let Some(up) = self.topo.upstream_same_type(l) {
+            let mode = self.links[l.0].bw_mode();
+            let wait = ROUTER_LATENCY + mode.serdes_latency() + mode.flit_time() * 5;
+            let at = self.now + wait;
+            self.schedule(at, Event::ChainWake(up));
+        }
+    }
+
+    fn on_chain_wake(&mut self, l: LinkId) {
+        if self.links[l.0].is_off() {
+            self.wake_link(l);
+        }
+    }
+
+    /// Wakes the response link of module `m` because its DRAM is being
+    /// read (hides the wake latency behind the ≥ 30 ns DRAM access).
+    fn wake_response_for_read(&mut self, m: ModuleId) {
+        let resp = LinkId::of(m, Direction::Response);
+        if self.links[resp.0].is_off() {
+            self.wake_link(resp);
+        }
+    }
+
+    fn on_wake_done(&mut self, l: LinkId) {
+        self.links[l.0].finish_wake(self.now);
+        let now = self.now;
+        self.schedule(now, Event::LinkTryStart(l));
+        self.arm_turnoff(l);
+    }
+
+    /// Schedules a turn-off check if the link is on-idle with a threshold.
+    fn arm_turnoff(&mut self, l: LinkId) {
+        let Some(thr) = self.links[l.0].roo_threshold() else { return };
+        let Some(since) = self.links[l.0].idle_since() else { return };
+        let fire = (since + thr.threshold()).max(self.now);
+        self.schedule(fire, Event::TurnOffCheck(l, since));
+    }
+
+    fn on_turnoff_check(&mut self, l: LinkId, token: SimTime) {
+        let link = &self.links[l.0];
+        let Some(thr) = link.roo_threshold() else { return };
+        if link.idle_since() != Some(token) || link.queue_len() > 0 {
+            return; // stale: the link was active since this was armed
+        }
+        if self.now.saturating_since(token) < thr.threshold() {
+            // Threshold shrank/grew mid-wait: re-arm at the right instant.
+            self.arm_turnoff(l);
+            return;
+        }
+        // Network-aware chaining: a response link only turns off when its
+        // module's DRAM is quiet and every downstream response link is off
+        // (their transmitters live on this module, so the state is local).
+        if self.controller.wake_chaining() && l.direction() == Direction::Response {
+            let m = l.edge_module();
+            let children_off = self
+                .topo
+                .downstream_same_type(l)
+                .iter()
+                .all(|d| self.links[d.0].is_off());
+            if self.vault_reads_in_flight[m.0] > 0 || !children_off {
+                let recheck = self.now + thr.threshold();
+                self.schedule(recheck, Event::TurnOffCheck(l, token));
+                return;
+            }
+        }
+        self.links[l.0].turn_off(self.now);
+        // Turning off may unblock an upstream response link's turn-off;
+        // its own re-check event will observe the new state.
+    }
+
+    // ------------------------------------------------------------------
+    // Mode management
+    // ------------------------------------------------------------------
+
+    fn apply_decision(&mut self, link: LinkId, mode: LinkPowerMode) {
+        let pending_at = self.links[link.0].request_bw_mode(mode.bw, self.now);
+        if let Some(at) = pending_at {
+            self.schedule(at, Event::ModeApply(link));
+        }
+        self.links[link.0].set_roo_threshold(mode.roo);
+        if mode.roo.is_some() {
+            self.arm_turnoff(link);
+        }
+    }
+
+    fn force_full_power(&mut self, link: LinkId) {
+        let full = self.cfg.mechanism.full_mode();
+        self.links[link.0].cancel_pending_bw();
+        self.apply_decision(link, full);
+    }
+
+    fn on_mode_apply(&mut self, l: LinkId) {
+        self.links[l.0].apply_pending_bw(self.now);
+        if self.links[l.0].is_idle_on() && self.links[l.0].queue_len() > 0 {
+            let now = self.now;
+            self.schedule(now, Event::LinkTryStart(l));
+        }
+    }
+
+    fn on_epoch_end(&mut self) {
+        let decisions = self.controller.epoch_end(self.now);
+        for d in decisions {
+            self.apply_decision(d.link, d.mode);
+        }
+        let next = self.now + self.cfg.epoch;
+        self.schedule(next, Event::EpochEnd);
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    fn finalize(self) -> RunReport {
+        let window = self.end - SimTime::ZERO;
+        let mut energy = EnergyBreakdown::default();
+        let mut telemetry = Vec::with_capacity(self.links.len());
+        for link in &self.links {
+            let snap = link.residency_snapshot(self.end);
+            energy += self.power_model.link_energy(&snap);
+            let mut mode_time = [SimDuration::ZERO; memnet_net::mech::N_BW_MODES];
+            for (i, mt) in mode_time.iter_mut().enumerate() {
+                *mt = snap[2 + 2 * i] + snap[3 + 2 * i];
+            }
+            telemetry.push(LinkTelemetry {
+                link: link.id(),
+                utilization: link.busy_time(self.end).ratio(window),
+                mode_time,
+                off_time: snap[memnet_net::link::STATE_OFF],
+                waking_time: snap[memnet_net::link::STATE_WAKING],
+                wake_count: link.wake_count(),
+            });
+        }
+        for m in self.topo.modules() {
+            let accesses: u64 = self.vaults[m.0]
+                .iter()
+                .map(|v| v.reads_issued() + v.writes_issued())
+                .sum();
+            energy += self.power_model.module_energy(
+                self.topo.radix(m),
+                SimTime::ZERO,
+                self.end,
+                accesses,
+                self.flits_routed[m.0],
+            );
+        }
+
+        let root_req = &telemetry[LinkId::of(ModuleId(0), Direction::Request).0];
+        let root_resp = &telemetry[LinkId::of(ModuleId(0), Direction::Response).0];
+        let channel_utilization = root_req.utilization.max(root_resp.utilization);
+        let link_utilization =
+            telemetry.iter().map(|t| t.utilization).sum::<f64>() / telemetry.len() as f64;
+
+        let completed = self.frontend.completed_reads() + self.frontend.retired_writes();
+        RunReport {
+            workload: self.cfg.workload.name,
+            topology: self.cfg.topology,
+            scale: self.cfg.scale.label(),
+            policy: self.cfg.policy.label(),
+            mechanism: self.cfg.mechanism.label(),
+            alpha: self.cfg.alpha,
+            power: PowerSummary {
+                energy,
+                window,
+                n_hmcs: self.topo.len(),
+            },
+            channel_utilization,
+            link_utilization,
+            avg_modules_traversed: if self.hops_count == 0 {
+                0.0
+            } else {
+                self.hops_sum as f64 / self.hops_count as f64
+            },
+            completed_reads: self.frontend.completed_reads(),
+            retired_writes: self.frontend.retired_writes(),
+            injected_accesses: self.frontend.injected_reads() + self.frontend.injected_writes(),
+            mean_read_latency_ns: self.frontend.read_latency().mean(),
+            max_read_latency_ns: self.frontend.read_latency().max().unwrap_or(0.0),
+            accesses_per_us: completed as f64 / window.as_us(),
+            epochs: self.controller.epochs_completed(),
+            violations: self.controller.violations(),
+            links: telemetry,
+            trace: self.trace.events().to_vec(),
+        }
+    }
+}

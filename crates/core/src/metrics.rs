@@ -1,0 +1,221 @@
+//! Run reports: everything a paper figure needs from one simulation.
+
+use memnet_net::mech::N_BW_MODES;
+use memnet_net::{LinkId, TopologyKind};
+use memnet_power::EnergyBreakdown;
+use memnet_simcore::SimDuration;
+use serde::Serialize;
+
+use crate::trace::TraceEvent;
+
+/// Power summary over the evaluation window.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerSummary {
+    /// Total joules by Figure 5 category.
+    pub energy: EnergyBreakdown,
+    /// Evaluation window length.
+    pub window: SimDuration,
+    /// Number of modules.
+    pub n_hmcs: usize,
+}
+
+impl PowerSummary {
+    /// Average network power, watts.
+    pub fn watts(&self) -> f64 {
+        self.energy.watts(self.window)
+    }
+
+    /// Average power per module, watts (Figure 5/11's y-axis).
+    pub fn watts_per_hmc(&self) -> f64 {
+        self.energy.watts_per_hmc(self.window, self.n_hmcs)
+    }
+
+    /// Per-category average watts per module, Figure 5 order.
+    pub fn watts_per_hmc_by_category(&self) -> [f64; 6] {
+        let mut cats = self.energy.watts_by_category(self.window);
+        for c in &mut cats {
+            *c /= self.n_hmcs.max(1) as f64;
+        }
+        cats
+    }
+
+    /// Idle I/O energy over total energy (Figure 8's y-axis).
+    pub fn idle_io_fraction(&self) -> f64 {
+        self.energy.idle_io_fraction()
+    }
+
+    /// I/O energy (idle + active) over total energy.
+    pub fn io_fraction(&self) -> f64 {
+        self.energy.io_fraction()
+    }
+}
+
+/// Per-link telemetry (Figure 13's link-hours raw data).
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkTelemetry {
+    /// Which link.
+    pub link: LinkId,
+    /// Fraction of the window spent transmitting.
+    pub utilization: f64,
+    /// Time on (idle + active) per bandwidth mode, indexed by
+    /// [`memnet_net::mech::BwMode::index`].
+    pub mode_time: [SimDuration; N_BW_MODES],
+    /// Time powered off.
+    pub off_time: SimDuration,
+    /// Time spent waking.
+    pub waking_time: SimDuration,
+    /// Wakeups performed.
+    pub wake_count: u64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Topology simulated.
+    pub topology: TopologyKind,
+    /// "small" or "big".
+    pub scale: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// α used.
+    pub alpha: f64,
+    /// Power summary.
+    pub power: PowerSummary,
+    /// Processor-channel utilization (busier direction of the root edge).
+    pub channel_utilization: f64,
+    /// Mean utilization over all links (Figure 9's dotted series).
+    pub link_utilization: f64,
+    /// Mean modules traversed per memory access (Figure 6).
+    pub avg_modules_traversed: f64,
+    /// Reads completed in the window.
+    pub completed_reads: u64,
+    /// Writes retired in the window.
+    pub retired_writes: u64,
+    /// Accesses injected (reads + writes).
+    pub injected_accesses: u64,
+    /// Mean read latency, nanoseconds.
+    pub mean_read_latency_ns: f64,
+    /// Maximum read latency, nanoseconds.
+    pub max_read_latency_ns: f64,
+    /// Aggregate throughput: completed accesses per microsecond — the
+    /// performance metric for degradation comparisons.
+    pub accesses_per_us: f64,
+    /// Management epochs completed.
+    pub epochs: u64,
+    /// AMS violations (forced full-power transitions).
+    pub violations: u64,
+    /// Per-link detail.
+    pub links: Vec<LinkTelemetry>,
+    /// Captured packet trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl RunReport {
+    /// Performance degradation of `self` versus a baseline run, as a
+    /// fraction (0.03 = 3 % slower). Negative values mean `self` was
+    /// faster.
+    pub fn degradation_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.accesses_per_us == 0.0 {
+            0.0
+        } else {
+            1.0 - self.accesses_per_us / baseline.accesses_per_us
+        }
+    }
+
+    /// Network-wide power reduction of `self` versus a baseline run, as a
+    /// fraction (0.25 = 25 % less power).
+    pub fn power_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.power.watts();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - self.power.watts() / base
+        }
+    }
+
+    /// Idle-I/O (plus active-I/O) power reduction versus a baseline.
+    pub fn io_power_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.power.energy.io_total();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - self.power.energy.io_total() / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(watts_scale: f64, throughput: f64) -> RunReport {
+        let energy = EnergyBreakdown {
+            idle_io: 6.0 * watts_scale,
+            active_io: 1.0 * watts_scale,
+            logic_leak: 1.0 * watts_scale,
+            logic_dyn: 0.5 * watts_scale,
+            dram_leak: 1.0 * watts_scale,
+            dram_dyn: 0.5 * watts_scale,
+        };
+        RunReport {
+            workload: "test",
+            topology: TopologyKind::DaisyChain,
+            scale: "small",
+            policy: "full power",
+            mechanism: "FP",
+            alpha: 0.05,
+            power: PowerSummary { energy, window: SimDuration::from_ms(1), n_hmcs: 5 },
+            channel_utilization: 0.5,
+            link_utilization: 0.2,
+            avg_modules_traversed: 2.5,
+            completed_reads: 1000,
+            retired_writes: 500,
+            injected_accesses: 1500,
+            mean_read_latency_ns: 80.0,
+            max_read_latency_ns: 200.0,
+            accesses_per_us: throughput,
+            epochs: 10,
+            violations: 0,
+            links: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn degradation_is_relative_throughput_loss() {
+        let base = report(1.0, 100.0);
+        let slower = report(1.0, 97.0);
+        assert!((slower.degradation_vs(&base) - 0.03).abs() < 1e-12);
+        assert_eq!(base.degradation_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn power_reduction_is_relative_watts() {
+        let base = report(1.0, 100.0);
+        let saver = report(0.8, 100.0);
+        assert!((saver.power_reduction_vs(&base) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_reduction_considers_only_io() {
+        let base = report(1.0, 100.0);
+        let mut saver = report(1.0, 100.0);
+        saver.power.energy.idle_io = 3.5; // halve idle I/O only
+        let expected = 1.0 - (3.5 + 1.0) / 7.0;
+        assert!((saver.io_power_reduction_vs(&base) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_category_watts_divide_by_hmcs() {
+        let r = report(1.0, 100.0);
+        // 10 J over 1 ms over 5 HMCs = 2000 W per HMC total.
+        assert!((r.power.watts_per_hmc() - 2000.0).abs() < 1e-9);
+        let cats = r.power.watts_per_hmc_by_category();
+        assert!((cats.iter().sum::<f64>() - 2000.0).abs() < 1e-9);
+        assert!((r.power.idle_io_fraction() - 0.6).abs() < 1e-12);
+    }
+}

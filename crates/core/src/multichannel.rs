@@ -1,0 +1,126 @@
+//! Multi-channel simulation — the paper's stated future work.
+//!
+//! The paper evaluates a single HMC channel, arguing that channels are
+//! physically independent and traffic is interleaved across them. This
+//! module implements exactly that composition: `k` independent channels,
+//! each a full memory network running 1/k-th of the workload's traffic
+//! (the workload's request rate divides across channels, footprint and
+//! CDF unchanged — adjacent memory is interleaved across channels, so
+//! every channel sees the same spatial distribution), with per-channel
+//! RNG streams forked from the base seed.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use memnet_core::multichannel::run_channels;
+//! use memnet_core::SimConfig;
+//!
+//! let cfg = SimConfig::builder().workload("mixB").build()?;
+//! let combined = run_channels(cfg, 4, 1);
+//! println!("4-channel power: {:.1} W", combined.total_watts);
+//! # Ok::<(), memnet_core::ConfigError>(())
+//! ```
+
+use serde::Serialize;
+
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+use crate::runner::sweep;
+
+/// Aggregate of `k` independent channel simulations.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiChannelReport {
+    /// Per-channel reports, channel 0 first.
+    pub channels: Vec<RunReport>,
+    /// Sum of network power over channels, watts.
+    pub total_watts: f64,
+    /// Sum of throughput over channels, accesses per microsecond.
+    pub total_accesses_per_us: f64,
+    /// Mean read latency over channels, nanoseconds.
+    pub mean_read_latency_ns: f64,
+    /// Idle-I/O fraction of the combined energy.
+    pub idle_io_fraction: f64,
+}
+
+/// Runs `channels` independent copies of `cfg`, each carrying `1/k` of
+/// the workload's traffic, and aggregates.
+///
+/// # Panics
+///
+/// Panics if `channels` is zero.
+pub fn run_channels(cfg: SimConfig, channels: usize, threads: usize) -> MultiChannelReport {
+    assert!(channels > 0, "need at least one channel");
+    let mut configs = Vec::with_capacity(channels);
+    for ch in 0..channels {
+        let mut c = cfg.clone();
+        // Interleaving across k channels divides each channel's request
+        // rate by k: stretch the target channel utilization accordingly.
+        c.workload.channel_utilization =
+            (cfg.workload.channel_utilization / channels as f64).max(0.001);
+        c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
+        configs.push(c);
+    }
+    let reports = sweep(configs, threads);
+    let total_watts = reports.iter().map(|r| r.power.watts()).sum();
+    let total_accesses_per_us = reports.iter().map(|r| r.accesses_per_us).sum();
+    let mean_read_latency_ns =
+        reports.iter().map(|r| r.mean_read_latency_ns).sum::<f64>() / channels as f64;
+    let combined_energy: memnet_power::EnergyBreakdown =
+        reports.iter().map(|r| r.power.energy).sum();
+    MultiChannelReport {
+        total_watts,
+        total_accesses_per_us,
+        mean_read_latency_ns,
+        idle_io_fraction: combined_energy.idle_io_fraction(),
+        channels: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_simcore::SimDuration;
+
+    fn tiny() -> SimConfig {
+        SimConfig::builder()
+            .workload("mixD")
+            .eval_period(SimDuration::from_us(40))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn channels_aggregate_additively() {
+        let r = run_channels(tiny(), 2, 1);
+        assert_eq!(r.channels.len(), 2);
+        let sum: f64 = r.channels.iter().map(|c| c.power.watts()).sum();
+        assert!((r.total_watts - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_channel_utilization_divides() {
+        let one = run_channels(tiny(), 1, 1);
+        let four = run_channels(tiny(), 4, 1);
+        let avg4: f64 = four.channels.iter().map(|c| c.channel_utilization).sum::<f64>() / 4.0;
+        assert!(
+            avg4 < one.channels[0].channel_utilization * 0.6,
+            "4-way channels must each be far less utilized: {avg4} vs {}",
+            one.channels[0].channel_utilization
+        );
+    }
+
+    #[test]
+    fn channels_use_distinct_seeds() {
+        let r = run_channels(tiny(), 2, 1);
+        assert_ne!(
+            r.channels[0].completed_reads, r.channels[1].completed_reads,
+            "distinct seeds should desynchronize the channels"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        run_channels(tiny(), 0, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text rendering of run reports: aligned tables and unicode bar
+//! charts for terminals, used by the examples and experiment binaries.
+
+use crate::metrics::RunReport;
+use memnet_power::EnergyBreakdown;
+
+/// Renders a horizontal bar of `width` cells filled proportionally to
+/// `value / max` with eighth-block resolution.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    const BLOCKS: [char; 9] = [' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+    if max <= 0.0 || value <= 0.0 {
+        return " ".repeat(width);
+    }
+    let cells = (value / max).clamp(0.0, 1.0) * width as f64;
+    let full = cells.floor() as usize;
+    let rem = ((cells - full as f64) * 8.0).round() as usize;
+    let mut s = "█".repeat(full.min(width));
+    if full < width {
+        s.push(BLOCKS[rem.min(8)]);
+        s.push_str(&" ".repeat(width - full - 1));
+    }
+    s
+}
+
+/// Renders the Figure 5-style per-category power breakdown of one run as
+/// labelled bars.
+pub fn power_breakdown(report: &RunReport) -> String {
+    let cats = report.power.watts_per_hmc_by_category();
+    let max = cats.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+    let mut out = format!(
+        "{} / {} / {} — {:.2} W per HMC ({} modules)\n",
+        report.workload,
+        report.topology.label(),
+        report.policy,
+        report.power.watts_per_hmc(),
+        report.power.n_hmcs
+    );
+    for (label, value) in EnergyBreakdown::CATEGORY_LABELS.iter().zip(cats) {
+        out.push_str(&format!("  {label:<14} {:5.2} W  |{}|\n", value, bar(value, max, 30)));
+    }
+    out
+}
+
+/// Renders a one-line summary suitable for sweep tables.
+pub fn summary_line(report: &RunReport) -> String {
+    format!(
+        "{:<7} {:<13} {:<6} {:<16} {:<8} {:>6.2} W/HMC  idleIO {:>4.1}%  chan {:>4.1}%  lat {:>7.1} ns  {:>8.1} acc/us",
+        report.workload,
+        report.topology.label(),
+        report.scale,
+        report.policy,
+        report.mechanism,
+        report.power.watts_per_hmc(),
+        100.0 * report.power.idle_io_fraction(),
+        100.0 * report.channel_utilization,
+        report.mean_read_latency_ns,
+        report.accesses_per_us,
+    )
+}
+
+/// Renders a comparison of several runs against the first (the baseline).
+pub fn comparison_table(reports: &[RunReport]) -> String {
+    let Some(base) = reports.first() else {
+        return String::from("(no runs)\n");
+    };
+    let mut out = format!(
+        "{:<32} {:>9} {:>12} {:>12} {:>10}\n",
+        "configuration", "watts", "power saved", "perf loss", "violations"
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:<32} {:>9.2} {:>11.1}% {:>11.2}% {:>10}\n",
+            format!("{} {}", r.policy, r.mechanism),
+            r.power.watts(),
+            100.0 * r.power_reduction_vs(base),
+            100.0 * r.degradation_vs(base),
+            r.violations,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use memnet_simcore::SimDuration;
+
+    fn tiny_report() -> RunReport {
+        SimConfig::builder()
+            .workload("mixD")
+            .eval_period(SimDuration::from_us(30))
+            .build()
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn bar_extremes() {
+        assert_eq!(bar(0.0, 10.0, 4), "    ");
+        assert_eq!(bar(10.0, 10.0, 4), "████");
+        assert_eq!(bar(5.0, 10.0, 4), "██  ");
+        // Degenerate max never panics.
+        assert_eq!(bar(1.0, 0.0, 4), "    ");
+    }
+
+    #[test]
+    fn bar_has_requested_display_width() {
+        for v in [0.0, 0.124, 3.4, 9.99, 10.0] {
+            let s = bar(v, 10.0, 12);
+            assert_eq!(s.chars().count(), 12, "width for value {v}");
+        }
+    }
+
+    #[test]
+    fn breakdown_lists_all_six_categories() {
+        let text = power_breakdown(&tiny_report());
+        for label in EnergyBreakdown::CATEGORY_LABELS {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn comparison_table_baselines_first_row() {
+        let a = tiny_report();
+        let b = tiny_report();
+        let t = comparison_table(&[a, b]);
+        assert!(t.contains("power saved"));
+        // The baseline row shows 0.0 % savings against itself.
+        assert!(t.contains(" 0.0%"));
+        assert_eq!(comparison_table(&[]), "(no runs)\n");
+    }
+
+    #[test]
+    fn summary_line_is_single_line() {
+        let line = summary_line(&tiny_report());
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.contains("W/HMC"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Experiment execution helpers: baseline pairing and parallel sweeps.
+
+use std::sync::Mutex;
+
+use memnet_policy::{Mechanism, PolicyKind};
+
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+
+/// Runs `cfg` and its full-power baseline (same workload / topology /
+/// scale / seed, links always on), returning `(managed, baseline)`.
+///
+/// Every power-reduction and performance-degradation number in the paper
+/// is relative to this baseline.
+pub fn run_pair(cfg: SimConfig) -> (RunReport, RunReport) {
+    let mut base = cfg.clone();
+    base.policy = PolicyKind::FullPower;
+    base.mechanism = Mechanism::FullPower;
+    let managed = cfg.run();
+    let baseline = base.run();
+    (managed, baseline)
+}
+
+/// Runs a batch of configurations across `threads` worker threads,
+/// returning reports in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker panics.
+pub fn sweep(configs: Vec<SimConfig>, threads: usize) -> Vec<RunReport> {
+    assert!(threads > 0, "need at least one thread");
+    let n = configs.len();
+    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
+    let queue = Mutex::new(jobs);
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((idx, cfg)) = job else { break };
+                let report = cfg.run();
+                results.lock().expect("results lock")[idx] = Some(report);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers finished")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_simcore::SimDuration;
+
+    fn quick(workload: &str) -> SimConfig {
+        SimConfig::builder()
+            .workload(workload)
+            .eval_period(SimDuration::from_us(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let reports = sweep(vec![quick("mixD"), quick("lu.D"), quick("mixB")], 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].workload, "mixD");
+        assert_eq!(reports[1].workload, "lu.D");
+        assert_eq!(reports[2].workload, "mixB");
+    }
+
+    #[test]
+    fn run_pair_returns_matching_baseline() {
+        let mut cfg = quick("mixD");
+        cfg.policy = PolicyKind::NetworkUnaware;
+        cfg.mechanism = Mechanism::Vwl;
+        let (managed, baseline) = run_pair(cfg);
+        assert_eq!(managed.workload, baseline.workload);
+        assert_eq!(baseline.policy, "full power");
+        assert_eq!(managed.policy, "network-unaware");
+    }
+}

@@ -1,0 +1,156 @@
+//! Packet-level trace capture.
+//!
+//! When enabled (see [`crate::SimConfigBuilder::trace_limit`]), the engine
+//! records one [`TraceEvent`] per packet milestone — injection, link
+//! transmission start/end, vault issue/completion, retirement — up to a
+//! configurable cap. Traces make single-transaction latency audits and
+//! policy debugging possible without a debugger, and export to CSV for
+//! external tooling.
+
+use memnet_net::{LinkId, ModuleId, PacketKind};
+use memnet_simcore::SimTime;
+use serde::Serialize;
+
+/// Where a trace event happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TracePoint {
+    /// Injected by the processor front-end.
+    Inject,
+    /// Began serializing on a link.
+    LinkStart(LinkId),
+    /// Last flit left a link's transmitter.
+    LinkDone(LinkId),
+    /// Entered a module's vault queue.
+    VaultEnqueue(ModuleId),
+    /// DRAM access completed.
+    VaultDone(ModuleId),
+    /// Transaction retired at the processor.
+    Retire,
+}
+
+impl TracePoint {
+    fn csv(&self) -> String {
+        match self {
+            TracePoint::Inject => "inject,".to_owned(),
+            TracePoint::LinkStart(l) => format!("link_start,{}", l.0),
+            TracePoint::LinkDone(l) => format!("link_done,{}", l.0),
+            TracePoint::VaultEnqueue(m) => format!("vault_enqueue,{}", m.0),
+            TracePoint::VaultDone(m) => format!("vault_done,{}", m.0),
+            TracePoint::Retire => "retire,".to_owned(),
+        }
+    }
+}
+
+/// One recorded packet milestone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Transaction id.
+    pub packet: u64,
+    /// Packet kind at this point.
+    pub kind: PacketKind,
+    /// Where it happened.
+    pub point: TracePoint,
+}
+
+/// A bounded in-memory packet trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    limit: usize,
+}
+
+impl Trace {
+    /// Creates a trace that records up to `limit` events (0 disables).
+    pub fn with_limit(limit: usize) -> Self {
+        Trace { events: Vec::new(), limit }
+    }
+
+    /// True if recording is enabled and the cap is not reached.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.events.len() < self.limit
+    }
+
+    /// Records one event (no-op once the cap is reached).
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.active() {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events belonging to one transaction.
+    pub fn transaction(&self, packet: u64) -> Vec<TraceEvent> {
+        self.events.iter().filter(|e| e.packet == packet).copied().collect()
+    }
+
+    /// Exports the trace as CSV (`time_ps,packet,kind,point,location`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ps,packet,kind,point,location\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{:?},{}\n",
+                e.time.as_ps(),
+                e.packet,
+                e.kind,
+                e.point.csv()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, pkt: u64, point: TracePoint) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_ps(t),
+            packet: pkt,
+            kind: PacketKind::ReadRequest,
+            point,
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut t = Trace::with_limit(2);
+        assert!(t.active());
+        t.record(ev(1, 1, TracePoint::Inject));
+        t.record(ev(2, 1, TracePoint::Retire));
+        t.record(ev(3, 2, TracePoint::Inject)); // dropped
+        assert_eq!(t.events().len(), 2);
+        assert!(!t.active());
+    }
+
+    #[test]
+    fn zero_limit_disables_recording() {
+        let mut t = Trace::with_limit(0);
+        assert!(!t.active());
+        t.record(ev(1, 1, TracePoint::Inject));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn transaction_filter_and_csv() {
+        let mut t = Trace::with_limit(10);
+        t.record(ev(1, 7, TracePoint::Inject));
+        t.record(ev(2, 8, TracePoint::Inject));
+        t.record(ev(3, 7, TracePoint::LinkStart(LinkId(0))));
+        t.record(ev(9, 7, TracePoint::Retire));
+        let tx = t.transaction(7);
+        assert_eq!(tx.len(), 3);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_ps,packet"));
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("link_start,0"));
+    }
+}

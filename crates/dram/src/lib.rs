@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! HMC vault DRAM timing model.
+//!
+//! An HMC stacks DRAM dies on a logic die; the stack is organized into
+//! *vaults*, each with its own TSV data bus and a small memory controller on
+//! the logic die. This crate models one vault at the fidelity of the paper's
+//! DRAMSim2 configuration (Table I):
+//!
+//! - close page policy: every access is an activate → column access →
+//!   auto-precharge sequence,
+//! - bank-level parallelism with `tRRD` between activates and a shared
+//!   per-vault data bus,
+//! - a bounded command queue with reads prioritized over writes,
+//! - 32-bit vault I/O at 2 Gbps, so a 64 B line bursts in 8 ns, giving the
+//!   paper's nominal 30 ns unloaded read access (tRCD + tCL + burst).
+//!
+//! # Examples
+//!
+//! ```
+//! use memnet_dram::{DramParams, Vault, VaultOp};
+//! use memnet_simcore::SimTime;
+//!
+//! let params = DramParams::hmc_gen2();
+//! let mut vault = Vault::new(&params, SimTime::ZERO);
+//! vault.enqueue(VaultOp::read(1, 0, SimTime::ZERO))?;
+//! let issued = vault.advance(SimTime::ZERO);
+//! assert_eq!(issued[0].completion.as_ns(), 30.0); // tRCD + tCL + burst
+//! # Ok::<(), memnet_dram::VaultFull>(())
+//! ```
+
+pub mod mapping;
+pub mod params;
+pub mod vault;
+
+pub use mapping::line_to_vault_bank;
+pub use params::DramParams;
+pub use vault::{IssuedOp, Vault, VaultFull, VaultOp};

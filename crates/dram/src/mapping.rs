@@ -1,0 +1,65 @@
+//! Line-address to vault/bank mapping.
+//!
+//! Table I specifies *interleaved* line address mapping: consecutive 64 B
+//! lines within an HMC rotate across vaults, and within a vault across
+//! banks, maximizing bank-level parallelism for streaming accesses.
+
+use crate::params::DramParams;
+
+/// Maps a line index (relative to the start of one HMC) to its
+/// `(vault, bank)` location under interleaved mapping.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_dram::{line_to_vault_bank, DramParams};
+///
+/// let p = DramParams::hmc_gen2();
+/// assert_eq!(line_to_vault_bank(0, &p), (0, 0));
+/// assert_eq!(line_to_vault_bank(1, &p), (1, 0));
+/// assert_eq!(line_to_vault_bank(32, &p), (0, 1)); // wrapped to next bank
+/// ```
+pub fn line_to_vault_bank(line_in_hmc: u64, params: &DramParams) -> (usize, usize) {
+    let vaults = params.vaults as u64;
+    let banks = params.banks_per_vault as u64;
+    let vault = (line_in_hmc % vaults) as usize;
+    let bank = ((line_in_hmc / vaults) % banks) as usize;
+    (vault, bank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_rotate_vaults_first() {
+        let p = DramParams::hmc_gen2();
+        for i in 0..p.vaults as u64 {
+            assert_eq!(line_to_vault_bank(i, &p), (i as usize, 0));
+        }
+        // After one full vault rotation, the bank advances.
+        assert_eq!(line_to_vault_bank(p.vaults as u64, &p), (0, 1));
+    }
+
+    #[test]
+    fn mapping_is_always_in_range() {
+        let p = DramParams::hmc_gen2();
+        for line in (0..p.lines_per_hmc()).step_by(1_048_573) {
+            let (v, b) = line_to_vault_bank(line, &p);
+            assert!(v < p.vaults);
+            assert!(b < p.banks_per_vault);
+        }
+    }
+
+    #[test]
+    fn streaming_access_touches_all_banks_evenly() {
+        let p = DramParams::hmc_gen2();
+        let n = (p.vaults * p.banks_per_vault) as u64;
+        let mut counts = vec![0u32; p.vaults * p.banks_per_vault];
+        for line in 0..n {
+            let (v, b) = line_to_vault_bank(line, &p);
+            counts[v * p.banks_per_vault + b] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1), "perfectly balanced over one period");
+    }
+}

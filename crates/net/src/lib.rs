@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The memory-network fabric: packets, topologies, routing, and the
+//! point-to-point link model with its power modes.
+//!
+//! A memory network connects a processor to HMC-style memory modules via a
+//! tree of *full links*; each full link is a pair of unidirectional links —
+//! a **request link** carrying traffic away from the processor and a
+//! **response link** carrying traffic back. This crate provides:
+//!
+//! - [`packet`] — read-request (1 flit), write-request and read-response
+//!   (5 flits) packets over 16 B flits;
+//! - [`topology`] — the four minimally-connected topologies the paper
+//!   studies (daisy chain, ternary tree, star, DDRx-like), plus the static
+//!   fat/tapered bandwidth assignment of §VII-A;
+//! - [`mech`] — circuit-level link power modes: variable-width (VWL),
+//!   DVFS, and rapid-on/off (ROO) with their power/bandwidth/latency tables;
+//! - [`link`] — the runtime unidirectional-link state machine: bounded
+//!   read-priority queue, serialization, mode transitions, on/off state and
+//!   time-in-state accounting for the power model.
+
+pub mod link;
+pub mod mech;
+pub mod packet;
+pub mod topology;
+
+pub use link::{LinkFull, LinkSim};
+pub use mech::{BwMode, DvfsLevel, LinkPowerMode, Mechanism, RooThreshold, VwlWidth};
+pub use packet::{Packet, PacketKind, FLIT_BYTES, LINE_BYTES};
+pub use topology::{Direction, HmcRadix, LinkId, ModuleId, NodeRef, Topology, TopologyKind};

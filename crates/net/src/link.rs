@@ -1,0 +1,534 @@
+//! Runtime model of one unidirectional link and its controller.
+//!
+//! A link controller holds a bounded queue (128 entries, reads prioritized
+//! over writes), serializes packets flit by flit at the current bandwidth
+//! mode, and runs the ROO on/off state machine. The link is *passive*: the
+//! simulation engine drives it (enqueue, start/finish transmission, wake,
+//! turn off, mode changes) and schedules its own events from the returned
+//! times. Every state change is recorded in a time-in-state table the power
+//! model later converts to energy.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use memnet_simcore::stats::TimeInState;
+use memnet_simcore::{SimDuration, SimTime};
+
+use crate::mech::{BwMode, RooParams, RooThreshold, N_BW_MODES};
+use crate::packet::Packet;
+use crate::topology::LinkId;
+
+/// Buffer entries per link controller (paper §III-B).
+pub const LINK_BUFFER_ENTRIES: usize = 128;
+
+/// Number of accounting states: off, waking, then (idle, active) per
+/// bandwidth mode.
+pub const N_ACCOUNTING_STATES: usize = 2 + 2 * N_BW_MODES;
+
+/// Accounting state index for the off state.
+pub const STATE_OFF: usize = 0;
+/// Accounting state index for the waking state.
+pub const STATE_WAKING: usize = 1;
+
+/// Accounting state index for on-idle in bandwidth mode `m`.
+pub fn state_on_idle(m: BwMode) -> usize {
+    2 + 2 * m.index()
+}
+
+/// Accounting state index for on-active (transmitting) in mode `m`.
+pub fn state_on_active(m: BwMode) -> usize {
+    3 + 2 * m.index()
+}
+
+/// Error returned when a link controller's buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFull;
+
+impl fmt::Display for LinkFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("link controller buffer is full")
+    }
+}
+
+impl Error for LinkFull {}
+
+/// The operational state of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkState {
+    /// Powered off (1 % power); must wake before transmitting.
+    Off,
+    /// Waking; can transmit at `until`.
+    Waking { until: SimTime },
+    /// On, not transmitting.
+    OnIdle { since: SimTime },
+    /// Transmitting; busy until `until`.
+    OnBusy { until: SimTime },
+}
+
+/// One unidirectional link with its controller.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_net::link::LinkSim;
+/// use memnet_net::{BwMode, LinkId, ModuleId, Packet, PacketKind};
+/// use memnet_simcore::SimTime;
+///
+/// let mut link = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+/// let pkt = Packet {
+///     id: 1,
+///     kind: PacketKind::ReadRequest,
+///     dest: ModuleId(0),
+///     line_addr: 0,
+///     created: SimTime::ZERO,
+/// };
+/// link.enqueue(pkt, SimTime::ZERO)?;
+/// let (sent, arrival, done) = link.start_transmission(SimTime::ZERO).expect("idle link starts");
+/// assert_eq!(sent.id, 1);
+/// assert_eq!(arrival, SimTime::ZERO);
+/// assert_eq!(done.as_ps(), 640); // one flit at full width
+/// # Ok::<(), memnet_net::LinkFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkSim {
+    id: LinkId,
+    bw_mode: BwMode,
+    pending_bw: Option<(BwMode, SimTime)>,
+    roo_threshold: Option<RooThreshold>,
+    roo_params: RooParams,
+    state: LinkState,
+
+    reads: VecDeque<(Packet, SimTime)>,
+    writes: VecDeque<(Packet, SimTime)>,
+    buffer_entries: usize,
+
+    residency: TimeInState,
+    last_activity_end: SimTime,
+    flits_sent: u64,
+    packets_sent: u64,
+    read_packets_sent: u64,
+    wake_count: u64,
+    off_transitions: u64,
+}
+
+impl LinkSim {
+    /// Creates a link that is on and idle at `start` in mode `bw_mode`,
+    /// with no ROO threshold (never turns off) and default ROO physics.
+    pub fn new(id: LinkId, bw_mode: BwMode, start: SimTime) -> Self {
+        LinkSim {
+            id,
+            bw_mode,
+            pending_bw: None,
+            roo_threshold: None,
+            roo_params: RooParams::default(),
+            state: LinkState::OnIdle { since: start },
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            buffer_entries: LINK_BUFFER_ENTRIES,
+            residency: TimeInState::new(N_ACCOUNTING_STATES, state_on_idle(bw_mode), start),
+            last_activity_end: start,
+            flits_sent: 0,
+            packets_sent: 0,
+            read_packets_sent: 0,
+            wake_count: 0,
+            off_transitions: 0,
+        }
+    }
+
+    /// Sets the ROO physical parameters (wakeup latency, off power).
+    pub fn set_roo_params(&mut self, params: RooParams) {
+        self.roo_params = params;
+    }
+
+    /// The ROO physical parameters.
+    pub fn roo_params(&self) -> RooParams {
+        self.roo_params
+    }
+
+    /// This link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Current bandwidth mode.
+    pub fn bw_mode(&self) -> BwMode {
+        self.bw_mode
+    }
+
+    /// Current ROO idleness threshold (`None`: the link never turns off).
+    pub fn roo_threshold(&self) -> Option<RooThreshold> {
+        self.roo_threshold
+    }
+
+    /// Sets the ROO idleness threshold.
+    pub fn set_roo_threshold(&mut self, thr: Option<RooThreshold>) {
+        self.roo_threshold = thr;
+    }
+
+    /// Number of queued packets.
+    pub fn queue_len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// True if a packet can be enqueued.
+    pub fn can_accept(&self) -> bool {
+        self.queue_len() < self.buffer_entries
+    }
+
+    /// True if the link is on and idle (ready to start a transmission).
+    pub fn is_idle_on(&self) -> bool {
+        matches!(self.state, LinkState::OnIdle { .. })
+    }
+
+    /// True if the link is off.
+    pub fn is_off(&self) -> bool {
+        matches!(self.state, LinkState::Off)
+    }
+
+    /// True if the link is waking.
+    pub fn is_waking(&self) -> bool {
+        matches!(self.state, LinkState::Waking { .. })
+    }
+
+    /// True if the link is transmitting.
+    pub fn is_busy(&self) -> bool {
+        matches!(self.state, LinkState::OnBusy { .. })
+    }
+
+    /// When the link last finished a transmission (or simulation start).
+    pub fn last_activity_end(&self) -> SimTime {
+        self.last_activity_end
+    }
+
+    /// If on-idle, the instant idleness began.
+    pub fn idle_since(&self) -> Option<SimTime> {
+        match self.state {
+            LinkState::OnIdle { since } => Some(since),
+            _ => None,
+        }
+    }
+
+    /// Adds a packet to the controller queue, recording its arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkFull`] if the 128-entry buffer is at capacity.
+    pub fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Result<(), LinkFull> {
+        if !self.can_accept() {
+            return Err(LinkFull);
+        }
+        if pkt.kind.is_read() {
+            self.reads.push_back((pkt, now));
+        } else {
+            self.writes.push_back((pkt, now));
+        }
+        Ok(())
+    }
+
+    /// Adds a packet even when the buffer is nominally full. The engine
+    /// uses this for in-flight deliveries that already passed the
+    /// sender-side capacity check; overflow is bounded by the processor's
+    /// outstanding-request windows.
+    pub fn enqueue_unchecked(&mut self, pkt: Packet, now: SimTime) {
+        if pkt.kind.is_read() {
+            self.reads.push_back((pkt, now));
+        } else {
+            self.writes.push_back((pkt, now));
+        }
+    }
+
+    /// The next packet that would transmit (reads first), without removing it.
+    pub fn peek_next(&self) -> Option<&Packet> {
+        self.reads.front().or_else(|| self.writes.front()).map(|(p, _)| p)
+    }
+
+    /// Starts transmitting the highest-priority queued packet.
+    ///
+    /// Returns the packet, its queue-arrival time, and the time its last
+    /// flit leaves the transmitter, or `None` if the link is not on-idle
+    /// or has nothing to send. The receiver sees the packet one SERDES
+    /// latency after that.
+    pub fn start_transmission(&mut self, now: SimTime) -> Option<(Packet, SimTime, SimTime)> {
+        if !self.is_idle_on() {
+            return None;
+        }
+        let (pkt, arrival) = self.reads.pop_front().or_else(|| self.writes.pop_front())?;
+        let done = now + self.bw_mode.flit_time() * pkt.flits();
+        self.set_state(now, LinkState::OnBusy { until: done });
+        self.flits_sent += pkt.flits();
+        self.packets_sent += 1;
+        if pkt.kind.is_read() {
+            self.read_packets_sent += 1;
+        }
+        Some((pkt, arrival, done))
+    }
+
+    /// Marks the in-flight transmission finished (engine calls this at the
+    /// time returned by [`start_transmission`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not transmitting.
+    ///
+    /// [`start_transmission`]: LinkSim::start_transmission
+    pub fn finish_transmission(&mut self, now: SimTime) {
+        assert!(
+            matches!(self.state, LinkState::OnBusy { .. }),
+            "finish_transmission on a link that is not transmitting"
+        );
+        self.last_activity_end = now;
+        self.set_state(now, LinkState::OnIdle { since: now });
+    }
+
+    /// SERDES latency a packet experiences after its last flit leaves.
+    pub fn serdes_latency(&self) -> SimDuration {
+        self.bw_mode.serdes_latency()
+    }
+
+    /// Turns the link off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not on-idle.
+    pub fn turn_off(&mut self, now: SimTime) {
+        assert!(self.is_idle_on(), "only an on-idle link can turn off");
+        self.off_transitions += 1;
+        self.set_state(now, LinkState::Off);
+    }
+
+    /// Begins waking an off link; returns when the wake completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not off.
+    pub fn start_wake(&mut self, now: SimTime) -> SimTime {
+        assert!(self.is_off(), "only an off link can start waking");
+        let until = now + self.roo_params.wakeup_latency;
+        self.wake_count += 1;
+        self.set_state(now, LinkState::Waking { until });
+        until
+    }
+
+    /// Completes a wake (engine calls this at the time returned by
+    /// [`start_wake`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not waking.
+    ///
+    /// [`start_wake`]: LinkSim::start_wake
+    pub fn finish_wake(&mut self, now: SimTime) {
+        assert!(self.is_waking(), "finish_wake on a link that is not waking");
+        self.set_state(now, LinkState::OnIdle { since: now });
+    }
+
+    /// Requests a bandwidth-mode change; returns the time the new mode
+    /// takes effect (after the mechanism's reconfiguration latency), or
+    /// `None` if the link is already in — or already transitioning to —
+    /// that mode. The link keeps operating in the old mode until then.
+    pub fn request_bw_mode(&mut self, mode: BwMode, now: SimTime) -> Option<SimTime> {
+        if self.bw_mode == mode && self.pending_bw.is_none() {
+            return None;
+        }
+        if let Some((pending, at)) = self.pending_bw {
+            if pending == mode {
+                return Some(at);
+            }
+        }
+        let at = now + mode.transition_latency();
+        self.pending_bw = Some((mode, at));
+        Some(at)
+    }
+
+    /// Applies a pending bandwidth mode whose transition has completed.
+    /// Does nothing if no transition is due at `now`.
+    pub fn apply_pending_bw(&mut self, now: SimTime) {
+        if let Some((mode, at)) = self.pending_bw {
+            if now >= at {
+                self.pending_bw = None;
+                self.bw_mode = mode;
+                // Refresh the accounting state index under the new mode.
+                let state = self.state;
+                self.set_state(now, state);
+            }
+        }
+    }
+
+    /// Cancels any not-yet-applied mode change (used when a violation
+    /// forces the link back to full power).
+    pub fn cancel_pending_bw(&mut self) {
+        self.pending_bw = None;
+    }
+
+    fn accounting_state(&self, state: LinkState) -> usize {
+        match state {
+            LinkState::Off => STATE_OFF,
+            LinkState::Waking { .. } => STATE_WAKING,
+            LinkState::OnIdle { .. } => state_on_idle(self.bw_mode),
+            LinkState::OnBusy { .. } => state_on_active(self.bw_mode),
+        }
+    }
+
+    fn set_state(&mut self, now: SimTime, state: LinkState) {
+        self.state = state;
+        self.residency.transition(now, self.accounting_state(state));
+    }
+
+    /// Time spent in every accounting state through `now`
+    /// (see [`STATE_OFF`], [`STATE_WAKING`], [`state_on_idle`],
+    /// [`state_on_active`]).
+    pub fn residency_snapshot(&self, now: SimTime) -> Vec<SimDuration> {
+        self.residency.snapshot(now)
+    }
+
+    /// Total time spent transmitting through `now`.
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        (0..N_BW_MODES)
+            .map(|i| self.residency.time_in(3 + 2 * i, now))
+            .sum()
+    }
+
+    /// Flits transmitted so far.
+    pub fn flits_sent(&self) -> u64 {
+        self.flits_sent
+    }
+
+    /// Packets transmitted so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Read packets transmitted so far.
+    pub fn read_packets_sent(&self) -> u64 {
+        self.read_packets_sent
+    }
+
+    /// Number of wakeups performed.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// Number of on→off transitions.
+    pub fn off_transitions(&self) -> u64 {
+        self.off_transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::topology::ModuleId;
+
+    fn pkt(id: u64, kind: PacketKind) -> Packet {
+        Packet { id, kind, dest: ModuleId(0), line_addr: 0, created: SimTime::ZERO }
+    }
+
+    #[test]
+    fn serializes_flits_at_mode_rate() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::ReadResponse), SimTime::ZERO).unwrap();
+        let (_, _, done) = l.start_transmission(SimTime::ZERO).unwrap();
+        assert_eq!(done.as_ps(), 5 * 640);
+        assert!(l.is_busy());
+        l.finish_transmission(done);
+        assert!(l.is_idle_on());
+        assert_eq!(l.last_activity_end(), done);
+    }
+
+    #[test]
+    fn reads_bypass_queued_writes() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::WriteRequest), SimTime::ZERO).unwrap();
+        l.enqueue(pkt(2, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
+        let (first, _, _) = l.start_transmission(SimTime::ZERO).unwrap();
+        assert_eq!(first.id, 2, "the read must jump the write");
+    }
+
+    #[test]
+    fn buffer_fills_at_capacity() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        for i in 0..LINK_BUFFER_ENTRIES as u64 {
+            l.enqueue(pkt(i, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
+        }
+        assert!(!l.can_accept());
+        assert_eq!(l.enqueue(pkt(999, PacketKind::ReadRequest), SimTime::ZERO), Err(LinkFull));
+    }
+
+    #[test]
+    fn roo_cycle_accumulates_off_time() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.set_roo_threshold(Some(RooThreshold::T32));
+        l.turn_off(SimTime::from_ps(1_000));
+        let wake_done = l.start_wake(SimTime::from_ps(51_000));
+        assert_eq!(wake_done.as_ps(), 51_000 + 14_000);
+        l.finish_wake(wake_done);
+        let snap = l.residency_snapshot(wake_done);
+        assert_eq!(snap[STATE_OFF], SimDuration::from_ps(50_000));
+        assert_eq!(snap[STATE_WAKING], SimDuration::from_ns(14));
+        assert_eq!(l.wake_count(), 1);
+        assert_eq!(l.off_transitions(), 1);
+    }
+
+    #[test]
+    fn mode_change_takes_transition_latency() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        let at = l
+            .request_bw_mode(BwMode::Vwl(crate::mech::VwlWidth::W4), SimTime::ZERO)
+            .expect("change scheduled");
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_us(1));
+        // Still in the old mode until the transition completes.
+        assert_eq!(l.bw_mode(), BwMode::FULL_VWL);
+        l.apply_pending_bw(SimTime::from_ps(10)); // too early: no-op
+        assert_eq!(l.bw_mode(), BwMode::FULL_VWL);
+        l.apply_pending_bw(at);
+        assert_eq!(l.bw_mode(), BwMode::Vwl(crate::mech::VwlWidth::W4));
+    }
+
+    #[test]
+    fn requesting_current_mode_is_noop() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        assert_eq!(l.request_bw_mode(BwMode::FULL_VWL, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn residency_splits_idle_and_active() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
+        let (_, _, done) = l.start_transmission(SimTime::from_ps(1_000)).unwrap();
+        l.finish_transmission(done);
+        let now = SimTime::from_ps(10_000);
+        let snap = l.residency_snapshot(now);
+        assert_eq!(snap[state_on_active(BwMode::FULL_VWL)], SimDuration::from_ps(640));
+        assert_eq!(
+            snap[state_on_idle(BwMode::FULL_VWL)],
+            SimDuration::from_ps(10_000 - 640)
+        );
+        assert_eq!(l.busy_time(now), SimDuration::from_ps(640));
+    }
+
+    #[test]
+    fn cannot_transmit_while_off() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.turn_off(SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
+        assert!(l.start_transmission(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "only an off link")]
+    fn waking_an_on_link_panics() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.start_wake(SimTime::ZERO);
+    }
+
+    #[test]
+    fn slow_roo_params_change_wake_latency() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.set_roo_params(RooParams::slow());
+        l.turn_off(SimTime::ZERO);
+        let done = l.start_wake(SimTime::ZERO);
+        assert_eq!(done.as_ps(), 20_000);
+    }
+}

@@ -1,0 +1,503 @@
+//! Circuit-level link power-control mechanisms and their mode tables.
+//!
+//! Three mechanisms from the paper (§IV), each trading power for bandwidth
+//! or availability:
+//!
+//! - **VWL** (variable-width links): 16/8/4/1 active lanes; power scales as
+//!   `(l+1)/17` (the I/O clock costs about one lane), bandwidth as `l/16`;
+//!   1 µs to change width.
+//! - **DVFS**: four voltage/frequency modes giving 100/80/50/14 % bandwidth
+//!   for 0/30/65/92 % power reduction; scaling the link clock also slows
+//!   the SERDES, adding serialization latency; 3 µs to re-scale (the link
+//!   stays connected by scaling one 8-lane bundle at a time).
+//! - **ROO** (rapid on/off): turn the link off after an idleness threshold
+//!   (32/128/512/2048 ns); off state burns 1 % power; waking costs 14 ns
+//!   (20 ns in the sensitivity study).
+
+use memnet_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Number of active lanes on a variable-width link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VwlWidth {
+    /// All 16 lanes (full power / full bandwidth).
+    W16,
+    /// 8 lanes.
+    W8,
+    /// 4 lanes.
+    W4,
+    /// 1 lane.
+    W1,
+}
+
+impl VwlWidth {
+    /// All widths, highest bandwidth first.
+    pub const ALL: [VwlWidth; 4] = [VwlWidth::W16, VwlWidth::W8, VwlWidth::W4, VwlWidth::W1];
+
+    /// Number of active lanes.
+    pub const fn lanes(self) -> u32 {
+        match self {
+            VwlWidth::W16 => 16,
+            VwlWidth::W8 => 8,
+            VwlWidth::W4 => 4,
+            VwlWidth::W1 => 1,
+        }
+    }
+
+    /// Link power as a fraction of full power: `(l + 1) / 17`, the `+1`
+    /// accounting for the I/O clock lane.
+    pub fn power_fraction(self) -> f64 {
+        f64::from(self.lanes() + 1) / 17.0
+    }
+
+    /// Bandwidth as a fraction of full bandwidth.
+    pub fn bandwidth_fraction(self) -> f64 {
+        f64::from(self.lanes()) / 16.0
+    }
+}
+
+/// A DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DvfsLevel {
+    /// 100 % bandwidth, full power.
+    P100,
+    /// 80 % bandwidth, 30 % power reduction.
+    P80,
+    /// 50 % bandwidth, 65 % power reduction.
+    P50,
+    /// 14 % bandwidth (one 8-lane bundle at Vmin), 92 % power reduction.
+    P14,
+}
+
+impl DvfsLevel {
+    /// All levels, highest bandwidth first.
+    pub const ALL: [DvfsLevel; 4] = [DvfsLevel::P100, DvfsLevel::P80, DvfsLevel::P50, DvfsLevel::P14];
+
+    /// Bandwidth as a fraction of full bandwidth.
+    pub fn bandwidth_fraction(self) -> f64 {
+        match self {
+            DvfsLevel::P100 => 1.0,
+            DvfsLevel::P80 => 0.80,
+            DvfsLevel::P50 => 0.50,
+            DvfsLevel::P14 => 0.14,
+        }
+    }
+
+    /// Link power as a fraction of full power.
+    pub fn power_fraction(self) -> f64 {
+        match self {
+            DvfsLevel::P100 => 1.0,
+            DvfsLevel::P80 => 0.70,
+            DvfsLevel::P50 => 0.35,
+            DvfsLevel::P14 => 0.08,
+        }
+    }
+}
+
+/// The bandwidth-scaling half of a link power mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BwMode {
+    /// Variable-width operation.
+    Vwl(VwlWidth),
+    /// DVFS operation.
+    Dvfs(DvfsLevel),
+}
+
+/// Number of distinct [`BwMode`] values (used to size accounting tables).
+pub const N_BW_MODES: usize = 8;
+
+/// Nominal SERDES latency of a full-rate link.
+pub const BASE_SERDES_LATENCY: SimDuration = SimDuration::from_ps(3_200);
+/// Serialization time of one 16 B flit on a full-rate 16-lane link.
+pub const BASE_FLIT_TIME: SimDuration = SimDuration::from_ps(640);
+
+impl BwMode {
+    /// Full-bandwidth VWL mode (the full-power mode of VWL/ROO links).
+    pub const FULL_VWL: BwMode = BwMode::Vwl(VwlWidth::W16);
+    /// Full-bandwidth DVFS mode.
+    pub const FULL_DVFS: BwMode = BwMode::Dvfs(DvfsLevel::P100);
+
+    /// A stable dense index in `0..N_BW_MODES` for accounting tables.
+    pub fn index(self) -> usize {
+        match self {
+            BwMode::Vwl(VwlWidth::W16) => 0,
+            BwMode::Vwl(VwlWidth::W8) => 1,
+            BwMode::Vwl(VwlWidth::W4) => 2,
+            BwMode::Vwl(VwlWidth::W1) => 3,
+            BwMode::Dvfs(DvfsLevel::P100) => 4,
+            BwMode::Dvfs(DvfsLevel::P80) => 5,
+            BwMode::Dvfs(DvfsLevel::P50) => 6,
+            BwMode::Dvfs(DvfsLevel::P14) => 7,
+        }
+    }
+
+    /// Inverse of [`BwMode::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_BW_MODES`.
+    pub fn from_index(i: usize) -> BwMode {
+        match i {
+            0 => BwMode::Vwl(VwlWidth::W16),
+            1 => BwMode::Vwl(VwlWidth::W8),
+            2 => BwMode::Vwl(VwlWidth::W4),
+            3 => BwMode::Vwl(VwlWidth::W1),
+            4 => BwMode::Dvfs(DvfsLevel::P100),
+            5 => BwMode::Dvfs(DvfsLevel::P80),
+            6 => BwMode::Dvfs(DvfsLevel::P50),
+            7 => BwMode::Dvfs(DvfsLevel::P14),
+            _ => panic!("bw mode index {i} out of range"),
+        }
+    }
+
+    /// Bandwidth as a fraction of full bandwidth.
+    pub fn bandwidth_fraction(self) -> f64 {
+        match self {
+            BwMode::Vwl(w) => w.bandwidth_fraction(),
+            BwMode::Dvfs(l) => l.bandwidth_fraction(),
+        }
+    }
+
+    /// On-state link power as a fraction of full power.
+    pub fn power_fraction(self) -> f64 {
+        match self {
+            BwMode::Vwl(w) => w.power_fraction(),
+            BwMode::Dvfs(l) => l.power_fraction(),
+        }
+    }
+
+    /// Time to serialize one flit in this mode.
+    pub fn flit_time(self) -> SimDuration {
+        BASE_FLIT_TIME.mul_f64(1.0 / self.bandwidth_fraction())
+    }
+
+    /// SERDES latency in this mode. VWL keeps the I/O clock at full rate so
+    /// the SERDES pipeline depth is unchanged; DVFS slows the clock and the
+    /// SERDES latency stretches proportionally.
+    pub fn serdes_latency(self) -> SimDuration {
+        match self {
+            BwMode::Vwl(_) => BASE_SERDES_LATENCY,
+            BwMode::Dvfs(l) => BASE_SERDES_LATENCY.mul_f64(1.0 / l.bandwidth_fraction()),
+        }
+    }
+
+    /// Extra SERDES latency relative to full rate (zero for VWL modes).
+    pub fn serdes_overhead(self) -> SimDuration {
+        self.serdes_latency().saturating_sub(BASE_SERDES_LATENCY)
+    }
+
+    /// Latency to reconfigure a link into/out of this family of modes:
+    /// 1 µs to change VWL width, 3 µs total for a DVFS transition (halve
+    /// width, re-scale each 8-lane bundle, restore width).
+    pub fn transition_latency(self) -> SimDuration {
+        match self {
+            BwMode::Vwl(_) => SimDuration::from_us(1),
+            BwMode::Dvfs(_) => SimDuration::from_us(3),
+        }
+    }
+
+    /// True if this is a full-bandwidth mode.
+    pub fn is_full_bandwidth(self) -> bool {
+        matches!(self, BwMode::Vwl(VwlWidth::W16) | BwMode::Dvfs(DvfsLevel::P100))
+    }
+}
+
+/// ROO idleness thresholds: the link turns off after this much idle time.
+///
+/// The 2048 ns threshold is the "full power" ROO mode — an ROO link always
+/// turns off eventually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RooThreshold {
+    /// Turn off after 32 ns idle (most aggressive).
+    T32,
+    /// Turn off after 128 ns idle.
+    T128,
+    /// Turn off after 512 ns idle.
+    T512,
+    /// Turn off after 2048 ns idle (the ROO "full power" mode).
+    T2048,
+}
+
+impl RooThreshold {
+    /// All thresholds, most aggressive first.
+    pub const ALL: [RooThreshold; 4] = [
+        RooThreshold::T32,
+        RooThreshold::T128,
+        RooThreshold::T512,
+        RooThreshold::T2048,
+    ];
+
+    /// The idleness threshold duration.
+    pub fn threshold(self) -> SimDuration {
+        match self {
+            RooThreshold::T32 => SimDuration::from_ns(32),
+            RooThreshold::T128 => SimDuration::from_ns(128),
+            RooThreshold::T512 => SimDuration::from_ns(512),
+            RooThreshold::T2048 => SimDuration::from_ns(2048),
+        }
+    }
+
+    /// A dense index in `0..4`, most aggressive first.
+    pub fn index(self) -> usize {
+        match self {
+            RooThreshold::T32 => 0,
+            RooThreshold::T128 => 1,
+            RooThreshold::T512 => 2,
+            RooThreshold::T2048 => 3,
+        }
+    }
+}
+
+/// Physical ROO parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooParams {
+    /// Time from wake initiation until the link can transmit.
+    pub wakeup_latency: SimDuration,
+    /// Off-state power as a fraction of full link power.
+    pub off_power_fraction: f64,
+}
+
+impl RooParams {
+    /// The paper's primary configuration: 14 ns wakeup, 1 % off power.
+    pub fn fast() -> Self {
+        RooParams {
+            wakeup_latency: SimDuration::from_ns(14),
+            off_power_fraction: 0.01,
+        }
+    }
+
+    /// The sensitivity-study configuration: 20 ns wakeup, 1 % off power.
+    pub fn slow() -> Self {
+        RooParams {
+            wakeup_latency: SimDuration::from_ns(20),
+            off_power_fraction: 0.01,
+        }
+    }
+}
+
+impl Default for RooParams {
+    fn default() -> Self {
+        RooParams::fast()
+    }
+}
+
+/// A complete link power mode: a bandwidth mode plus an optional ROO
+/// idleness threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkPowerMode {
+    /// Bandwidth-scaling component.
+    pub bw: BwMode,
+    /// ROO component; `None` means the link never turns off.
+    pub roo: Option<RooThreshold>,
+}
+
+impl LinkPowerMode {
+    /// Full-power mode for non-ROO mechanisms.
+    pub const fn full_vwl() -> Self {
+        LinkPowerMode { bw: BwMode::FULL_VWL, roo: None }
+    }
+}
+
+/// Which power-control mechanism a network's links are built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// No power control: links always on at full bandwidth.
+    FullPower,
+    /// Variable-width links.
+    Vwl,
+    /// Rapid on/off links.
+    Roo,
+    /// Variable width combined with rapid on/off.
+    VwlRoo,
+    /// DVFS links.
+    Dvfs,
+    /// DVFS combined with rapid on/off.
+    DvfsRoo,
+}
+
+impl Mechanism {
+    /// The mechanisms evaluated in the main study (Figures 11–17).
+    pub const MAIN: [Mechanism; 3] = [Mechanism::Vwl, Mechanism::Roo, Mechanism::VwlRoo];
+    /// The mechanisms in the sensitivity study (Figure 18).
+    pub const SENSITIVITY: [Mechanism; 3] = [Mechanism::Dvfs, Mechanism::Roo, Mechanism::DvfsRoo];
+
+    /// Candidate bandwidth modes, highest power first.
+    pub fn bw_modes(self) -> &'static [BwMode] {
+        const VWL: [BwMode; 4] = [
+            BwMode::Vwl(VwlWidth::W16),
+            BwMode::Vwl(VwlWidth::W8),
+            BwMode::Vwl(VwlWidth::W4),
+            BwMode::Vwl(VwlWidth::W1),
+        ];
+        const DVFS: [BwMode; 4] = [
+            BwMode::Dvfs(DvfsLevel::P100),
+            BwMode::Dvfs(DvfsLevel::P80),
+            BwMode::Dvfs(DvfsLevel::P50),
+            BwMode::Dvfs(DvfsLevel::P14),
+        ];
+        const FULL_ONLY_VWL: [BwMode; 1] = [BwMode::Vwl(VwlWidth::W16)];
+        match self {
+            Mechanism::FullPower | Mechanism::Roo => &FULL_ONLY_VWL,
+            Mechanism::Vwl | Mechanism::VwlRoo => &VWL,
+            Mechanism::Dvfs | Mechanism::DvfsRoo => &DVFS,
+        }
+    }
+
+    /// Candidate ROO thresholds, or `None` for mechanisms whose links never
+    /// turn off.
+    pub fn roo_thresholds(self) -> Option<&'static [RooThreshold]> {
+        match self {
+            Mechanism::FullPower | Mechanism::Vwl | Mechanism::Dvfs => None,
+            Mechanism::Roo | Mechanism::VwlRoo | Mechanism::DvfsRoo => Some(&RooThreshold::ALL),
+        }
+    }
+
+    /// True if links can turn off under this mechanism.
+    pub fn uses_roo(self) -> bool {
+        self.roo_thresholds().is_some()
+    }
+
+    /// True if links can scale bandwidth under this mechanism.
+    pub fn uses_bw_scaling(self) -> bool {
+        self.bw_modes().len() > 1
+    }
+
+    /// The highest-power mode of this mechanism (the state links start in).
+    pub fn full_mode(self) -> LinkPowerMode {
+        LinkPowerMode {
+            bw: self.bw_modes()[0],
+            roo: self.uses_roo().then_some(RooThreshold::T2048),
+        }
+    }
+
+    /// Every candidate mode (the cross product of bandwidth modes and ROO
+    /// thresholds where applicable).
+    pub fn candidate_modes(self) -> Vec<LinkPowerMode> {
+        let mut out = Vec::new();
+        match self.roo_thresholds() {
+            None => {
+                for &bw in self.bw_modes() {
+                    out.push(LinkPowerMode { bw, roo: None });
+                }
+            }
+            Some(thresholds) => {
+                for &bw in self.bw_modes() {
+                    for &thr in thresholds {
+                        out.push(LinkPowerMode { bw, roo: Some(thr) });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Report label ("FP", "VWL", "ROO", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::FullPower => "FP",
+            Mechanism::Vwl => "VWL",
+            Mechanism::Roo => "ROO",
+            Mechanism::VwlRoo => "VWL+ROO",
+            Mechanism::Dvfs => "DVFS",
+            Mechanism::DvfsRoo => "DVFS+ROO",
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vwl_power_fractions_match_formula() {
+        assert!((VwlWidth::W16.power_fraction() - 1.0).abs() < 1e-12);
+        assert!((VwlWidth::W8.power_fraction() - 9.0 / 17.0).abs() < 1e-12);
+        assert!((VwlWidth::W4.power_fraction() - 5.0 / 17.0).abs() < 1e-12);
+        assert!((VwlWidth::W1.power_fraction() - 2.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_modes_step_power_down_by_similar_amounts() {
+        // The paper picks modes so each step cuts ~30 % of full link power.
+        let p: Vec<f64> = DvfsLevel::ALL.iter().map(|l| l.power_fraction()).collect();
+        assert_eq!(p, vec![1.0, 0.70, 0.35, 0.08]);
+        for w in p.windows(2) {
+            let step = w[0] - w[1];
+            assert!((0.25..=0.35).contains(&step), "step {step} not ~30 %");
+        }
+    }
+
+    #[test]
+    fn flit_times_scale_inversely_with_bandwidth() {
+        assert_eq!(BwMode::FULL_VWL.flit_time().as_ps(), 640);
+        assert_eq!(BwMode::Vwl(VwlWidth::W8).flit_time().as_ps(), 1_280);
+        assert_eq!(BwMode::Vwl(VwlWidth::W4).flit_time().as_ps(), 2_560);
+        assert_eq!(BwMode::Vwl(VwlWidth::W1).flit_time().as_ps(), 10_240);
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P80).flit_time().as_ps(), 800);
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P50).flit_time().as_ps(), 1_280);
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P14).flit_time().as_ps(), 4_571);
+    }
+
+    #[test]
+    fn serdes_overhead_only_for_dvfs() {
+        assert!(BwMode::Vwl(VwlWidth::W1).serdes_overhead().is_zero());
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P50).serdes_latency().as_ps(), 6_400);
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P50).serdes_overhead().as_ps(), 3_200);
+        assert!(BwMode::Dvfs(DvfsLevel::P100).serdes_overhead().is_zero());
+    }
+
+    #[test]
+    fn mode_indices_round_trip() {
+        for i in 0..N_BW_MODES {
+            assert_eq!(BwMode::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn roo_thresholds_ascend() {
+        let t: Vec<u64> = RooThreshold::ALL.iter().map(|r| r.threshold().as_ps()).collect();
+        assert_eq!(t, vec![32_000, 128_000, 512_000, 2_048_000]);
+    }
+
+    #[test]
+    fn mechanism_mode_spaces() {
+        assert_eq!(Mechanism::FullPower.candidate_modes().len(), 1);
+        assert_eq!(Mechanism::Vwl.candidate_modes().len(), 4);
+        assert_eq!(Mechanism::Roo.candidate_modes().len(), 4);
+        assert_eq!(Mechanism::VwlRoo.candidate_modes().len(), 16);
+        assert_eq!(Mechanism::Dvfs.candidate_modes().len(), 4);
+        assert_eq!(Mechanism::DvfsRoo.candidate_modes().len(), 16);
+    }
+
+    #[test]
+    fn full_modes_are_full_bandwidth() {
+        for mech in [
+            Mechanism::FullPower,
+            Mechanism::Vwl,
+            Mechanism::Roo,
+            Mechanism::VwlRoo,
+            Mechanism::Dvfs,
+            Mechanism::DvfsRoo,
+        ] {
+            let full = mech.full_mode();
+            assert!(full.bw.is_full_bandwidth());
+            assert_eq!(full.roo.is_some(), mech.uses_roo());
+            if mech.uses_roo() {
+                // The ROO full-power mode still turns off after 2048 ns.
+                assert_eq!(full.roo, Some(RooThreshold::T2048));
+            }
+        }
+    }
+
+    #[test]
+    fn transition_latencies() {
+        assert_eq!(BwMode::Vwl(VwlWidth::W4).transition_latency(), SimDuration::from_us(1));
+        assert_eq!(BwMode::Dvfs(DvfsLevel::P50).transition_latency(), SimDuration::from_us(3));
+    }
+}

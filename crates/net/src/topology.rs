@@ -1,0 +1,594 @@
+//! Minimally-connected memory-network topologies and routing.
+//!
+//! All topologies the paper studies are *minimally connected*: every
+//! available link attaches a new module, so the network is a tree rooted at
+//! the processor — acyclic, deadlock-free, and with exactly one full link
+//! per module (its *connectivity link*, connecting it upstream). Edge `i`
+//! is therefore identified with module `i`, and each edge carries two
+//! unidirectional links: a request link (downstream, away from the
+//! processor) and a response link (upstream).
+//!
+//! Module numbering matters: the simulator maps the *i*-th contiguous chunk
+//! of physical address space to HMC *i*, so numbering determines which
+//! modules are hot for a given workload footprint (paper Figure 3/4).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a memory module (HMC) within a network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ModuleId(pub usize);
+
+/// A node in the network: the processor or a memory module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// The host processor (tree root).
+    Processor,
+    /// A memory module.
+    Module(ModuleId),
+}
+
+/// HMC link radix class.
+///
+/// The HMC standard supports high-radix cubes with four full links and
+/// low-radix cubes with two full links; high-radix cubes burn twice the
+/// peak power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HmcRadix {
+    /// Four full links, 13.4 W peak.
+    High,
+    /// Two full links, half the peak power.
+    Low,
+}
+
+impl HmcRadix {
+    /// Number of full links this cube can terminate.
+    pub const fn full_links(self) -> usize {
+        match self {
+            HmcRadix::High => 4,
+            HmcRadix::Low => 2,
+        }
+    }
+}
+
+/// Direction of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Away from the processor (carries read/write requests).
+    Request,
+    /// Toward the processor (carries read responses).
+    Response,
+}
+
+impl Direction {
+    /// Both directions, request first.
+    pub const BOTH: [Direction; 2] = [Direction::Request, Direction::Response];
+}
+
+/// Identifier of one unidirectional link.
+///
+/// Edge `m` (the connectivity link of module `m`) owns links
+/// `LinkId(2m)` (request) and `LinkId(2m + 1)` (response).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// The module whose connectivity edge this link belongs to.
+    pub const fn edge_module(self) -> ModuleId {
+        ModuleId(self.0 / 2)
+    }
+
+    /// Which direction this link carries.
+    pub const fn direction(self) -> Direction {
+        if self.0.is_multiple_of(2) {
+            Direction::Request
+        } else {
+            Direction::Response
+        }
+    }
+
+    /// The link for `(module, direction)`.
+    pub const fn of(module: ModuleId, dir: Direction) -> LinkId {
+        match dir {
+            Direction::Request => LinkId(module.0 * 2),
+            Direction::Response => LinkId(module.0 * 2 + 1),
+        }
+    }
+}
+
+/// The network shapes studied in the paper (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// A linear chain of low-radix cubes (minimum module area).
+    DaisyChain,
+    /// A ternary tree of high-radix cubes (minimum hop distance).
+    TernaryTree,
+    /// High-radix hubs, each fanning out two interleaved low-radix chains;
+    /// hubs chain toward the processor ("rings" of equidistant modules).
+    Star,
+    /// Rows of three packages (one high-radix center per row 0, low-radix
+    /// columns below), mirroring how DDRx DIMMs add ranks.
+    DdrxLike,
+}
+
+impl TopologyKind {
+    /// All four paper topologies, in the order figures report them.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::DaisyChain,
+        TopologyKind::TernaryTree,
+        TopologyKind::Star,
+        TopologyKind::DdrxLike,
+    ];
+
+    /// Short label used in reports ("daisychain", "ternary tree", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::DaisyChain => "daisychain",
+            TopologyKind::TernaryTree => "ternary tree",
+            TopologyKind::Star => "star",
+            TopologyKind::DdrxLike => "DDRx-like",
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete memory-network instance: a tree of modules rooted at the
+/// processor.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_net::{ModuleId, Topology, TopologyKind};
+///
+/// let t = Topology::build(TopologyKind::TernaryTree, 5);
+/// assert_eq!(t.len(), 5);
+/// assert_eq!(t.depth(ModuleId(0)), 1);     // root module
+/// assert_eq!(t.depth(ModuleId(4)), 3);     // grandchild
+/// assert_eq!(t.route(ModuleId(4)), vec![ModuleId(0), ModuleId(1), ModuleId(4)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    radix: Vec<HmcRadix>,
+    parent: Vec<NodeRef>,
+    children: Vec<Vec<ModuleId>>,
+    depth: Vec<u32>,
+}
+
+impl Topology {
+    /// Builds a `kind` topology with `n` modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build(kind: TopologyKind, n: usize) -> Topology {
+        assert!(n > 0, "a network needs at least one module");
+        let (radix, parent) = match kind {
+            TopologyKind::DaisyChain => Self::daisy_chain(n),
+            TopologyKind::TernaryTree => Self::ternary_tree(n),
+            TopologyKind::Star => Self::star(n),
+            TopologyKind::DdrxLike => Self::ddrx_like(n),
+        };
+        let mut children = vec![Vec::new(); n];
+        for (m, &p) in parent.iter().enumerate() {
+            if let NodeRef::Module(pm) = p {
+                children[pm.0].push(ModuleId(m));
+            }
+        }
+        let mut depth = vec![0u32; n];
+        for m in 0..n {
+            depth[m] = match parent[m] {
+                NodeRef::Processor => 1,
+                // Builders only ever parent a module to a lower-numbered
+                // module, so depths resolve in one forward pass.
+                NodeRef::Module(pm) => {
+                    debug_assert!(pm.0 < m, "parent must precede child");
+                    depth[pm.0] + 1
+                }
+            };
+        }
+        let topo = Topology { kind, radix, parent, children, depth };
+        debug_assert!(topo.validate().is_ok(), "builder produced invalid topology");
+        topo
+    }
+
+    fn daisy_chain(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
+        let radix = vec![HmcRadix::Low; n];
+        let parent = (0..n)
+            .map(|m| {
+                if m == 0 {
+                    NodeRef::Processor
+                } else {
+                    NodeRef::Module(ModuleId(m - 1))
+                }
+            })
+            .collect();
+        (radix, parent)
+    }
+
+    fn ternary_tree(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
+        let radix = vec![HmcRadix::High; n];
+        let parent = (0..n)
+            .map(|m| {
+                if m == 0 {
+                    NodeRef::Processor
+                } else {
+                    NodeRef::Module(ModuleId((m - 1) / 3))
+                }
+            })
+            .collect();
+        (radix, parent)
+    }
+
+    /// Star: groups of nine. Module `9g` is a high-radix hub (upstream to
+    /// the previous hub or the processor); modules `9g+1 .. 9g+8` are
+    /// low-radix satellites arranged as two chains fanning out of the hub,
+    /// numbered alternately so equidistant modules ("rings") get adjacent
+    /// numbers — for small sizes this matches the ternary tree's hop
+    /// distances while using fewer high-radix cubes.
+    fn star(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
+        let mut radix = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        for m in 0..n {
+            let group = m / 9;
+            let pos = m % 9;
+            if pos == 0 {
+                radix.push(HmcRadix::High);
+                parent.push(if group == 0 {
+                    NodeRef::Processor
+                } else {
+                    NodeRef::Module(ModuleId(9 * (group - 1)))
+                });
+            } else {
+                radix.push(HmcRadix::Low);
+                // pos 1,2 attach to the hub; pos k>2 attaches to pos k-2
+                // (the previous module of its chain).
+                let up = if pos <= 2 { 9 * group } else { m - 2 };
+                parent.push(NodeRef::Module(ModuleId(up)));
+            }
+        }
+        (radix, parent)
+    }
+
+    /// DDRx-like: rows of three packages. Row `r` holds modules `3r`
+    /// (center), `3r+1` (left) and `3r+2` (right). The row-0 center is a
+    /// high-radix cube linking the processor, both row-0 sides and the next
+    /// row's center; every other module chains vertically down its column
+    /// with low-radix cubes.
+    fn ddrx_like(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
+        let mut radix = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        for m in 0..n {
+            let row = m / 3;
+            let col = m % 3;
+            let up = match (row, col) {
+                (0, 0) => NodeRef::Processor,
+                (0, _) => NodeRef::Module(ModuleId(0)),
+                (_, _) => NodeRef::Module(ModuleId(3 * (row - 1) + col)),
+            };
+            parent.push(up);
+            radix.push(if m == 0 { HmcRadix::High } else { HmcRadix::Low });
+        }
+        (radix, parent)
+    }
+
+    /// Which topology shape this is.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the network has no modules (never produced by [`build`]).
+    ///
+    /// [`build`]: Topology::build
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of unidirectional links (two per module edge).
+    pub fn n_links(&self) -> usize {
+        self.len() * 2
+    }
+
+    /// The upstream neighbor of `m`.
+    pub fn parent(&self, m: ModuleId) -> NodeRef {
+        self.parent[m.0]
+    }
+
+    /// Downstream neighbors of `m`.
+    pub fn children(&self, m: ModuleId) -> &[ModuleId] {
+        &self.children[m.0]
+    }
+
+    /// Radix class of `m`.
+    pub fn radix(&self, m: ModuleId) -> HmcRadix {
+        self.radix[m.0]
+    }
+
+    /// Hop distance from the processor to `m` (directly-attached = 1).
+    pub fn depth(&self, m: ModuleId) -> u32 {
+        self.depth[m.0]
+    }
+
+    /// Iterates over all module ids.
+    pub fn modules(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        (0..self.len()).map(ModuleId)
+    }
+
+    /// Iterates over all unidirectional link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.n_links()).map(LinkId)
+    }
+
+    /// The modules traversed by an access to `dest`, processor-side first
+    /// (i.e. root → ... → dest). The edge of each listed module is crossed.
+    pub fn route(&self, dest: ModuleId) -> Vec<ModuleId> {
+        let mut path = Vec::with_capacity(self.depth(dest) as usize);
+        let mut cur = dest;
+        loop {
+            path.push(cur);
+            match self.parent(cur) {
+                NodeRef::Processor => break,
+                NodeRef::Module(p) => cur = p,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// The immediate downstream links of `link`'s transmitter-side node
+    /// that carry the same direction of traffic.
+    ///
+    /// For a request link into module `m`, these are the request links into
+    /// `m`'s children. For a response link out of module `m`, they are the
+    /// response links out of `m`'s children (their receivers all live on
+    /// module `m`).
+    pub fn downstream_same_type(&self, link: LinkId) -> Vec<LinkId> {
+        let m = link.edge_module();
+        self.children(m)
+            .iter()
+            .map(|&c| LinkId::of(c, link.direction()))
+            .collect()
+    }
+
+    /// The immediate upstream link of the same type, or `None` if `link`'s
+    /// edge attaches directly to the processor.
+    pub fn upstream_same_type(&self, link: LinkId) -> Option<LinkId> {
+        match self.parent(link.edge_module()) {
+            NodeRef::Processor => None,
+            NodeRef::Module(p) => Some(LinkId::of(p, link.direction())),
+        }
+    }
+
+    /// Number of full links terminated by module `m` (its upstream edge
+    /// plus one per child).
+    pub fn links_used(&self, m: ModuleId) -> usize {
+        1 + self.children(m).len()
+    }
+
+    /// Modules at each hop distance: `histogram()[d]` counts modules with
+    /// depth `d` (index 0 is always zero).
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let max = self.depth.iter().copied().max().unwrap_or(0) as usize;
+        let mut h = vec![0usize; max + 1];
+        for &d in &self.depth {
+            h[d as usize] += 1;
+        }
+        h
+    }
+
+    /// Mean hop distance over all modules.
+    pub fn mean_depth(&self) -> f64 {
+        self.depth.iter().map(|&d| f64::from(d)).sum::<f64>() / self.len() as f64
+    }
+
+    /// The §VII-A static fat/tapered-tree bandwidth fraction for every
+    /// edge: an edge at hop distance `d` gets
+    /// `1/S(d) · (1 − Σ_{i<d} S(i)/T)` of maximum bandwidth, where `S(d)`
+    /// counts edges at distance `d` and `T` is the total edge count.
+    pub fn fat_tapered_fractions(&self) -> Vec<f64> {
+        let hist = self.depth_histogram();
+        let total = self.len() as f64;
+        let mut cumulative_below = vec![0.0; hist.len()];
+        let mut acc = 0.0;
+        for d in 1..hist.len() {
+            cumulative_below[d] = acc;
+            acc += hist[d] as f64;
+        }
+        self.modules()
+            .map(|m| {
+                let d = self.depth(m) as usize;
+                let s_d = hist[d] as f64;
+                ((1.0 - cumulative_below[d] / total) / s_d).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Checks structural invariants: parents precede children, the tree is
+    /// connected and acyclic, and no module terminates more full links than
+    /// its radix allows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for m in self.modules() {
+            if let NodeRef::Module(p) = self.parent(m) {
+                if p.0 >= self.len() {
+                    return Err(format!("module {} has out-of-range parent {}", m.0, p.0));
+                }
+                if p.0 >= m.0 {
+                    return Err(format!(
+                        "module {} has non-preceding parent {} (cycle risk)",
+                        m.0, p.0
+                    ));
+                }
+            }
+            let used = self.links_used(m);
+            let cap = self.radix(m).full_links();
+            if used > cap {
+                return Err(format!(
+                    "module {} uses {used} full links but its radix allows {cap}",
+                    m.0
+                ));
+            }
+        }
+        let attached = self
+            .modules()
+            .filter(|&m| self.parent(m) == NodeRef::Processor)
+            .count();
+        if attached == 0 {
+            return Err("no module attaches to the processor".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_id_round_trips() {
+        let l = LinkId::of(ModuleId(5), Direction::Response);
+        assert_eq!(l, LinkId(11));
+        assert_eq!(l.edge_module(), ModuleId(5));
+        assert_eq!(l.direction(), Direction::Response);
+        assert_eq!(LinkId(10).direction(), Direction::Request);
+    }
+
+    #[test]
+    fn daisy_chain_is_linear() {
+        let t = Topology::build(TopologyKind::DaisyChain, 5);
+        assert_eq!(t.parent(ModuleId(0)), NodeRef::Processor);
+        for m in 1..5 {
+            assert_eq!(t.parent(ModuleId(m)), NodeRef::Module(ModuleId(m - 1)));
+            assert_eq!(t.depth(ModuleId(m)), m as u32 + 1);
+        }
+        assert!(t.modules().all(|m| t.radix(m) == HmcRadix::Low));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn ternary_tree_minimizes_depth() {
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        assert_eq!(t.children(ModuleId(0)).len(), 3);
+        assert_eq!(t.depth(ModuleId(0)), 1);
+        assert_eq!(t.depth(ModuleId(3)), 2);
+        assert_eq!(t.depth(ModuleId(4)), 3);
+        assert_eq!(t.depth(ModuleId(12)), 3);
+        assert!(t.modules().all(|m| t.radix(m) == HmcRadix::High));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn star_small_matches_ternary_hop_profile() {
+        // Five modules: hub at depth 1, ring of chain heads at depth 2,
+        // next ring at depth 3 — within one hop of the ternary tree.
+        let t = Topology::build(TopologyKind::Star, 5);
+        assert_eq!(t.depth(ModuleId(0)), 1);
+        assert_eq!(t.depth(ModuleId(1)), 2);
+        assert_eq!(t.depth(ModuleId(2)), 2);
+        assert_eq!(t.depth(ModuleId(3)), 3);
+        assert_eq!(t.depth(ModuleId(4)), 3);
+        assert_eq!(t.radix(ModuleId(0)), HmcRadix::High);
+        assert_eq!(t.radix(ModuleId(1)), HmcRadix::Low);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn star_hubs_chain_between_groups() {
+        let t = Topology::build(TopologyKind::Star, 19);
+        assert_eq!(t.parent(ModuleId(9)), NodeRef::Module(ModuleId(0)));
+        assert_eq!(t.parent(ModuleId(18)), NodeRef::Module(ModuleId(9)));
+        assert_eq!(t.radix(ModuleId(9)), HmcRadix::High);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn ddrx_like_rows_of_three() {
+        let t = Topology::build(TopologyKind::DdrxLike, 9);
+        assert_eq!(t.parent(ModuleId(0)), NodeRef::Processor);
+        assert_eq!(t.parent(ModuleId(1)), NodeRef::Module(ModuleId(0)));
+        assert_eq!(t.parent(ModuleId(2)), NodeRef::Module(ModuleId(0)));
+        assert_eq!(t.parent(ModuleId(3)), NodeRef::Module(ModuleId(0)));
+        assert_eq!(t.parent(ModuleId(4)), NodeRef::Module(ModuleId(1)));
+        assert_eq!(t.parent(ModuleId(5)), NodeRef::Module(ModuleId(2)));
+        assert_eq!(t.parent(ModuleId(6)), NodeRef::Module(ModuleId(3)));
+        assert_eq!(t.radix(ModuleId(0)), HmcRadix::High);
+        assert_eq!(t.links_used(ModuleId(0)), 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn routes_walk_from_root_to_destination() {
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        assert_eq!(t.route(ModuleId(0)), vec![ModuleId(0)]);
+        let r = t.route(ModuleId(12));
+        assert_eq!(r.first(), Some(&ModuleId(0)));
+        assert_eq!(r.last(), Some(&ModuleId(12)));
+        assert_eq!(r.len() as u32, t.depth(ModuleId(12)));
+        // Consecutive entries are parent/child pairs.
+        for w in r.windows(2) {
+            assert_eq!(t.parent(w[1]), NodeRef::Module(w[0]));
+        }
+    }
+
+    #[test]
+    fn neighbor_links_are_consistent() {
+        let t = Topology::build(TopologyKind::TernaryTree, 7);
+        let req0 = LinkId::of(ModuleId(0), Direction::Request);
+        let down = t.downstream_same_type(req0);
+        assert_eq!(
+            down,
+            vec![
+                LinkId::of(ModuleId(1), Direction::Request),
+                LinkId::of(ModuleId(2), Direction::Request),
+                LinkId::of(ModuleId(3), Direction::Request),
+            ]
+        );
+        assert_eq!(t.upstream_same_type(req0), None);
+        let resp4 = LinkId::of(ModuleId(4), Direction::Response);
+        assert_eq!(
+            t.upstream_same_type(resp4),
+            Some(LinkId::of(ModuleId(1), Direction::Response))
+        );
+    }
+
+    #[test]
+    fn fat_tapered_fractions_taper_downstream() {
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        let f = t.fat_tapered_fractions();
+        // The root edge carries all traffic: full bandwidth.
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        // Deeper edges get no more bandwidth than shallower ones.
+        for m in t.modules() {
+            if let NodeRef::Module(p) = t.parent(m) {
+                assert!(f[m.0] <= f[p.0] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_histogram_sums_to_len() {
+        for kind in TopologyKind::ALL {
+            for n in [1, 2, 5, 9, 17, 34] {
+                let t = Topology::build(kind, n);
+                assert_eq!(t.depth_histogram().iter().sum::<usize>(), n);
+                assert_eq!(t.depth_histogram()[0], 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Link state-machine behavior across mode changes, ROO cycles and
+//! accounting.
+
+use memnet_net::link::{state_on_active, state_on_idle, LinkSim, STATE_OFF};
+use memnet_net::mech::{BwMode, DvfsLevel, RooThreshold, VwlWidth};
+use memnet_net::{LinkId, ModuleId, Packet, PacketKind};
+use memnet_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn pkt(id: u64, kind: PacketKind) -> Packet {
+    Packet { id, kind, dest: ModuleId(0), line_addr: 0, created: SimTime::ZERO }
+}
+
+#[test]
+fn residency_always_partitions_elapsed_time() {
+    let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+    l.set_roo_threshold(Some(RooThreshold::T32));
+    // Busy burst.
+    l.enqueue(pkt(1, PacketKind::ReadResponse), SimTime::ZERO).unwrap();
+    let (_, _, done) = l.start_transmission(SimTime::from_ps(500)).unwrap();
+    l.finish_transmission(done);
+    // Mode change mid-idle.
+    let apply = l.request_bw_mode(BwMode::Vwl(VwlWidth::W8), done).unwrap();
+    l.apply_pending_bw(apply);
+    // ROO cycle.
+    let off_at = apply + SimDuration::from_ns(100);
+    l.turn_off(off_at);
+    let wake_done = l.start_wake(off_at + SimDuration::from_us(2));
+    l.finish_wake(wake_done);
+    let end = wake_done + SimDuration::from_ns(50);
+    let total: SimDuration = l.residency_snapshot(end).into_iter().sum();
+    assert_eq!(total, end - SimTime::ZERO, "accounting must cover every picosecond");
+}
+
+#[test]
+fn transmission_slows_after_narrowing() {
+    let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+    let apply = l.request_bw_mode(BwMode::Vwl(VwlWidth::W1), SimTime::ZERO).unwrap();
+    l.apply_pending_bw(apply);
+    l.enqueue(pkt(1, PacketKind::ReadResponse), apply).unwrap();
+    let (_, _, done) = l.start_transmission(apply).unwrap();
+    assert_eq!(done - apply, SimDuration::from_ps(5 * 10_240));
+}
+
+#[test]
+fn dvfs_transition_is_slower_than_vwl() {
+    let mut vwl = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+    let mut dvfs = LinkSim::new(LinkId(1), BwMode::FULL_DVFS, SimTime::ZERO);
+    let t_vwl = vwl.request_bw_mode(BwMode::Vwl(VwlWidth::W8), SimTime::ZERO).unwrap();
+    let t_dvfs = dvfs.request_bw_mode(BwMode::Dvfs(DvfsLevel::P50), SimTime::ZERO).unwrap();
+    assert_eq!(t_vwl.as_ps(), 1_000_000);
+    assert_eq!(t_dvfs.as_ps(), 3_000_000);
+    // DVFS also stretches the SERDES pipeline once applied.
+    dvfs.apply_pending_bw(t_dvfs);
+    assert_eq!(dvfs.serdes_latency(), SimDuration::from_ps(6_400));
+    vwl.apply_pending_bw(t_vwl);
+    assert_eq!(vwl.serdes_latency(), SimDuration::from_ps(3_200));
+}
+
+#[test]
+fn superseding_mode_requests_keep_the_last_one() {
+    let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+    let _ = l.request_bw_mode(BwMode::Vwl(VwlWidth::W4), SimTime::ZERO).unwrap();
+    let t2 = l
+        .request_bw_mode(BwMode::Vwl(VwlWidth::W8), SimTime::from_ps(100))
+        .unwrap();
+    // The first transition's completion time passes: only the second
+    // request may apply, at its own time.
+    l.apply_pending_bw(SimTime::from_ps(1_000_000));
+    assert_eq!(l.bw_mode(), BwMode::FULL_VWL, "superseded change must not land");
+    l.apply_pending_bw(t2);
+    assert_eq!(l.bw_mode(), BwMode::Vwl(VwlWidth::W8));
+}
+
+#[test]
+fn cancel_pending_reverts_to_current_mode() {
+    let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+    let t = l.request_bw_mode(BwMode::Vwl(VwlWidth::W1), SimTime::ZERO).unwrap();
+    l.cancel_pending_bw();
+    l.apply_pending_bw(t);
+    assert_eq!(l.bw_mode(), BwMode::FULL_VWL);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_operation_sequences_keep_accounting_consistent(
+        ops in prop::collection::vec((0u8..5, 1u64..5_000), 1..60)
+    ) {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.set_roo_threshold(Some(RooThreshold::T128));
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        for (op, dt) in ops {
+            now += SimDuration::from_ps(dt * 1_000);
+            match op {
+                0 => {
+                    let _ = l.enqueue(pkt(sent, PacketKind::ReadRequest), now);
+                }
+                1 => {
+                    if let Some((_, arrival, done)) = l.start_transmission(now) {
+                        prop_assert!(arrival <= now);
+                        prop_assert!(done > now);
+                        l.finish_transmission(done);
+                        now = done;
+                        sent += 1;
+                    }
+                }
+                2 => {
+                    if l.is_idle_on() {
+                        l.turn_off(now);
+                    }
+                }
+                3 => {
+                    if l.is_off() {
+                        let wake = l.start_wake(now);
+                        l.finish_wake(wake);
+                        now = wake;
+                    }
+                }
+                _ => {
+                    let mode = BwMode::from_index((dt % 4) as usize);
+                    if let Some(at) = l.request_bw_mode(mode, now) {
+                        l.apply_pending_bw(at);
+                        now = at.max(now);
+                    }
+                }
+            }
+        }
+        let end = now + SimDuration::from_ns(10);
+        let snap = l.residency_snapshot(end);
+        let total: SimDuration = snap.iter().copied().sum();
+        prop_assert_eq!(total, end - SimTime::ZERO);
+        // Busy time equals the active-state residencies.
+        let active: SimDuration = (0..8).map(|i| snap[state_on_active(BwMode::from_index(i))]).sum();
+        prop_assert_eq!(l.busy_time(end), active);
+        // Flit accounting matches packets sent (1 flit each).
+        prop_assert_eq!(l.flits_sent(), sent);
+        // Sanity on state exclusivity: we cannot be both off and idle.
+        prop_assert!(!(l.is_off() && l.is_idle_on()));
+        let _ = (snap[STATE_OFF], state_on_idle(BwMode::FULL_VWL));
+    }
+}

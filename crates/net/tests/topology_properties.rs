@@ -1,0 +1,116 @@
+//! Property tests over all topology builders and sizes.
+
+use memnet_net::{Direction, HmcRadix, LinkId, ModuleId, NodeRef, Topology, TopologyKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::DaisyChain),
+        Just(TopologyKind::TernaryTree),
+        Just(TopologyKind::Star),
+        Just(TopologyKind::DdrxLike),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_topology_validates(kind in kind_strategy(), n in 1usize..120) {
+        let t = Topology::build(kind, n);
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        prop_assert_eq!(t.len(), n);
+        prop_assert_eq!(t.n_links(), 2 * n);
+    }
+
+    #[test]
+    fn routes_are_simple_root_to_dest_paths(kind in kind_strategy(), n in 1usize..80) {
+        let t = Topology::build(kind, n);
+        for m in t.modules() {
+            let route = t.route(m);
+            prop_assert_eq!(*route.last().unwrap(), m);
+            prop_assert_eq!(route.len() as u32, t.depth(m));
+            prop_assert_eq!(t.parent(route[0]), NodeRef::Processor);
+            for w in route.windows(2) {
+                prop_assert_eq!(t.parent(w[1]), NodeRef::Module(w[0]));
+            }
+            // Simple path: no repeats.
+            let mut seen = route.clone();
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), route.len());
+        }
+    }
+
+    #[test]
+    fn radix_capacity_never_exceeded(kind in kind_strategy(), n in 1usize..120) {
+        let t = Topology::build(kind, n);
+        for m in t.modules() {
+            prop_assert!(t.links_used(m) <= t.radix(m).full_links());
+        }
+    }
+
+    #[test]
+    fn upstream_downstream_links_are_inverse(kind in kind_strategy(), n in 1usize..60) {
+        let t = Topology::build(kind, n);
+        for l in t.links() {
+            for d in t.downstream_same_type(l) {
+                prop_assert_eq!(t.upstream_same_type(d), Some(l));
+                prop_assert_eq!(d.direction(), l.direction());
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_attenuates_along_fat_tapered_fractions(kind in kind_strategy(), n in 2usize..80) {
+        let t = Topology::build(kind, n);
+        let f = t.fat_tapered_fractions();
+        for m in t.modules() {
+            prop_assert!(f[m.0] > 0.0 && f[m.0] <= 1.0);
+            if let NodeRef::Module(p) = t.parent(m) {
+                prop_assert!(f[m.0] <= f[p.0] + 1e-9, "deeper edge got more bandwidth");
+            }
+        }
+    }
+
+    #[test]
+    fn daisychain_is_all_low_radix_and_tree_all_high(n in 1usize..60) {
+        let chain = Topology::build(TopologyKind::DaisyChain, n);
+        prop_assert!(chain.modules().all(|m| chain.radix(m) == HmcRadix::Low));
+        let tree = Topology::build(TopologyKind::TernaryTree, n);
+        prop_assert!(tree.modules().all(|m| tree.radix(m) == HmcRadix::High));
+    }
+
+    #[test]
+    fn mixed_topologies_contain_both_radices_when_big_enough(n in 4usize..80) {
+        for kind in [TopologyKind::Star, TopologyKind::DdrxLike] {
+            let t = Topology::build(kind, n);
+            prop_assert!(t.modules().any(|m| t.radix(m) == HmcRadix::High));
+            prop_assert!(t.modules().any(|m| t.radix(m) == HmcRadix::Low));
+        }
+    }
+
+    #[test]
+    fn link_ids_cover_both_directions(n in 1usize..40) {
+        let t = Topology::build(TopologyKind::TernaryTree, n);
+        let links: Vec<LinkId> = t.links().collect();
+        prop_assert_eq!(links.len(), 2 * n);
+        for m in t.modules() {
+            prop_assert!(links.contains(&LinkId::of(m, Direction::Request)));
+            prop_assert!(links.contains(&LinkId::of(m, Direction::Response)));
+        }
+    }
+
+    #[test]
+    fn mean_depth_orders_tree_below_chain(n in 5usize..100) {
+        let chain = Topology::build(TopologyKind::DaisyChain, n);
+        let tree = Topology::build(TopologyKind::TernaryTree, n);
+        prop_assert!(tree.mean_depth() <= chain.mean_depth());
+    }
+
+    #[test]
+    fn module_zero_is_always_at_depth_one(kind in kind_strategy(), n in 1usize..100) {
+        let t = Topology::build(kind, n);
+        prop_assert_eq!(t.depth(ModuleId(0)), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Allowable-memory-slowdown (AMS) accounting — Equation 1 of the paper.
+//!
+//! A network's AMS for epoch `t+1` is
+//!
+//! ```text
+//! AMS_N(t+1) = α · Σ_m Σ_t FEL(m,t)  −  Σ_m Σ_t (AEL(m,t) − FEL(m,t))
+//! ```
+//!
+//! i.e. the slowdown budget earned so far (α % of the aggregate full-power
+//! latency) minus the overhead already spent. Because the equation
+//! distributes over modules, network-unaware management lets each module
+//! keep its own pair of running sums; network-aware management keeps the
+//! sums at the head module.
+
+use memnet_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Signed picosecond latency aggregate. Signed because an epoch's actual
+/// latency can (rarely) come in under the full-power estimate, and because
+/// an overdrawn budget must be remembered as debt.
+pub type LatencyPs = i128;
+
+/// Converts a duration to a signed picosecond aggregate.
+pub fn ps(d: SimDuration) -> LatencyPs {
+    d.as_ps() as LatencyPs
+}
+
+/// Running AMS state for one module (or, for network-aware management,
+/// the whole network at the head module).
+///
+/// # Examples
+///
+/// ```
+/// use memnet_policy::ams::AmsAccount;
+/// use memnet_simcore::SimDuration;
+///
+/// let mut acct = AmsAccount::default();
+/// // One epoch at full power: 1 ms of aggregate latency, no overhead.
+/// acct.record_epoch(SimDuration::from_ms(1), 0);
+/// // α = 5 %: fifty microseconds of slowdown budget (in picoseconds).
+/// assert_eq!(acct.ams(0.05), 50_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmsAccount {
+    /// Σ_t FEL — aggregate full-power epoch latency so far.
+    pub sum_fel: LatencyPs,
+    /// Σ_t (AEL − FEL) — aggregate latency overhead spent so far.
+    pub sum_overrun: LatencyPs,
+}
+
+impl AmsAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        AmsAccount::default()
+    }
+
+    /// Records one epoch's full-power latency and overhead.
+    pub fn record_epoch(&mut self, fel: SimDuration, overrun: LatencyPs) {
+        self.sum_fel += ps(fel);
+        self.sum_overrun += overrun;
+    }
+
+    /// The AMS available for the next epoch at slowdown factor `alpha`
+    /// (e.g. 0.05 for α = 5 %). May be negative if the budget is overdrawn.
+    pub fn ams(&self, alpha: f64) -> LatencyPs {
+        (alpha * self.sum_fel as f64) as LatencyPs - self.sum_overrun
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accumulates_across_epochs() {
+        let mut a = AmsAccount::new();
+        a.record_epoch(SimDuration::from_us(100), 0);
+        a.record_epoch(SimDuration::from_us(100), 0);
+        // 5 % of 200 µs = 10 µs.
+        assert_eq!(a.ams(0.05), 10 * 1_000_000);
+    }
+
+    #[test]
+    fn overhead_spends_budget() {
+        let mut a = AmsAccount::new();
+        a.record_epoch(SimDuration::from_us(100), 3_000_000); // spent 3 µs
+        assert_eq!(a.ams(0.05), 5_000_000 - 3_000_000);
+    }
+
+    #[test]
+    fn budget_can_go_negative() {
+        let mut a = AmsAccount::new();
+        a.record_epoch(SimDuration::from_us(100), 50_000_000);
+        assert!(a.ams(0.025) < 0);
+    }
+
+    #[test]
+    fn unspent_budget_carries_over() {
+        // A module that under-spends in epoch 1 has more to spend later —
+        // the feedback-control property the paper's Equation 1 encodes.
+        let mut a = AmsAccount::new();
+        a.record_epoch(SimDuration::from_us(100), 0);
+        let before = a.ams(0.05);
+        a.record_epoch(SimDuration::from_us(100), 1_000_000);
+        let after = a.ams(0.05);
+        assert_eq!(after - before, 5_000_000 - 1_000_000);
+    }
+
+    #[test]
+    fn equation_distributes_over_modules() {
+        // Σ_m AMS_m == AMS computed from pooled sums (Equation 1's
+        // factored form).
+        let epochs = [
+            (SimDuration::from_us(90), 1_000_000i128),
+            (SimDuration::from_us(110), 2_500_000),
+            (SimDuration::from_us(70), 0),
+        ];
+        let mut per_module: Vec<AmsAccount> = vec![AmsAccount::new(); 3];
+        let mut pooled = AmsAccount::new();
+        for (i, &(fel, over)) in epochs.iter().enumerate() {
+            per_module[i].record_epoch(fel, over);
+            pooled.record_epoch(fel, over);
+        }
+        let sum: LatencyPs = per_module.iter().map(|a| a.ams(0.05)).sum();
+        assert_eq!(sum, pooled.ams(0.05));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Memory-network power-management policies — the paper's contribution.
+//!
+//! Three managed policies over the circuit-level mechanisms of
+//! [`memnet_net::mech`], plus the always-on baseline:
+//!
+//! - [`PolicyKind::FullPower`] — links always on at full bandwidth.
+//! - [`PolicyKind::NetworkUnaware`] (§V) — the paper's adaptation of prior
+//!   single-module memory power management: each module independently
+//!   budgets an *allowable memory slowdown* (AMS) of α % of its full-power
+//!   epoch latency (FEL), divides it over its connectivity links, and each
+//!   link picks the lowest-power mode whose predicted *future latency
+//!   overhead* (FLO) fits, falling back to full power when a violation is
+//!   detected.
+//! - [`PolicyKind::NetworkAware`] (§VI) — adds Iterative Slowdown
+//!   Propagation (ISP): a scatter/gather message-passing pass that
+//!   redistributes the network-wide AMS so busier (upstream) links never
+//!   run at lower power modes than less busy ones, a rescue pool of
+//!   leftover AMS for links that would otherwise bounce to full power,
+//!   response-link wakeup chaining that hides ROO wake latency entirely,
+//!   and congestion-aware discounting of downstream latency overheads.
+//! - [`PolicyKind::StaticSelection`] (§VII-A) — the fat/tapered-tree
+//!   static bandwidth baseline.
+//!
+//! The policies are *passive state machines*: the simulator engine feeds
+//! them packet arrival/departure telemetry and idle intervals, and asks for
+//! link power-mode decisions at each 100 µs epoch boundary.
+
+pub mod ams;
+pub mod controller;
+pub mod monitors;
+pub mod static_sel;
+
+pub use controller::{LinkDecision, PolicyConfig, PolicyKind, PowerController, ViolationAction};
+pub use memnet_net::mech::Mechanism;
+pub use monitors::{DelayMonitor, IdleHistogram, WakeupSampler};
+pub use static_sel::{static_width_decisions, weighted_width_decisions};

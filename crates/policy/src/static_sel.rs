@@ -1,0 +1,182 @@
+//! §VII-A static bandwidth selection: a hybrid fat/tapered tree.
+//!
+//! Instead of managing link bandwidth dynamically, size every link once so
+//! that — with traffic interleaved evenly over all modules — no link is
+//! oversubscribed: a link at hop distance `d` gets
+//! `1/S(d) · (1 − Σ_{i<d} S(i)/T)` of maximum bandwidth, raised to the
+//! nearest available VWL width.
+
+use memnet_net::mech::{BwMode, LinkPowerMode, VwlWidth};
+use memnet_net::{LinkId, Topology};
+
+use crate::controller::LinkDecision;
+
+/// Raises a bandwidth fraction to the nearest available VWL width at or
+/// above it.
+pub fn width_for_fraction(fraction: f64) -> VwlWidth {
+    // Widths ascending so we pick the smallest sufficient one.
+    for w in [VwlWidth::W1, VwlWidth::W4, VwlWidth::W8, VwlWidth::W16] {
+        if w.bandwidth_fraction() + 1e-12 >= fraction {
+            return w;
+        }
+    }
+    VwlWidth::W16
+}
+
+/// Computes the static fat/tapered width for every unidirectional link of
+/// `topology` (both directions of an edge get the edge's width).
+pub fn static_width_decisions(topology: &Topology) -> Vec<LinkDecision> {
+    let fractions = topology.fat_tapered_fractions();
+    topology
+        .links()
+        .map(|link: LinkId| {
+            let fraction = fractions[link.edge_module().0];
+            LinkDecision {
+                link,
+                mode: LinkPowerMode {
+                    bw: BwMode::Vwl(width_for_fraction(fraction)),
+                    roo: None,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Extension beyond §VII-A: traffic-*weighted* static width selection.
+///
+/// The paper's fat/tapered formula assumes traffic interleaves evenly
+/// over modules. With the paper's preferred contiguous mapping, traffic
+/// is *not* even — hot workload regions concentrate on a few modules. If
+/// per-module access weights are known (e.g. from a workload's address
+/// CDF), each edge's offered load is the sum of the weights in the
+/// subtree below it, and widths can be provisioned against a headroom
+/// factor instead of the uniform assumption.
+///
+/// `weights[m]` is the fraction of accesses destined to module `m`
+/// (weights are normalized internally); `headroom` multiplies every
+/// edge's offered load before rounding up to a width (≥ 1.0; higher
+/// values trade power for queueing slack).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != topology.len()` or `headroom < 1.0`.
+pub fn weighted_width_decisions(
+    topology: &Topology,
+    weights: &[f64],
+    headroom: f64,
+) -> Vec<LinkDecision> {
+    assert_eq!(weights.len(), topology.len(), "one weight per module");
+    assert!(headroom >= 1.0, "headroom must be at least 1.0");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    // Subtree load below each edge: module weight plus children subtrees.
+    // Parents precede children, so accumulate in reverse index order.
+    let n = topology.len();
+    let mut subtree = vec![0.0f64; n];
+    for m in (0..n).rev() {
+        let module = memnet_net::ModuleId(m);
+        let mut load = if total > 0.0 { weights[m].max(0.0) / total } else { 0.0 };
+        for &c in topology.children(module) {
+            load += subtree[c.0];
+        }
+        subtree[m] = load;
+    }
+    topology
+        .links()
+        .map(|link: LinkId| {
+            let load = subtree[link.edge_module().0];
+            LinkDecision {
+                link,
+                mode: LinkPowerMode {
+                    bw: BwMode::Vwl(width_for_fraction((load * headroom).min(1.0))),
+                    roo: None,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_net::TopologyKind;
+
+    #[test]
+    fn fraction_rounds_up_to_nearest_width() {
+        assert_eq!(width_for_fraction(1.0), VwlWidth::W16);
+        assert_eq!(width_for_fraction(0.51), VwlWidth::W16);
+        assert_eq!(width_for_fraction(0.5), VwlWidth::W8);
+        assert_eq!(width_for_fraction(0.26), VwlWidth::W8);
+        assert_eq!(width_for_fraction(0.25), VwlWidth::W4);
+        assert_eq!(width_for_fraction(0.0625), VwlWidth::W1);
+        assert_eq!(width_for_fraction(0.01), VwlWidth::W1);
+    }
+
+    #[test]
+    fn decisions_cover_every_link_without_roo() {
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        let ds = static_width_decisions(&t);
+        assert_eq!(ds.len(), t.n_links());
+        assert!(ds.iter().all(|d| d.mode.roo.is_none()));
+    }
+
+    #[test]
+    fn root_edge_keeps_full_width_and_leaves_taper() {
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        let ds = static_width_decisions(&t);
+        // Edge 0 carries all traffic.
+        assert_eq!(ds[0].mode.bw, BwMode::Vwl(VwlWidth::W16));
+        // Depth-3 edges (modules 4..13) carry ~7.7 % each: one lane is not
+        // enough (6.25 %), so they get four lanes.
+        let leaf = &ds[2 * 12];
+        assert_eq!(leaf.mode.bw, BwMode::Vwl(VwlWidth::W4));
+    }
+
+    #[test]
+    fn weighted_widths_follow_subtree_load() {
+        let t = Topology::build(TopologyKind::TernaryTree, 4);
+        // All traffic goes to module 3 (a child of module 0).
+        let weights = [0.0, 0.0, 0.0, 1.0];
+        let ds = weighted_width_decisions(&t, &weights, 1.0);
+        // Edge 0 and edge 3 carry everything: full width.
+        assert_eq!(ds[0].mode.bw, BwMode::Vwl(VwlWidth::W16));
+        assert_eq!(ds[6].mode.bw, BwMode::Vwl(VwlWidth::W16));
+        // Edges 1 and 2 carry nothing: one lane.
+        assert_eq!(ds[2].mode.bw, BwMode::Vwl(VwlWidth::W1));
+        assert_eq!(ds[4].mode.bw, BwMode::Vwl(VwlWidth::W1));
+    }
+
+    #[test]
+    fn weighted_headroom_widens_links() {
+        let t = Topology::build(TopologyKind::DaisyChain, 3);
+        let weights = [0.74, 0.0, 0.26];
+        let tight = weighted_width_decisions(&t, &weights, 1.0);
+        let slack = weighted_width_decisions(&t, &weights, 2.0);
+        assert_eq!(tight[4].mode.bw, BwMode::Vwl(VwlWidth::W8));
+        assert_eq!(slack[4].mode.bw, BwMode::Vwl(VwlWidth::W16));
+    }
+
+    #[test]
+    fn weighted_with_zero_weights_is_minimal() {
+        let t = Topology::build(TopologyKind::Star, 5);
+        let ds = weighted_width_decisions(&t, &[0.0; 5], 1.0);
+        assert!(ds.iter().all(|d| d.mode.bw == BwMode::Vwl(VwlWidth::W1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per module")]
+    fn weighted_requires_matching_lengths() {
+        let t = Topology::build(TopologyKind::DaisyChain, 3);
+        let _ = weighted_width_decisions(&t, &[1.0], 1.0);
+    }
+
+    #[test]
+    fn daisychain_tapers_monotonically() {
+        let t = Topology::build(TopologyKind::DaisyChain, 8);
+        let ds = static_width_decisions(&t);
+        for pair in (0..8).collect::<Vec<_>>().windows(2) {
+            let up = ds[2 * pair[0]].mode.bw.bandwidth_fraction();
+            let down = ds[2 * pair[1]].mode.bw.bandwidth_fraction();
+            assert!(down <= up + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Behavioral tests of policy decisions through the public API.
+
+use memnet_net::mech::{BwMode, DvfsLevel, RooThreshold};
+use memnet_net::{Direction, LinkId, ModuleId, Topology, TopologyKind};
+use memnet_policy::{Mechanism, PolicyConfig, PolicyKind, PowerController};
+use memnet_simcore::{SimDuration, SimTime};
+
+fn controller(kind: PolicyKind, mech: Mechanism, n: usize) -> PowerController {
+    PowerController::new(
+        Topology::build(TopologyKind::TernaryTree, n),
+        PolicyConfig::new(kind, mech, 0.05),
+        SimDuration::from_ns(30),
+    )
+}
+
+/// Feeds `count` read packets through `link`, spaced `gap_ns` apart, each
+/// taking exactly its unqueued full-power time (no measured overhead).
+fn feed_clean_reads(c: &mut PowerController, link: LinkId, count: u64, gap_ns: u64) {
+    for i in 0..count {
+        let t = SimTime::from_ps(i * gap_ns * 1_000);
+        c.on_packet_arrival(link, t, true);
+        c.on_packet_departure(link, t, t, t + SimDuration::from_ps(3_200), 5, true);
+        if i > 0 {
+            c.on_idle_interval(link, SimDuration::from_ns(gap_ns - 3));
+        }
+    }
+}
+
+#[test]
+fn dvfs_serdes_overhead_gates_mode_depth() {
+    // Two identical links with identical traffic; the module with a much
+    // larger AMS budget can afford the deep DVFS mode's SERDES stretch,
+    // the poorer one cannot.
+    let mut rich = controller(PolicyKind::NetworkUnaware, Mechanism::Dvfs, 2);
+    let mut poor = controller(PolicyKind::NetworkUnaware, Mechanism::Dvfs, 2);
+    let link = LinkId::of(ModuleId(1), Direction::Request);
+    for (c, dram_reads) in [(&mut rich, 40_000u32), (&mut poor, 40u32)] {
+        feed_clean_reads(c, link, 400, 250);
+        for _ in 0..dram_reads {
+            c.on_dram_read(ModuleId(1));
+        }
+        let _ = c.epoch_end(SimTime::ZERO + SimDuration::from_us(100));
+    }
+    let rich_mode = rich.selected_mode(link).bw;
+    let poor_mode = poor.selected_mode(link).bw;
+    assert_eq!(rich_mode, BwMode::Dvfs(DvfsLevel::P14), "rich budget affords Vmin");
+    assert!(
+        poor_mode.power_fraction() > rich_mode.power_fraction(),
+        "poor budget must stay shallower: {poor_mode:?} vs {rich_mode:?}"
+    );
+}
+
+#[test]
+fn roo_threshold_choice_follows_idle_interval_lengths() {
+    // A link with only short (40 ns) idle gaps cannot profit from deep
+    // thresholds and should not pay wakeups for nothing; a link with long
+    // (3 µs) gaps should pick an aggressive threshold.
+    let mut c = controller(PolicyKind::NetworkUnaware, Mechanism::Roo, 3);
+    let short = LinkId::of(ModuleId(1), Direction::Request);
+    let long = LinkId::of(ModuleId(2), Direction::Request);
+    for m in [1usize, 2] {
+        for _ in 0..2_000 {
+            c.on_dram_read(ModuleId(m)); // generous budgets for both
+        }
+    }
+    for i in 0..500u64 {
+        let t = SimTime::from_ps(i * 45_000);
+        c.on_packet_arrival(short, t, true);
+        c.on_packet_departure(short, t, t, t + SimDuration::from_ps(3_200), 5, true);
+        c.on_idle_interval(short, SimDuration::from_ns(40));
+    }
+    for i in 0..30u64 {
+        let t = SimTime::from_ps(i * 3_000_000);
+        c.on_packet_arrival(long, t, true);
+        c.on_packet_departure(long, t, t, t + SimDuration::from_ps(3_200), 5, true);
+        c.on_idle_interval(long, SimDuration::from_us(3));
+    }
+    let _ = c.epoch_end(SimTime::ZERO + SimDuration::from_us(100));
+    let thr_long = c.selected_mode(long).roo.expect("ROO mechanism");
+    assert_eq!(thr_long, RooThreshold::T32, "long gaps: turn off fast");
+    // The short-gap link saves < 1 % energy per wakeup; whatever it
+    // picks, its expected power must not be *worse* than staying on, and
+    // the long-gap link must be at least as aggressive.
+    let thr_short = c.selected_mode(short).roo.expect("ROO mechanism");
+    assert!(thr_long <= thr_short);
+}
+
+#[test]
+fn congestion_discount_returns_ams_to_the_pool() {
+    // Same downstream overhead; in one controller the upstream response
+    // link is congested (packets queue behind ≥3 others), so §VI-C
+    // discounts the downstream overhead and more AMS survives.
+    let build = |congested: bool| {
+        let mut c = controller(PolicyKind::NetworkAware, Mechanism::Vwl, 4);
+        for _ in 0..20_000 {
+            c.on_dram_read(ModuleId(0));
+        }
+        // Downstream request link of module 1 runs 100 ns of overhead per
+        // packet (actual departure far beyond the full-power estimate).
+        let down = LinkId::of(ModuleId(1), Direction::Request);
+        for i in 0..200u64 {
+            let t = SimTime::from_ps(i * 400_000);
+            c.on_packet_arrival(down, t, true);
+            c.on_packet_departure(
+                down,
+                t,
+                t + SimDuration::from_ns(100),
+                t + SimDuration::from_ns(100) + SimDuration::from_ps(3_200),
+                5,
+                true,
+            );
+        }
+        // Upstream response link of module 0: either smooth or congested.
+        let up = LinkId::of(ModuleId(0), Direction::Response);
+        for burst in 0..50u64 {
+            for j in 0..6u64 {
+                let arrival = if congested {
+                    SimTime::from_ps(burst * 2_000_000) // six arrive together
+                } else {
+                    SimTime::from_ps(burst * 2_000_000 + j * 300_000)
+                };
+                let start = arrival + SimDuration::from_ps(j * 3_200);
+                c.on_packet_arrival(up, arrival, true);
+                c.on_packet_departure(up, arrival, start, start + SimDuration::from_ps(3_200), 5, true);
+            }
+        }
+        let _ = c.epoch_end(SimTime::ZERO + SimDuration::from_us(100));
+        c.rescue_pool()
+    };
+    let smooth_pool = build(false);
+    let congested_pool = build(true);
+    assert!(
+        congested_pool > smooth_pool,
+        "congestion discount should leave more AMS: {congested_pool} vs {smooth_pool}"
+    );
+}
+
+#[test]
+fn chained_response_links_take_aggressive_thresholds_for_free() {
+    let mut c = controller(PolicyKind::NetworkAware, Mechanism::Roo, 4);
+    // Some DRAM traffic so the epoch is not degenerate.
+    for _ in 0..1_000 {
+        c.on_dram_read(ModuleId(0));
+    }
+    // Response links see long idle gaps.
+    for m in 0..4 {
+        let resp = LinkId::of(ModuleId(m), Direction::Response);
+        for i in 0..20u64 {
+            let t = SimTime::from_ps(i * 5_000_000);
+            c.on_packet_arrival(resp, t, true);
+            c.on_packet_departure(resp, t, t, t + SimDuration::from_ps(3_200), 5, true);
+            c.on_idle_interval(resp, SimDuration::from_us(4));
+        }
+    }
+    let _ = c.epoch_end(SimTime::ZERO + SimDuration::from_us(100));
+    for m in 0..4 {
+        let resp = LinkId::of(ModuleId(m), Direction::Response);
+        assert_eq!(
+            c.selected_mode(resp).roo,
+            Some(RooThreshold::T32),
+            "chaining hides response wakeups, so module {m} should turn off eagerly"
+        );
+    }
+}
+
+#[test]
+fn static_policy_produces_no_epoch_decisions_or_violations() {
+    let mut c = controller(PolicyKind::StaticSelection, Mechanism::Vwl, 5);
+    let init = c.initial_decisions();
+    assert_eq!(init.len(), 10);
+    let link = LinkId::of(ModuleId(0), Direction::Request);
+    // Even outrageous latency does not trigger violation handling.
+    c.on_packet_arrival(link, SimTime::ZERO, true);
+    let action = c.on_packet_departure(
+        link,
+        SimTime::ZERO,
+        SimTime::from_ps(10_000_000),
+        SimTime::from_ps(10_003_200),
+        5,
+        true,
+    );
+    assert_eq!(action, memnet_policy::ViolationAction::None);
+    assert!(c.epoch_end(SimTime::ZERO + SimDuration::from_us(100)).is_empty());
+    assert_eq!(c.violations(), 0);
+}

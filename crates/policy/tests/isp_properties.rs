@@ -1,0 +1,133 @@
+//! Property tests of Iterative Slowdown Propagation under arbitrary
+//! telemetry: budgets are conserved, monotonicity holds, and the rescue
+//! pool never goes negative.
+
+use memnet_net::{Direction, LinkId, ModuleId, Topology, TopologyKind};
+use memnet_policy::{Mechanism, PolicyConfig, PolicyKind, PowerController};
+use memnet_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::DaisyChain),
+        Just(TopologyKind::TernaryTree),
+        Just(TopologyKind::Star),
+        Just(TopologyKind::DdrxLike),
+    ]
+}
+
+fn mech_strategy() -> impl Strategy<Value = Mechanism> {
+    prop_oneof![
+        Just(Mechanism::Vwl),
+        Just(Mechanism::Roo),
+        Just(Mechanism::VwlRoo),
+        Just(Mechanism::Dvfs),
+        Just(Mechanism::DvfsRoo),
+    ]
+}
+
+/// Builds an aware controller and feeds one epoch of pseudo-random
+/// telemetry derived from `traffic` (per-module intensity seeds).
+fn primed(
+    kind: TopologyKind,
+    mech: Mechanism,
+    traffic: &[u8],
+) -> PowerController {
+    let n = traffic.len().max(1);
+    let topo = Topology::build(kind, n);
+    let cfg = PolicyConfig::new(PolicyKind::NetworkAware, mech, 0.05);
+    let mut c = PowerController::new(topo.clone(), cfg, SimDuration::from_ns(30));
+    for (m, &intensity) in traffic.iter().enumerate() {
+        for _ in 0..u32::from(intensity) {
+            c.on_dram_read(ModuleId(m));
+        }
+        // Feed packets over the module's connectivity links: traffic
+        // attenuates naturally because deeper modules get less.
+        for dir in Direction::BOTH {
+            let link = LinkId::of(ModuleId(m), dir);
+            for i in 0..u64::from(intensity / 8) {
+                let t = SimTime::from_ps(i * 400_000 + m as u64 * 97);
+                c.on_packet_arrival(link, t, true);
+                c.on_packet_departure(link, t, t, t + SimDuration::from_ps(3_200), 5, true);
+                c.on_idle_interval(link, SimDuration::from_ns(300));
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn isp_enforces_upstream_monotonicity(
+        kind in kind_strategy(),
+        mech in mech_strategy(),
+        traffic in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        let mut c = primed(kind, mech, &traffic);
+        let _ = c.epoch_end(SimTime::from_ps(100_000_000));
+        let topo = c.topology().clone();
+        for l in topo.links() {
+            for d in topo.downstream_same_type(l) {
+                let up = PowerController::power_rank(c.selected_mode(l));
+                let down = PowerController::power_rank(c.selected_mode(d));
+                prop_assert!(
+                    up + 1e-9 >= down,
+                    "{l:?} rank {up} below downstream {d:?} rank {down}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rescue_pool_is_never_negative_and_bounded_by_earned_ams(
+        kind in kind_strategy(),
+        mech in mech_strategy(),
+        traffic in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        let mut c = primed(kind, mech, &traffic);
+        let _ = c.epoch_end(SimTime::from_ps(100_000_000));
+        let pool = c.rescue_pool();
+        prop_assert!(pool >= 0, "pool {pool} negative");
+        let earned = c.head_account().ams(0.05).max(0);
+        prop_assert!(pool <= earned, "pool {pool} exceeds earned AMS {earned}");
+    }
+
+    #[test]
+    fn decisions_cover_every_link_with_valid_modes(
+        kind in kind_strategy(),
+        mech in mech_strategy(),
+        traffic in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        let mut c = primed(kind, mech, &traffic);
+        let decisions = c.epoch_end(SimTime::from_ps(100_000_000));
+        prop_assert_eq!(decisions.len(), traffic.len().max(1) * 2);
+        let candidates = mech.candidate_modes();
+        for d in decisions {
+            prop_assert!(
+                candidates.contains(&d.mode) || d.mode == mech.full_mode(),
+                "decision {d:?} outside the mechanism's mode space"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_idle_epochs_drive_budgets_up_not_down(
+        kind in kind_strategy(),
+        traffic in prop::collection::vec(1u8..=255, 2..16),
+    ) {
+        // With DRAM traffic but idle links, each epoch earns AMS, so the
+        // pool should be non-decreasing over consecutive identical epochs.
+        let mut c = primed(kind, Mechanism::Vwl, &traffic);
+        let _ = c.epoch_end(SimTime::from_ps(100_000_000));
+        let first = c.rescue_pool();
+        for (m, &intensity) in traffic.iter().enumerate() {
+            for _ in 0..u32::from(intensity) {
+                c.on_dram_read(ModuleId(m));
+            }
+        }
+        let _ = c.epoch_end(SimTime::from_ps(200_000_000));
+        prop_assert!(c.rescue_pool() >= first);
+    }
+}

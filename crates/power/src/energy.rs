@@ -1,0 +1,197 @@
+//! Energy breakdown in the six categories of the paper's Figure 5.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use memnet_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Joules consumed, split the way the paper reports power (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use memnet_power::EnergyBreakdown;
+/// use memnet_simcore::SimDuration;
+///
+/// let mut e = EnergyBreakdown::default();
+/// e.idle_io += 1.0;
+/// e.dram_leak += 0.5;
+/// assert_eq!(e.total(), 1.5);
+/// // 1.5 J over 1 ms across 3 HMCs = 500 W/HMC (toy numbers).
+/// assert_eq!(e.watts_per_hmc(SimDuration::from_ms(1), 3), 500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// I/O energy while links were on but not transmitting (plus off-state
+    /// residual and wakeup power).
+    pub idle_io: f64,
+    /// I/O energy while links were transmitting flits.
+    pub active_io: f64,
+    /// Logic-die leakage (idle) energy.
+    pub logic_leak: f64,
+    /// Logic-die dynamic energy (routing, SERDES switching).
+    pub logic_dyn: f64,
+    /// DRAM leakage (idle/refresh) energy.
+    pub dram_leak: f64,
+    /// DRAM dynamic energy (array accesses).
+    pub dram_dyn: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules across all categories.
+    pub fn total(&self) -> f64 {
+        self.idle_io + self.active_io + self.logic_leak + self.logic_dyn
+            + self.dram_leak + self.dram_dyn
+    }
+
+    /// Total I/O joules (idle + active).
+    pub fn io_total(&self) -> f64 {
+        self.idle_io + self.active_io
+    }
+
+    /// Idle-I/O energy as a fraction of total energy (0 when empty).
+    pub fn idle_io_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.idle_io / total
+        }
+    }
+
+    /// I/O energy as a fraction of total energy (0 when empty).
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.io_total() / total
+        }
+    }
+
+    /// Average power over `window`, in watts.
+    pub fn watts(&self, window: SimDuration) -> f64 {
+        let secs = window.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total() / secs
+        }
+    }
+
+    /// Average power per module over `window`, in watts.
+    pub fn watts_per_hmc(&self, window: SimDuration, n_hmcs: usize) -> f64 {
+        if n_hmcs == 0 {
+            0.0
+        } else {
+            self.watts(window) / n_hmcs as f64
+        }
+    }
+
+    /// Per-category average watts over `window`, in Figure 5 order:
+    /// `[idle I/O, active I/O, logic leak, logic dyn, DRAM leak, DRAM dyn]`.
+    pub fn watts_by_category(&self, window: SimDuration) -> [f64; 6] {
+        let secs = window.as_secs();
+        if secs == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.idle_io / secs,
+            self.active_io / secs,
+            self.logic_leak / secs,
+            self.logic_dyn / secs,
+            self.dram_leak / secs,
+            self.dram_dyn / secs,
+        ]
+    }
+
+    /// Category labels matching [`EnergyBreakdown::watts_by_category`].
+    pub const CATEGORY_LABELS: [&'static str; 6] = [
+        "Idle I/O",
+        "Active I/O",
+        "Logic Leakage",
+        "Logic Dynamic",
+        "DRAM Leakage",
+        "DRAM Dynamic",
+    ];
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            idle_io: self.idle_io + rhs.idle_io,
+            active_io: self.active_io + rhs.active_io,
+            logic_leak: self.logic_leak + rhs.logic_leak,
+            logic_dyn: self.logic_dyn + rhs.logic_dyn,
+            dram_leak: self.dram_leak + rhs.dram_leak,
+            dram_dyn: self.dram_dyn + rhs.dram_dyn,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            idle_io: 6.0,
+            active_io: 1.0,
+            logic_leak: 1.0,
+            logic_dyn: 0.5,
+            dram_leak: 1.0,
+            dram_dyn: 0.5,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let e = sample();
+        assert_eq!(e.total(), 10.0);
+        assert_eq!(e.io_total(), 7.0);
+        assert!((e.idle_io_fraction() - 0.6).abs() < 1e-12);
+        assert!((e.io_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.idle_io_fraction(), 0.0);
+        assert_eq!(e.io_fraction(), 0.0);
+        assert_eq!(e.watts(SimDuration::from_ms(1)), 0.0);
+        assert_eq!(e.watts(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn watts_conversion() {
+        let e = sample();
+        // 10 J over 10 ms = 1000 W; over 5 HMCs = 200 W each.
+        assert!((e.watts(SimDuration::from_ms(10)) - 1000.0).abs() < 1e-9);
+        assert!((e.watts_per_hmc(SimDuration::from_ms(10), 5) - 200.0).abs() < 1e-9);
+        let cats = e.watts_by_category(SimDuration::from_ms(10));
+        assert!((cats.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let total: EnergyBreakdown = vec![sample(), sample()].into_iter().sum();
+        assert_eq!(total.total(), 20.0);
+        let mut acc = sample();
+        acc += sample();
+        assert_eq!(acc, total);
+    }
+}

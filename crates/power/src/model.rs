@@ -1,0 +1,281 @@
+//! The HMC power model: peak splits, idle fractions, and the conversion
+//! from simulation activity to joules.
+
+use memnet_dram::DramParams;
+use memnet_net::link::{state_on_active, state_on_idle, STATE_OFF, STATE_WAKING};
+use memnet_net::mech::{BwMode, N_BW_MODES};
+use memnet_net::HmcRadix;
+use memnet_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyBreakdown;
+
+/// The paper's HMC power model.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_net::HmcRadix;
+/// use memnet_power::HmcPowerModel;
+///
+/// let m = HmcPowerModel::paper();
+/// assert_eq!(m.peak_watts(HmcRadix::High), 13.4);
+/// // Both radix classes share the same per-unidirectional-link power.
+/// assert!((m.io_watts_per_unilink() - 0.586).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HmcPowerModel {
+    /// Peak power of a high-radix (four full link) HMC, watts.
+    pub high_radix_peak_watts: f64,
+    /// Fraction of peak power attributed to the DRAM dies.
+    pub dram_fraction: f64,
+    /// Fraction of peak power attributed to the logic part of the logic die.
+    pub logic_fraction: f64,
+    /// Fraction of peak power attributed to the I/O links.
+    pub io_fraction: f64,
+    /// Idle DRAM power as a fraction of DRAM peak power.
+    pub dram_idle_fraction: f64,
+    /// Idle logic power as a fraction of logic peak power.
+    pub logic_idle_fraction: f64,
+    /// Off-state link power as a fraction of full link power (ROO).
+    pub link_off_fraction: f64,
+    /// DRAM parameters (used to derive per-access dynamic energy).
+    pub dram: DramParams,
+}
+
+impl HmcPowerModel {
+    /// The configuration the paper uses: 13.4 W peak split 43/22/35, DRAM
+    /// idling at 10 % and logic at 25 % of their peaks, 1 % off-state links.
+    pub fn paper() -> Self {
+        HmcPowerModel {
+            high_radix_peak_watts: 13.4,
+            dram_fraction: 0.43,
+            logic_fraction: 0.22,
+            io_fraction: 0.35,
+            dram_idle_fraction: 0.10,
+            logic_idle_fraction: 0.25,
+            link_off_fraction: 0.01,
+            dram: DramParams::hmc_gen2(),
+        }
+    }
+
+    /// Peak power of an HMC of the given radix class (low radix = half, as
+    /// peak power is proportional to bandwidth).
+    pub fn peak_watts(&self, radix: HmcRadix) -> f64 {
+        match radix {
+            HmcRadix::High => self.high_radix_peak_watts,
+            HmcRadix::Low => self.high_radix_peak_watts / 2.0,
+        }
+    }
+
+    /// DRAM peak power for a radix class.
+    pub fn dram_peak_watts(&self, radix: HmcRadix) -> f64 {
+        self.peak_watts(radix) * self.dram_fraction
+    }
+
+    /// DRAM idle (leakage/refresh) power for a radix class.
+    pub fn dram_idle_watts(&self, radix: HmcRadix) -> f64 {
+        self.dram_peak_watts(radix) * self.dram_idle_fraction
+    }
+
+    /// Logic peak power for a radix class.
+    pub fn logic_peak_watts(&self, radix: HmcRadix) -> f64 {
+        self.peak_watts(radix) * self.logic_fraction
+    }
+
+    /// Logic idle (leakage) power for a radix class.
+    pub fn logic_idle_watts(&self, radix: HmcRadix) -> f64 {
+        self.logic_peak_watts(radix) * self.logic_idle_fraction
+    }
+
+    /// I/O peak power for a radix class (all its unidirectional links on
+    /// at full width).
+    pub fn io_peak_watts(&self, radix: HmcRadix) -> f64 {
+        self.peak_watts(radix) * self.io_fraction
+    }
+
+    /// Full power of one unidirectional link.
+    ///
+    /// High radix: 13.4 W × 35 % over 8 unidirectional links; low radix:
+    /// 6.7 W × 35 % over 4 — both 0.586 W, so this is radix-independent.
+    pub fn io_watts_per_unilink(&self) -> f64 {
+        self.io_peak_watts(HmcRadix::High) / (HmcRadix::High.full_links() as f64 * 2.0)
+    }
+
+    /// DRAM dynamic energy for one 64 B access, joules.
+    ///
+    /// Derived so that DRAM burns exactly its peak power at the stack's
+    /// internal peak bandwidth (32 vaults × 8 GB/s = 256 GB/s):
+    /// `(peak − idle) / peak access rate` ≈ 1.3 nJ per line. The ratio is
+    /// radix-independent because a low-radix cube has both half the power
+    /// and (in the model's proportional-peak assumption) half the
+    /// bandwidth.
+    pub fn dram_dyn_energy_per_access(&self) -> f64 {
+        let dynamic_watts =
+            self.dram_peak_watts(HmcRadix::High) * (1.0 - self.dram_idle_fraction);
+        let accesses_per_sec = self.dram.hmc_peak_bandwidth() / self.dram.line_bytes as f64;
+        dynamic_watts / accesses_per_sec
+    }
+
+    /// Logic dynamic energy for routing one flit through a module, joules.
+    ///
+    /// Derived so that the logic die burns its peak at the router's
+    /// internal crossbar throughput, which is provisioned at twice the
+    /// aggregate link bandwidth (a standard 2× speedup over the eight
+    /// unidirectional link ports) — ≈ 0.09 nJ per flit-hop.
+    pub fn logic_dyn_energy_per_flit(&self) -> f64 {
+        let dynamic_watts =
+            self.logic_peak_watts(HmcRadix::High) * (1.0 - self.logic_idle_fraction);
+        let flit_rate = 2.0
+            * HmcRadix::High.full_links() as f64
+            * 2.0
+            * self.unilink_bandwidth_bytes()
+            / memnet_net::FLIT_BYTES as f64;
+        dynamic_watts / flit_rate
+    }
+
+    /// Data bandwidth of one unidirectional link at full width: 16 lanes ×
+    /// 12.5 Gbps = 25 GB/s.
+    pub fn unilink_bandwidth_bytes(&self) -> f64 {
+        16.0 * 12.5e9 / 8.0
+    }
+
+    /// Converts one link's time-in-state residency snapshot into I/O energy.
+    ///
+    /// Index layout follows [`memnet_net::link`]: off, waking, then
+    /// (idle, active) per bandwidth mode. Waking time is charged at full
+    /// link power and booked as *idle* I/O (it transmits no data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the accounting layout.
+    pub fn link_energy(&self, residency: &[SimDuration]) -> EnergyBreakdown {
+        assert_eq!(
+            residency.len(),
+            2 + 2 * N_BW_MODES,
+            "unexpected residency snapshot length"
+        );
+        let p_full = self.io_watts_per_unilink();
+        let mut e = EnergyBreakdown::default();
+        e.idle_io += p_full * self.link_off_fraction * residency[STATE_OFF].as_secs();
+        e.idle_io += p_full * residency[STATE_WAKING].as_secs();
+        for i in 0..N_BW_MODES {
+            let mode = BwMode::from_index(i);
+            let p = p_full * mode.power_fraction();
+            e.idle_io += p * residency[state_on_idle(mode)].as_secs();
+            e.active_io += p * residency[state_on_active(mode)].as_secs();
+        }
+        e
+    }
+
+    /// Converts one module's background + activity counters into non-I/O
+    /// energy over the window `[start, end)`.
+    pub fn module_energy(
+        &self,
+        radix: HmcRadix,
+        start: SimTime,
+        end: SimTime,
+        dram_accesses: u64,
+        flits_routed: u64,
+    ) -> EnergyBreakdown {
+        let window = (end - start).as_secs();
+        EnergyBreakdown {
+            idle_io: 0.0,
+            active_io: 0.0,
+            logic_leak: self.logic_idle_watts(radix) * window,
+            logic_dyn: self.logic_dyn_energy_per_flit() * flits_routed as f64,
+            dram_leak: self.dram_idle_watts(radix) * window,
+            dram_dyn: self.dram_dyn_energy_per_access() * dram_accesses as f64,
+        }
+    }
+}
+
+impl Default for HmcPowerModel {
+    fn default() -> Self {
+        HmcPowerModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_net::link::N_ACCOUNTING_STATES;
+
+    #[test]
+    fn paper_splits_are_consistent() {
+        let m = HmcPowerModel::paper();
+        assert!((m.dram_fraction + m.logic_fraction + m.io_fraction - 1.0).abs() < 1e-12);
+        assert!((m.peak_watts(HmcRadix::Low) - 6.7).abs() < 1e-12);
+        assert!((m.dram_peak_watts(HmcRadix::High) - 5.762).abs() < 1e-9);
+        assert!((m.logic_idle_watts(HmcRadix::High) - 0.737).abs() < 1e-3);
+        assert!((m.dram_idle_watts(HmcRadix::High) - 0.5762).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_link_power_is_radix_independent() {
+        let m = HmcPowerModel::paper();
+        let high = m.io_peak_watts(HmcRadix::High) / 8.0;
+        let low = m.io_peak_watts(HmcRadix::Low) / 4.0;
+        assert!((high - low).abs() < 1e-12);
+        assert!((m.io_watts_per_unilink() - high).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_link_for_one_second_burns_full_link_power() {
+        let m = HmcPowerModel::paper();
+        let mut snap = vec![SimDuration::ZERO; N_ACCOUNTING_STATES];
+        snap[state_on_idle(BwMode::FULL_VWL)] = SimDuration::from_ms(1000);
+        let e = m.link_energy(&snap);
+        assert!((e.idle_io - m.io_watts_per_unilink()).abs() < 1e-9);
+        assert_eq!(e.active_io, 0.0);
+    }
+
+    #[test]
+    fn off_link_burns_one_percent() {
+        let m = HmcPowerModel::paper();
+        let mut snap = vec![SimDuration::ZERO; N_ACCOUNTING_STATES];
+        snap[STATE_OFF] = SimDuration::from_ms(1000);
+        let e = m.link_energy(&snap);
+        assert!((e.idle_io - 0.01 * m.io_watts_per_unilink()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_link_burns_fraction() {
+        use memnet_net::mech::VwlWidth;
+        let m = HmcPowerModel::paper();
+        let mode = BwMode::Vwl(VwlWidth::W4);
+        let mut snap = vec![SimDuration::ZERO; N_ACCOUNTING_STATES];
+        snap[state_on_active(mode)] = SimDuration::from_ms(1000);
+        let e = m.link_energy(&snap);
+        assert!((e.active_io - m.io_watts_per_unilink() * 5.0 / 17.0).abs() < 1e-9);
+        assert_eq!(e.idle_io, 0.0);
+    }
+
+    #[test]
+    fn dynamic_energies_are_physical() {
+        let m = HmcPowerModel::paper();
+        // ~1.3 nJ per 64 B DRAM access (peak DRAM power at 256 GB/s stack
+        // bandwidth), ~0.09 nJ per routed flit.
+        let per_access = m.dram_dyn_energy_per_access();
+        assert!((1.0e-9..1.6e-9).contains(&per_access), "{per_access}");
+        let per_flit = m.logic_dyn_energy_per_flit();
+        assert!((0.05e-9..0.15e-9).contains(&per_flit), "{per_flit}");
+    }
+
+    #[test]
+    fn module_energy_scales_with_window_and_activity() {
+        let m = HmcPowerModel::paper();
+        let e = m.module_energy(
+            HmcRadix::Low,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_ms(10),
+            1000,
+            5000,
+        );
+        assert!((e.dram_leak - m.dram_idle_watts(HmcRadix::Low) * 0.01).abs() < 1e-12);
+        assert!((e.logic_leak - m.logic_idle_watts(HmcRadix::Low) * 0.01).abs() < 1e-12);
+        assert!((e.dram_dyn - 1000.0 * m.dram_dyn_energy_per_access()).abs() < 1e-15);
+        assert!((e.logic_dyn - 5000.0 * m.logic_dyn_energy_per_flit()).abs() < 1e-15);
+        assert_eq!(e.io_total(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workload generators need a fast, seedable, reproducible source of
+//! randomness. [`SplitMix64`] (Steele, Lea & Flood 2014) passes BigCrush,
+//! needs no allocation, and — critically for experiment reproducibility —
+//! produces identical streams for identical seeds on every platform.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Forked streams let each simulation component (address sampler,
+    /// arrival process, read/write mix, ...) consume randomness without
+    /// perturbing the others, so adding a consumer does not change the
+    /// requests the rest of the system sees.
+    pub fn fork(&self, stream: u64) -> SplitMix64 {
+        let mut child = SplitMix64::new(self.state ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Burn one output so trivially related seeds decorrelate.
+        child.next_u64();
+        child
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded generation (Lemire); bias is < 2^-64 * bound,
+        // negligible for simulation purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        // Use 1 - u in (0, 1] so ln never sees zero.
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent_and_each_other() {
+        let parent = SplitMix64::new(1234);
+        let mut s1 = parent.fork(1);
+        let mut s2 = parent.fork(2);
+        let mut p = parent.clone();
+        let (a, b, c) = (s1.next_u64(), s2.next_u64(), p.next_u64());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_covers_range() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = rng.next_below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = SplitMix64::new(11);
+        let n = 100_000;
+        let mean = 40.0;
+        let sum: f64 = (0..n).map(|_| rng.next_exp(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < mean * 0.02,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn next_bool_matches_probability() {
+        let mut rng = SplitMix64::new(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.next_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

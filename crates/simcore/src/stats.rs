@@ -1,0 +1,357 @@
+//! Accounting primitives: busy-time tracking, time-in-state accumulation,
+//! bucketed histograms and online summary statistics.
+//!
+//! These are the building blocks the power model and management policies use
+//! to turn a stream of simulation events into utilizations, energies and
+//! latency aggregates.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulates how long a resource has been busy, for utilization reporting.
+///
+/// The resource toggles between busy and idle via [`BusyTracker::set_busy`];
+/// [`BusyTracker::busy_time`] integrates the busy intervals up to `now`.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::stats::BusyTracker;
+/// use memnet_simcore::{SimDuration, SimTime};
+///
+/// let mut tracker = BusyTracker::new(SimTime::ZERO);
+/// tracker.set_busy(SimTime::from_ps(100), true);
+/// tracker.set_busy(SimTime::from_ps(300), false);
+/// assert_eq!(tracker.busy_time(SimTime::from_ps(400)), SimDuration::from_ps(200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusyTracker {
+    busy: bool,
+    last_change: SimTime,
+    accumulated: SimDuration,
+}
+
+impl BusyTracker {
+    /// Creates a tracker that is idle at `start`.
+    pub fn new(start: SimTime) -> Self {
+        BusyTracker {
+            busy: false,
+            last_change: start,
+            accumulated: SimDuration::ZERO,
+        }
+    }
+
+    /// Records a busy/idle transition at time `now`.
+    ///
+    /// Setting the current state again is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `now` precedes the previous transition.
+    pub fn set_busy(&mut self, now: SimTime, busy: bool) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        if busy == self.busy {
+            return;
+        }
+        if self.busy {
+            self.accumulated += now - self.last_change;
+        }
+        self.busy = busy;
+        self.last_change = now;
+    }
+
+    /// Whether the resource is currently busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Total busy time accumulated through `now`.
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        let mut total = self.accumulated;
+        if self.busy && now > self.last_change {
+            total += now - self.last_change;
+        }
+        total
+    }
+
+    /// Resets accumulation, keeping the current busy state, so a fresh
+    /// observation window starts at `now`.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.accumulated = SimDuration::ZERO;
+        self.last_change = now;
+    }
+}
+
+/// Accumulates time spent in each of a small set of states indexed `0..N`.
+///
+/// Used for per-power-mode residency ("link hours"): the state index is the
+/// power-mode index, and the accumulated durations become mode residencies.
+#[derive(Debug, Clone)]
+pub struct TimeInState {
+    current: usize,
+    since: SimTime,
+    totals: Vec<SimDuration>,
+}
+
+impl TimeInState {
+    /// Creates a tracker with `n_states` states, starting in state `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial >= n_states` or `n_states == 0`.
+    pub fn new(n_states: usize, initial: usize, start: SimTime) -> Self {
+        assert!(n_states > 0, "need at least one state");
+        assert!(initial < n_states, "initial state out of range");
+        TimeInState {
+            current: initial,
+            since: start,
+            totals: vec![SimDuration::ZERO; n_states],
+        }
+    }
+
+    /// Transitions to `state` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range. Debug-panics if time goes backwards.
+    pub fn transition(&mut self, now: SimTime, state: usize) {
+        assert!(state < self.totals.len(), "state {state} out of range");
+        debug_assert!(now >= self.since, "time went backwards");
+        self.totals[self.current] += now - self.since;
+        self.current = state;
+        self.since = now;
+    }
+
+    /// The state occupied right now.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Residency of `state` through `now` (including the open interval).
+    pub fn time_in(&self, state: usize, now: SimTime) -> SimDuration {
+        let mut t = self.totals[state];
+        if state == self.current && now > self.since {
+            t += now - self.since;
+        }
+        t
+    }
+
+    /// Residencies of every state through `now`.
+    pub fn snapshot(&self, now: SimTime) -> Vec<SimDuration> {
+        (0..self.totals.len()).map(|s| self.time_in(s, now)).collect()
+    }
+
+    /// Number of states tracked.
+    pub fn n_states(&self) -> usize {
+        self.totals.len()
+    }
+}
+
+/// A histogram over `f64` samples with caller-supplied bucket upper bounds.
+///
+/// A sample `x` lands in the first bucket whose upper bound is `>= x`;
+/// samples above the last bound land in the overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        match self.bounds.iter().position(|&b| x <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i` (indexed by bound order).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Count of samples above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Clears all counts.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.overflow = 0;
+    }
+}
+
+/// Online count/sum/mean/min/max of a stream of `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tracker_integrates_intervals() {
+        let mut t = BusyTracker::new(SimTime::ZERO);
+        t.set_busy(SimTime::from_ps(10), true);
+        t.set_busy(SimTime::from_ps(30), false);
+        t.set_busy(SimTime::from_ps(50), true);
+        // Open interval counts up to the query time.
+        assert_eq!(t.busy_time(SimTime::from_ps(70)), SimDuration::from_ps(40));
+        assert!(t.is_busy());
+    }
+
+    #[test]
+    fn busy_tracker_ignores_redundant_sets() {
+        let mut t = BusyTracker::new(SimTime::ZERO);
+        t.set_busy(SimTime::from_ps(10), true);
+        t.set_busy(SimTime::from_ps(20), true); // no-op
+        t.set_busy(SimTime::from_ps(40), false);
+        assert_eq!(t.busy_time(SimTime::from_ps(100)), SimDuration::from_ps(30));
+    }
+
+    #[test]
+    fn busy_tracker_window_reset() {
+        let mut t = BusyTracker::new(SimTime::ZERO);
+        t.set_busy(SimTime::from_ps(0), true);
+        t.reset_window(SimTime::from_ps(50));
+        assert_eq!(t.busy_time(SimTime::from_ps(80)), SimDuration::from_ps(30));
+    }
+
+    #[test]
+    fn time_in_state_accumulates_per_state() {
+        let mut t = TimeInState::new(3, 0, SimTime::ZERO);
+        t.transition(SimTime::from_ps(100), 1);
+        t.transition(SimTime::from_ps(150), 2);
+        t.transition(SimTime::from_ps(170), 1);
+        let now = SimTime::from_ps(200);
+        assert_eq!(t.time_in(0, now), SimDuration::from_ps(100));
+        assert_eq!(t.time_in(1, now), SimDuration::from_ps(80));
+        assert_eq!(t.time_in(2, now), SimDuration::from_ps(20));
+        // Snapshot covers the full elapsed window exactly.
+        let total: SimDuration = t.snapshot(now).into_iter().sum();
+        assert_eq!(total, SimDuration::from_ps(200));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[32.0, 128.0, 512.0, 2048.0]);
+        h.record(10.0); // bucket 0
+        h.record(32.0); // bucket 0 (inclusive upper bound)
+        h.record(33.0); // bucket 1
+        h.record(600.0); // bucket 3
+        h.record(5000.0); // overflow
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+        h.clear();
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10.0, 5.0]);
+    }
+
+    #[test]
+    fn online_stats_summary() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.min().is_none());
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 6.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+}

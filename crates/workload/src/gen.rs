@@ -1,0 +1,179 @@
+//! The request generator: a two-state (burst/quiet) modulated arrival
+//! process over a workload's address CDF.
+//!
+//! During an ON burst, inter-arrival times are exponential with a mean
+//! chosen so the *long-run* rate (including OFF periods) hits the
+//! workload's target channel utilization. OFF periods produce the idle
+//! gaps that rapid-on/off power management exploits.
+
+use memnet_simcore::{SimDuration, SimTime, SplitMix64};
+
+use crate::cdf::AddressCdf;
+use crate::spec::WorkloadSpec;
+
+/// One memory access produced by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRequest {
+    /// Earliest time the processor would issue this access, relative to
+    /// the previous one having been issued on schedule.
+    pub ready_at: SimTime,
+    /// Global line address within the workload footprint.
+    pub line_addr: u64,
+    /// True for a read, false for a write.
+    pub is_read: bool,
+}
+
+/// Deterministic synthetic request stream for one workload.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::SplitMix64;
+/// use memnet_workload::{catalog, RequestGenerator};
+///
+/// let spec = catalog::by_name("sp.D").expect("known workload");
+/// let mut generator = RequestGenerator::new(spec.clone(), SplitMix64::new(7));
+/// let a = generator.next_request();
+/// let b = generator.next_request();
+/// assert!(b.ready_at >= a.ready_at);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    spec: WorkloadSpec,
+    cdf: AddressCdf,
+    addr_rng: SplitMix64,
+    time_rng: SplitMix64,
+    kind_rng: SplitMix64,
+    clock: SimTime,
+    burst_ends: SimTime,
+    on_interarrival_mean: f64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator for `spec`, seeded deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn new(spec: WorkloadSpec, seed: SplitMix64) -> Self {
+        spec.validate().expect("invalid workload spec");
+        let cdf = AddressCdf::from_spec(&spec);
+        // The long-run mean inter-arrival must equal spec.mean_interarrival;
+        // arrivals only happen during ON bursts, so the in-burst rate is
+        // boosted by 1/on_fraction.
+        let on_ia = spec.mean_interarrival().as_ps() as f64 * spec.on_fraction;
+        let mut time_rng = seed.fork(1);
+        let burst = time_rng.next_exp(spec.burst_mean.as_ps() as f64);
+        RequestGenerator {
+            addr_rng: seed.fork(0),
+            kind_rng: seed.fork(2),
+            clock: SimTime::ZERO,
+            burst_ends: SimTime::ZERO + SimDuration::from_ps(burst as u64),
+            on_interarrival_mean: on_ia,
+            time_rng,
+            cdf,
+            spec,
+        }
+    }
+
+    /// The workload this generator models.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Produces the next memory access in schedule order.
+    pub fn next_request(&mut self) -> MemoryRequest {
+        let gap = self.time_rng.next_exp(self.on_interarrival_mean);
+        self.clock += SimDuration::from_ps(gap as u64);
+        // If the burst ended before this arrival, insert quiet periods
+        // until an ON window covers the arrival.
+        while self.clock >= self.burst_ends {
+            let quiet = self.time_rng.next_exp(self.spec.quiet_mean().as_ps() as f64);
+            let next_on = self.burst_ends + SimDuration::from_ps(quiet as u64);
+            if self.clock < next_on {
+                self.clock = next_on;
+            }
+            let burst = self.time_rng.next_exp(self.spec.burst_mean.as_ps() as f64);
+            self.burst_ends = next_on + SimDuration::from_ps(burst.max(1.0) as u64);
+        }
+        MemoryRequest {
+            ready_at: self.clock,
+            line_addr: self.cdf.sample_line(&mut self.addr_rng),
+            is_read: self.kind_rng.next_bool(self.spec.read_fraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn generate(name: &str, n: usize, seed: u64) -> Vec<MemoryRequest> {
+        let spec = catalog::by_name(name).unwrap();
+        let mut g = RequestGenerator::new(spec, SplitMix64::new(seed));
+        (0..n).map(|_| g.next_request()).collect()
+    }
+
+    #[test]
+    fn schedule_is_monotone() {
+        let reqs = generate("ua.D", 10_000, 1);
+        for w in reqs.windows(2) {
+            assert!(w[1].ready_at >= w[0].ready_at);
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_target_utilization() {
+        let spec = catalog::by_name("mixB").unwrap();
+        let n = 200_000;
+        let reqs = generate("mixB", n, 3);
+        let span = reqs.last().unwrap().ready_at - reqs[0].ready_at;
+        let measured_ia = span.as_ps() as f64 / (n - 1) as f64;
+        let target_ia = spec.mean_interarrival().as_ps() as f64;
+        let err = (measured_ia - target_ia).abs() / target_ia;
+        assert!(err < 0.05, "inter-arrival off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn read_fraction_matches_spec() {
+        let reqs = generate("cg.D", 100_000, 5);
+        let reads = reqs.iter().filter(|r| r.is_read).count();
+        let frac = reads as f64 / reqs.len() as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.01, "read fraction {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let spec = catalog::by_name("is.D").unwrap();
+        let reqs = generate("is.D", 50_000, 9);
+        assert!(reqs.iter().all(|r| r.line_addr < spec.total_lines()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = generate("mixD", 5_000, 42);
+        let b = generate("mixD", 5_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate("mixD", 100, 1);
+        let b = generate("mixD", 100, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bursty_workload_has_long_gaps() {
+        // sp.D runs at 8 % utilization with 30 % on-fraction: quiet gaps
+        // far above the mean inter-arrival must appear.
+        let reqs = generate("sp.D", 50_000, 13);
+        let mean_ia = catalog::by_name("sp.D").unwrap().mean_interarrival();
+        let long_gaps = reqs
+            .windows(2)
+            .filter(|w| w[1].ready_at - w[0].ready_at > mean_ia * 20)
+            .count();
+        assert!(long_gaps > 10, "expected bursty gaps, found {long_gaps}");
+    }
+}

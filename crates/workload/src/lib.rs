@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Synthetic models of the paper's 14 workloads.
+//!
+//! The paper drives its memory networks with GEM5 full-system traces of
+//! seven NAS (class D) HPC workloads and seven mixed cloud workloads
+//! (Table III). Reproducing those traces requires the authors' simulator
+//! checkpoints, so this crate substitutes *calibrated synthetic
+//! generators*: each workload is a parameter set matching the
+//! characteristics the paper itself publishes —
+//!
+//! - memory **footprint** (Figure 4's x-extent; 17 GB on average),
+//! - the cumulative **address-space access CDF** (Figure 4's shape,
+//!   including flat "cold" ranges),
+//! - average **channel utilization** (Figure 9; 43 % on average, sp.D
+//!   lowest, mixB highest),
+//! - a read/write mix and an on/off **burstiness** profile that produces
+//!   the idle-interval distribution rapid-on/off management feeds on.
+//!
+//! Since the power study depends on the request stream and not on core
+//! microarchitecture, this preserves the behaviors the paper measures:
+//! traffic attenuation across the network, cold modules, and bursty idle
+//! gaps.
+//!
+//! # Examples
+//!
+//! ```
+//! use memnet_simcore::SplitMix64;
+//! use memnet_workload::{catalog, RequestGenerator};
+//!
+//! let spec = catalog::by_name("mixB").expect("known workload");
+//! assert_eq!(spec.footprint_gb, 12);
+//! let total_lines = spec.total_lines();
+//! let mut generator = RequestGenerator::new(spec, SplitMix64::new(42));
+//! let req = generator.next_request();
+//! assert!(req.line_addr < total_lines);
+//! ```
+
+pub mod catalog;
+pub mod cdf;
+pub mod gen;
+pub mod spec;
+
+pub use cdf::AddressCdf;
+pub use gen::{MemoryRequest, RequestGenerator};
+pub use spec::{WorkloadClass, WorkloadSpec};

@@ -1,0 +1,178 @@
+//! Workload parameter sets.
+
+use memnet_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Whether a workload is an HPC (NAS) benchmark or a mixed cloud workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// 16-threaded NAS class D benchmark.
+    Hpc,
+    /// Four-application mixed cloud workload (Table III).
+    Cloud,
+}
+
+/// A calibrated synthetic workload.
+///
+/// See the crate docs for how the fields map onto the characteristics the
+/// paper publishes. (Serializable for experiment logs; not deserializable —
+/// specs are static data in [`crate::catalog`].)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadSpec {
+    /// Workload name as the paper reports it ("ua.D", "mixB", ...).
+    pub name: &'static str,
+    /// HPC or cloud.
+    pub class: WorkloadClass,
+    /// Memory footprint in GB (Figure 4 x-extent).
+    pub footprint_gb: u64,
+    /// Target utilization of the processor channel's response link
+    /// (Figure 9 "chan" series).
+    pub channel_utilization: f64,
+    /// Fraction of memory accesses that are reads.
+    pub read_fraction: f64,
+    /// Piecewise-linear cumulative access CDF over the footprint:
+    /// `(gb_offset, cumulative_fraction)` control points. Must start at
+    /// `(0, 0)` and end at `(footprint_gb, 1)`.
+    pub cdf_points: &'static [(f64, f64)],
+    /// Fraction of wall time the workload actively issues requests
+    /// (two-state on/off arrival modulation; lower = burstier).
+    pub on_fraction: f64,
+    /// Mean duration of one ON burst.
+    pub burst_mean: SimDuration,
+}
+
+impl WorkloadSpec {
+    /// Number of 64 B lines in the footprint.
+    pub fn total_lines(&self) -> u64 {
+        self.footprint_gb * (1 << 30) / 64
+    }
+
+    /// Mean inter-arrival time between memory accesses that achieves the
+    /// target channel utilization.
+    ///
+    /// The channel's *response* link is the busier direction (every read
+    /// returns five flits vs. a one-flit request), so it calibrates the
+    /// rate: `util = λ_read × 5 flits × 0.64 ns`, and the total access
+    /// rate is `λ_read / read_fraction`.
+    pub fn mean_interarrival(&self) -> SimDuration {
+        let flit_ps = 640.0;
+        let read_ia_ps = 5.0 * flit_ps / self.channel_utilization;
+        SimDuration::from_ps((read_ia_ps * self.read_fraction).round() as u64)
+    }
+
+    /// Mean duration of one OFF (quiet) period, derived from
+    /// [`on_fraction`](Self::on_fraction) and
+    /// [`burst_mean`](Self::burst_mean).
+    pub fn quiet_mean(&self) -> SimDuration {
+        // on_fraction = on / (on + off)  =>  off = on * (1 - f) / f.
+        self.burst_mean.mul_f64((1.0 - self.on_fraction) / self.on_fraction)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.footprint_gb == 0 {
+            return Err(format!("{}: footprint must be positive", self.name));
+        }
+        if !(0.0 < self.channel_utilization && self.channel_utilization <= 1.0) {
+            return Err(format!("{}: channel utilization out of (0,1]", self.name));
+        }
+        if !(0.0 < self.read_fraction && self.read_fraction <= 1.0) {
+            return Err(format!("{}: read fraction out of (0,1]", self.name));
+        }
+        if !(0.0 < self.on_fraction && self.on_fraction <= 1.0) {
+            return Err(format!("{}: on fraction out of (0,1]", self.name));
+        }
+        if self.burst_mean.is_zero() {
+            return Err(format!("{}: burst mean must be positive", self.name));
+        }
+        let pts = self.cdf_points;
+        if pts.len() < 2 {
+            return Err(format!("{}: CDF needs at least two points", self.name));
+        }
+        if pts[0] != (0.0, 0.0) {
+            return Err(format!("{}: CDF must start at (0,0)", self.name));
+        }
+        let last = pts[pts.len() - 1];
+        if (last.0 - self.footprint_gb as f64).abs() > 1e-9 || (last.1 - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: CDF must end at (footprint, 1)", self.name));
+        }
+        for w in pts.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("{}: CDF x must strictly increase", self.name));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("{}: CDF must be non-decreasing", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "toy",
+            class: WorkloadClass::Hpc,
+            footprint_gb: 8,
+            channel_utilization: 0.5,
+            read_fraction: 2.0 / 3.0,
+            cdf_points: &[(0.0, 0.0), (4.0, 0.75), (8.0, 1.0)],
+            on_fraction: 0.5,
+            burst_mean: SimDuration::from_us(2),
+        }
+    }
+
+    #[test]
+    fn interarrival_hits_target_utilization() {
+        let s = toy();
+        // λ_read = util / 3.2ns = 0.15625 reads/ns; total = ×1.5.
+        // mean ia = 2/3 * 3200/0.5 = 4266.67 ps.
+        assert_eq!(s.mean_interarrival().as_ps(), 4267);
+        // Round trip: reads/s × 5 flits × 0.64 ns ≈ util.
+        let ia = s.mean_interarrival().as_ns();
+        let read_rate_per_ns = s.read_fraction / ia;
+        let util = read_rate_per_ns * 5.0 * 0.64;
+        assert!((util - s.channel_utilization).abs() < 0.001);
+    }
+
+    #[test]
+    fn quiet_mean_balances_on_fraction() {
+        let s = toy();
+        assert_eq!(s.quiet_mean(), s.burst_mean);
+        let mut bursty = toy();
+        bursty.on_fraction = 0.25;
+        assert_eq!(bursty.quiet_mean(), bursty.burst_mean * 3);
+    }
+
+    #[test]
+    fn total_lines() {
+        assert_eq!(toy().total_lines(), 8 * (1 << 30) / 64);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_cdf() {
+        let mut s = toy();
+        s.cdf_points = &[(0.0, 0.0), (9.0, 1.0)];
+        assert!(s.validate().is_err(), "CDF must end at footprint");
+
+        let mut s = toy();
+        s.cdf_points = &[(0.0, 0.1), (8.0, 1.0)];
+        assert!(s.validate().is_err(), "CDF must start at zero");
+
+        let mut s = toy();
+        s.channel_utilization = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        toy().validate().unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Capacity planning: for one workload, compare every topology × scale ×
+//! policy combination and print the Pareto view a system architect would
+//! use to pick a memory-network configuration.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [workload]
+//! ```
+
+use memnet::core::{sweep, NetworkScale, PolicyKind, SimConfig};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "mixA".to_owned());
+    println!("capacity planning for {workload}: all topologies x scales x policies\n");
+
+    let mut configs = Vec::new();
+    for topo in TopologyKind::ALL {
+        for scale in [NetworkScale::Small, NetworkScale::Big] {
+            for (policy, mech) in [
+                (PolicyKind::FullPower, Mechanism::FullPower),
+                (PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+                (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+            ] {
+                configs.push(
+                    SimConfig::builder()
+                        .workload(&workload)
+                        .topology(topo)
+                        .scale(scale)
+                        .policy(policy)
+                        .mechanism(mech)
+                        .alpha(0.05)
+                        .eval_period(SimDuration::from_us(400))
+                        .build()
+                        .expect("valid configuration"),
+                );
+            }
+        }
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let reports = sweep(configs, threads);
+
+    println!(
+        "{:<13} {:<6} {:<16} {:>6} {:>9} {:>9} {:>10} {:>10}",
+        "topology", "scale", "policy", "HMCs", "net W", "W/HMC", "lat(ns)", "acc/us"
+    );
+    for r in &reports {
+        println!(
+            "{:<13} {:<6} {:<16} {:>6} {:>9.2} {:>9.2} {:>10.1} {:>10.1}",
+            r.topology.label(),
+            r.scale,
+            r.policy,
+            r.power.n_hmcs,
+            r.power.watts(),
+            r.power.watts_per_hmc(),
+            r.mean_read_latency_ns,
+            r.accesses_per_us,
+        );
+    }
+
+    // Identify the lowest-power configuration within 3 % of the best
+    // throughput.
+    let best_perf = reports.iter().map(|r| r.accesses_per_us).fold(0.0, f64::max);
+    let pick = reports
+        .iter()
+        .filter(|r| r.accesses_per_us >= 0.97 * best_perf)
+        .min_by(|a, b| a.power.watts().total_cmp(&b.power.watts()));
+    if let Some(p) = pick {
+        println!(
+            "\nrecommended: {} / {} / {} — {:.2} W network power within 3% of peak throughput",
+            p.topology.label(),
+            p.scale,
+            p.policy,
+            p.power.watts()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: simulate one workload on one memory network and print the
+//! paper-style power breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use memnet::core::{NetworkScale, PolicyKind, SimConfig};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn main() {
+    for (label, policy, mechanism) in [
+        ("full power     ", PolicyKind::FullPower, Mechanism::FullPower),
+        ("unaware VWL+ROO", PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        ("aware   VWL+ROO", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ] {
+        let report = SimConfig::builder()
+            .workload("mixB")
+            .topology(TopologyKind::TernaryTree)
+            .scale(NetworkScale::Small)
+            .policy(policy)
+            .mechanism(mechanism)
+            .alpha(0.05)
+            .eval_period(SimDuration::from_ms(1))
+            .build()
+            .expect("valid configuration")
+            .run();
+
+        let cats = report.power.watts_per_hmc_by_category();
+        println!(
+            "{label}  {:5.2} W/HMC  (idle I/O {:4.1}%, I/O {:4.1}%)  chan {:4.1}%  link {:4.1}%  \
+             lat {:6.1} ns  {:7.1} acc/us  hops {:.2}  viol {}",
+            report.power.watts_per_hmc(),
+            100.0 * report.power.idle_io_fraction(),
+            100.0 * report.power.io_fraction(),
+            100.0 * report.channel_utilization,
+            100.0 * report.link_utilization,
+            report.mean_read_latency_ns,
+            report.accesses_per_us,
+            report.avg_modules_traversed,
+            report.violations,
+        );
+        println!(
+            "    breakdown: idleIO {:.2}  activeIO {:.2}  logicLk {:.2}  logicDyn {:.2}  dramLk {:.2}  dramDyn {:.2}",
+            cats[0], cats[1], cats[2], cats[3], cats[4], cats[5]
+        );
+    }
+}

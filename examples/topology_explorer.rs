@@ -1,0 +1,64 @@
+//! Topology explorer: compare the four paper topologies structurally and
+//! by simulated power/performance on the same workload.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use memnet::core::{NetworkScale, PolicyKind, SimConfig};
+use memnet::net::{Topology, TopologyKind};
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn main() {
+    println!("== structural comparison (17-module networks) ==");
+    println!(
+        "{:<13} {:>9} {:>10} {:>11}  depth histogram",
+        "topology", "mean hops", "max hops", "high-radix"
+    );
+    for kind in TopologyKind::ALL {
+        let t = Topology::build(kind, 17);
+        let hist = t.depth_histogram();
+        let high = t
+            .modules()
+            .filter(|&m| t.radix(m) == memnet::net::HmcRadix::High)
+            .count();
+        println!(
+            "{:<13} {:>9.2} {:>10} {:>11}  {:?}",
+            kind.label(),
+            t.mean_depth(),
+            hist.len() - 1,
+            high,
+            &hist[1..]
+        );
+    }
+
+    println!();
+    println!("== simulated on cg.D (big network, network-aware VWL+ROO, alpha=5%) ==");
+    println!(
+        "{:<13} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "topology", "W/HMC", "idleIO%", "linkUtil%", "lat(ns)", "hops"
+    );
+    for kind in TopologyKind::ALL {
+        let report = SimConfig::builder()
+            .workload("cg.D")
+            .topology(kind)
+            .scale(NetworkScale::Big)
+            .policy(PolicyKind::NetworkAware)
+            .mechanism(Mechanism::VwlRoo)
+            .alpha(0.05)
+            .eval_period(SimDuration::from_us(500))
+            .build()
+            .expect("valid configuration")
+            .run();
+        println!(
+            "{:<13} {:>8.2} {:>10.1} {:>10.1} {:>10.1} {:>9.2}",
+            kind.label(),
+            report.power.watts_per_hmc(),
+            100.0 * report.power.idle_io_fraction(),
+            100.0 * report.link_utilization,
+            report.mean_read_latency_ns,
+            report.avg_modules_traversed,
+        );
+    }
+}

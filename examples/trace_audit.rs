@@ -1,0 +1,77 @@
+//! Trace audit: capture a packet trace and walk one read transaction
+//! through the network, showing where its latency went.
+//!
+//! ```text
+//! cargo run --release --example trace_audit
+//! ```
+
+use memnet::core::{PolicyKind, SimConfig, TracePoint};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn main() {
+    let report = SimConfig::builder()
+        .workload("sp.D")
+        .topology(TopologyKind::DaisyChain)
+        .policy(PolicyKind::NetworkUnaware)
+        .mechanism(Mechanism::Roo)
+        .eval_period(SimDuration::from_us(300))
+        .trace_limit(50_000)
+        .build()
+        .expect("valid configuration")
+        .run();
+
+    println!("captured {} trace events", report.trace.len());
+
+    // Find a read that retired, preferring one that went deep.
+    let retired: Vec<u64> = report
+        .trace
+        .iter()
+        .filter(|e| e.point == TracePoint::Retire)
+        .map(|e| e.packet)
+        .collect();
+    let Some(&victim) = retired.iter().max() else {
+        println!("no retired reads captured");
+        return;
+    };
+
+    println!("\ntimeline of transaction #{victim}:");
+    let mut prev: Option<memnet_simcore::SimTime> = None;
+    for e in report.trace.iter().filter(|e| e.packet == victim) {
+        let delta = prev
+            .map(|p| format!("(+{:.2} ns)", (e.time - p).as_ns()))
+            .unwrap_or_default();
+        println!("  {:>12.3} ns  {:<24} {delta}", e.time.as_ns(), format!("{:?}", e.point));
+        prev = Some(e.time);
+    }
+
+    // Aggregate: where do reads spend time on average?
+    let mut inject_to_vault = 0.0f64;
+    let mut vault_time = 0.0f64;
+    let mut vault_to_retire = 0.0f64;
+    let mut counted = 0u32;
+    for &pkt in &retired {
+        let events: Vec<_> = report.trace.iter().filter(|e| e.packet == pkt).collect();
+        let find = |p: fn(&TracePoint) -> bool| events.iter().find(|e| p(&e.point));
+        let (Some(i), Some(ve), Some(vd), Some(r)) = (
+            find(|p| matches!(p, TracePoint::Inject)),
+            find(|p| matches!(p, TracePoint::VaultEnqueue(_))),
+            find(|p| matches!(p, TracePoint::VaultDone(_))),
+            find(|p| matches!(p, TracePoint::Retire)),
+        ) else {
+            continue;
+        };
+        inject_to_vault += (ve.time - i.time).as_ns();
+        vault_time += (vd.time - ve.time).as_ns();
+        vault_to_retire += (r.time - vd.time).as_ns();
+        counted += 1;
+    }
+    if counted > 0 {
+        let n = f64::from(counted);
+        println!("\naverage read latency decomposition over {counted} transactions:");
+        println!("  request path (inject → vault): {:7.2} ns", inject_to_vault / n);
+        println!("  DRAM access                  : {:7.2} ns", vault_time / n);
+        println!("  response path (vault → CPU)  : {:7.2} ns", vault_to_retire / n);
+    }
+}

@@ -1,0 +1,275 @@
+//! `memnet` command-line interface: run one memory-network simulation and
+//! print a report.
+//!
+//! ```text
+//! memnet [--workload NAME] [--topology daisychain|ternary|star|ddrx]
+//!        [--scale small|big] [--policy fp|unaware|aware|static]
+//!        [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo]
+//!        [--alpha PCT] [--eval-us N] [--seed N] [--channels K]
+//!        [--trace-csv FILE] [--json] [--compare]
+//! ```
+
+use std::process::ExitCode;
+
+use memnet::core::multichannel::run_channels;
+use memnet::core::{report_text, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+struct Args {
+    workload: String,
+    topology: TopologyKind,
+    scale: NetworkScale,
+    policy: PolicyKind,
+    mechanism: Mechanism,
+    alpha: f64,
+    eval_us: u64,
+    seed: u64,
+    channels: usize,
+    trace_csv: Option<String>,
+    json: bool,
+    compare: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: memnet [--workload NAME] [--topology daisychain|ternary|star|ddrx]\n\
+     \x20             [--scale small|big] [--policy fp|unaware|aware|static]\n\
+     \x20             [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo] [--alpha PCT]\n\
+     \x20             [--eval-us N] [--seed N] [--channels K] [--trace-csv FILE]\n\
+     \x20             [--json] [--compare] [--list-workloads]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "mixB".into(),
+        topology: TopologyKind::TernaryTree,
+        scale: NetworkScale::Small,
+        policy: PolicyKind::FullPower,
+        mechanism: Mechanism::FullPower,
+        alpha: 5.0,
+        eval_us: 1_000,
+        seed: 0xC0FFEE,
+        channels: 1,
+        trace_csv: None,
+        json: false,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = value("--workload")?,
+            "--topology" | "-t" => {
+                args.topology = match value("--topology")?.as_str() {
+                    "daisychain" | "chain" => TopologyKind::DaisyChain,
+                    "ternary" | "tree" => TopologyKind::TernaryTree,
+                    "star" => TopologyKind::Star,
+                    "ddrx" | "ddrx-like" => TopologyKind::DdrxLike,
+                    other => return Err(format!("unknown topology {other:?}")),
+                }
+            }
+            "--scale" | "-s" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "small" => NetworkScale::Small,
+                    "big" => NetworkScale::Big,
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--policy" | "-p" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "fp" | "full" => PolicyKind::FullPower,
+                    "unaware" => PolicyKind::NetworkUnaware,
+                    "aware" => PolicyKind::NetworkAware,
+                    "static" => PolicyKind::StaticSelection,
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--mechanism" | "-m" => {
+                args.mechanism = match value("--mechanism")?.as_str() {
+                    "fp" => Mechanism::FullPower,
+                    "vwl" => Mechanism::Vwl,
+                    "roo" => Mechanism::Roo,
+                    "vwl+roo" => Mechanism::VwlRoo,
+                    "dvfs" => Mechanism::Dvfs,
+                    "dvfs+roo" => Mechanism::DvfsRoo,
+                    other => return Err(format!("unknown mechanism {other:?}")),
+                }
+            }
+            "--alpha" | "-a" => {
+                args.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad alpha: {e}"))?
+            }
+            "--eval-us" => {
+                args.eval_us = value("--eval-us")?
+                    .parse()
+                    .map_err(|e| format!("bad eval-us: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--channels" => {
+                args.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("bad channels: {e}"))?
+            }
+            "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
+            "--json" => args.json = true,
+            "--compare" => args.compare = true,
+            "--list-workloads" => {
+                for w in memnet::workload::catalog::all() {
+                    println!(
+                        "{:<6} {:>3} GB  chan util {:>4.0}%  {:?}",
+                        w.name,
+                        w.footprint_gb,
+                        100.0 * w.channel_utilization,
+                        w.class
+                    );
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn build(args: &Args) -> Result<SimConfig, String> {
+    let builder: SimConfigBuilder = SimConfig::builder()
+        .workload(&args.workload)
+        .topology(args.topology)
+        .scale(args.scale)
+        .policy(args.policy)
+        .mechanism(args.mechanism)
+        .alpha(args.alpha / 100.0)
+        .eval_period(SimDuration::from_us(args.eval_us))
+        .seed(args.seed)
+        .trace_limit(if args.trace_csv.is_some() { 1_000_000 } else { 0 });
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match build(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.channels > 1 {
+        let r = run_channels(cfg, args.channels, 1);
+        if args.json {
+            println!("{}", serde_json_lite(&r.total_watts, r.total_accesses_per_us));
+        } else {
+            println!(
+                "{} channels: {:.2} W total, idle I/O {:.1}%, {:.1} acc/us, {:.1} ns mean read",
+                args.channels,
+                r.total_watts,
+                100.0 * r.idle_io_fraction,
+                r.total_accesses_per_us,
+                r.mean_read_latency_ns
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.compare {
+        let mut reports = Vec::new();
+        let mut fp = cfg.clone();
+        fp.policy = PolicyKind::FullPower;
+        fp.mechanism = Mechanism::FullPower;
+        reports.push(fp.run());
+        if args.policy != PolicyKind::FullPower {
+            reports.push(cfg.run());
+        } else {
+            for (p, m) in [
+                (PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+                (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+            ] {
+                let mut c = cfg.clone();
+                c.policy = p;
+                c.mechanism = m;
+                reports.push(c.run());
+            }
+        }
+        print!("{}", report_text::comparison_table(&reports));
+        return ExitCode::SUCCESS;
+    }
+
+    let report = cfg.run();
+    if let Some(path) = &args.trace_csv {
+        let mut trace = memnet::core::Trace::with_limit(report.trace.len().max(1));
+        for e in &report.trace {
+            trace.record(*e);
+        }
+        if let Err(e) = std::fs::write(path, trace.to_csv()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} trace events to {path}", report.trace.len());
+    }
+    if args.json {
+        match serde_json_report(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", report_text::power_breakdown(&report));
+        println!("{}", report_text::summary_line(&report));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Minimal JSON for the multichannel summary (avoids a serde_json
+/// dependency for two numbers).
+fn serde_json_lite(watts: &f64, acc: f64) -> String {
+    format!("{{\"total_watts\":{watts},\"accesses_per_us\":{acc}}}")
+}
+
+/// Hand-rolled JSON for the scalar fields of a report.
+fn serde_json_report(r: &memnet::core::RunReport) -> Result<String, String> {
+    Ok(format!(
+        "{{\"workload\":\"{}\",\"topology\":\"{}\",\"scale\":\"{}\",\"policy\":\"{}\",\
+         \"mechanism\":\"{}\",\"alpha\":{},\"watts\":{:.6},\"watts_per_hmc\":{:.6},\
+         \"idle_io_fraction\":{:.6},\"io_fraction\":{:.6},\"channel_utilization\":{:.6},\
+         \"link_utilization\":{:.6},\"avg_modules_traversed\":{:.4},\"completed_reads\":{},\
+         \"mean_read_latency_ns\":{:.3},\"accesses_per_us\":{:.3},\"violations\":{}}}",
+        r.workload,
+        r.topology.label(),
+        r.scale,
+        r.policy,
+        r.mechanism,
+        r.alpha,
+        r.power.watts(),
+        r.power.watts_per_hmc(),
+        r.power.idle_io_fraction(),
+        r.power.io_fraction(),
+        r.channel_utilization,
+        r.link_utilization,
+        r.avg_modules_traversed,
+        r.completed_reads,
+        r.mean_read_latency_ns,
+        r.accesses_per_us,
+        r.violations,
+    ))
+}

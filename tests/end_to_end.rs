@@ -1,0 +1,173 @@
+//! End-to-end integration tests: full simulations spanning every crate.
+
+use memnet::core::{NetworkScale, PolicyKind, SimConfig};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn base(workload: &str) -> memnet::core::SimConfigBuilder {
+    SimConfig::builder()
+        .workload(workload)
+        .eval_period(SimDuration::from_us(100))
+        .seed(7)
+}
+
+#[test]
+fn full_power_run_produces_plausible_physics() {
+    let r = base("mixB")
+        .topology(TopologyKind::TernaryTree)
+        .scale(NetworkScale::Small)
+        .build()
+        .unwrap()
+        .run();
+    // Per-HMC power in the paper's ballpark (roughly 1.5 – 4 W).
+    let w = r.power.watts_per_hmc();
+    assert!((1.0..5.0).contains(&w), "implausible power {w} W/HMC");
+    // I/O is the single largest component even on the most heavily
+    // utilized workload (mixB); the 73 % paper average is over all
+    // workloads and is checked by the fig05 harness instead.
+    assert!(r.power.io_fraction() > 0.35, "I/O fraction {}", r.power.io_fraction());
+    assert!(r.power.idle_io_fraction() > 0.2);
+    // Memory traffic flowed and completed.
+    assert!(r.completed_reads > 100, "only {} reads completed", r.completed_reads);
+    assert!(r.mean_read_latency_ns > 30.0, "reads cannot beat DRAM latency");
+    assert!(r.mean_read_latency_ns < 2_000.0, "latency blew up");
+    // No management ran.
+    assert_eq!(r.violations, 0);
+}
+
+#[test]
+fn channel_utilization_tracks_workload_target() {
+    // mixB targets 75 % channel utilization; the closed-loop front-end
+    // should land in the right neighbourhood on a short window.
+    let r = base("mixB")
+        .topology(TopologyKind::TernaryTree)
+        .eval_period(SimDuration::from_us(300))
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        (0.45..0.95).contains(&r.channel_utilization),
+        "mixB channel utilization {:.2} far from 0.75 target",
+        r.channel_utilization
+    );
+    // And link utilization attenuates below channel utilization.
+    assert!(r.link_utilization < r.channel_utilization);
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let make = || {
+        base("mixD")
+            .topology(TopologyKind::Star)
+            .policy(PolicyKind::NetworkAware)
+            .mechanism(Mechanism::VwlRoo)
+            .build()
+            .unwrap()
+            .run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.completed_reads, b.completed_reads);
+    assert_eq!(a.injected_accesses, b.injected_accesses);
+    assert_eq!(a.violations, b.violations);
+    assert!((a.power.energy.total() - b.power.energy.total()).abs() < 1e-12);
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let a = base("mixD").seed(1).build().unwrap().run();
+    let b = base("mixD").seed(2).build().unwrap().run();
+    assert_ne!(a.completed_reads, b.completed_reads);
+}
+
+#[test]
+fn hops_match_topology_depth_bounds() {
+    for kind in TopologyKind::ALL {
+        let r = base("cg.D")
+            .topology(kind)
+            .scale(NetworkScale::Big)
+            .eval_period(SimDuration::from_us(50))
+            .build()
+            .unwrap()
+            .run();
+        let n = r.power.n_hmcs;
+        assert_eq!(n, 30); // 30 GB / 1 GB chunks
+        let topo = memnet::net::Topology::build(kind, n);
+        let max_depth = (1..=n)
+            .map(|i| topo.depth(memnet::net::ModuleId(i - 1)))
+            .max()
+            .unwrap() as f64;
+        assert!(r.avg_modules_traversed >= 1.0);
+        assert!(
+            r.avg_modules_traversed <= max_depth,
+            "{kind:?}: hops {} beyond max depth {max_depth}",
+            r.avg_modules_traversed
+        );
+    }
+}
+
+#[test]
+fn daisychain_traverses_more_modules_than_tree() {
+    let chain = base("is.D")
+        .topology(TopologyKind::DaisyChain)
+        .scale(NetworkScale::Big)
+        .eval_period(SimDuration::from_us(50))
+        .build()
+        .unwrap()
+        .run();
+    let tree = base("is.D")
+        .topology(TopologyKind::TernaryTree)
+        .scale(NetworkScale::Big)
+        .eval_period(SimDuration::from_us(50))
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        chain.avg_modules_traversed > tree.avg_modules_traversed,
+        "chain {} should exceed tree {}",
+        chain.avg_modules_traversed,
+        tree.avg_modules_traversed
+    );
+}
+
+#[test]
+fn energy_breakdown_is_all_nonnegative_and_consistent() {
+    let r = base("lu.D")
+        .topology(TopologyKind::DdrxLike)
+        .build()
+        .unwrap()
+        .run();
+    let e = &r.power.energy;
+    for (i, v) in [e.idle_io, e.active_io, e.logic_leak, e.logic_dyn, e.dram_leak, e.dram_dyn]
+        .iter()
+        .enumerate()
+    {
+        assert!(*v >= 0.0, "category {i} negative: {v}");
+    }
+    let cats = r.power.watts_per_hmc_by_category();
+    let total: f64 = cats.iter().sum();
+    assert!((total - r.power.watts_per_hmc()).abs() < 1e-9);
+}
+
+#[test]
+fn big_network_has_higher_idle_io_share_than_small() {
+    let small = base("cg.D")
+        .topology(TopologyKind::Star)
+        .scale(NetworkScale::Small)
+        .build()
+        .unwrap()
+        .run();
+    let big = base("cg.D")
+        .topology(TopologyKind::Star)
+        .scale(NetworkScale::Big)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        big.power.idle_io_fraction() > small.power.idle_io_fraction(),
+        "big {:.2} should exceed small {:.2}",
+        big.power.idle_io_fraction(),
+        small.power.idle_io_fraction()
+    );
+}

@@ -1,0 +1,180 @@
+//! Integration tests of the management policies' headline behaviors:
+//! managed networks must save power while respecting the α slowdown bound.
+
+use memnet::core::{run_pair, NetworkScale, PolicyKind, SimConfig};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn cfg(
+    workload: &str,
+    policy: PolicyKind,
+    mech: Mechanism,
+    scale: NetworkScale,
+) -> SimConfig {
+    SimConfig::builder()
+        .workload(workload)
+        .topology(TopologyKind::Star)
+        .scale(scale)
+        .policy(policy)
+        .mechanism(mech)
+        .alpha(0.05)
+        .eval_period(SimDuration::from_us(600))
+        .seed(11)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn unaware_vwl_saves_power_within_slowdown_bound() {
+    let (managed, baseline) = run_pair(cfg(
+        "cg.D",
+        PolicyKind::NetworkUnaware,
+        Mechanism::Vwl,
+        NetworkScale::Big,
+    ));
+    let saved = managed.power_reduction_vs(&baseline);
+    assert!(saved > 0.02, "expected real savings, got {:.1}%", 100.0 * saved);
+    let degr = managed.degradation_vs(&baseline);
+    assert!(degr < 0.10, "degradation {:.1}% blew past alpha", 100.0 * degr);
+}
+
+#[test]
+fn unaware_roo_turns_links_off_on_bursty_workloads() {
+    let (managed, baseline) = run_pair(cfg(
+        "sp.D",
+        PolicyKind::NetworkUnaware,
+        Mechanism::Roo,
+        NetworkScale::Big,
+    ));
+    let off_time: f64 = managed.links.iter().map(|l| l.off_time.as_secs()).sum();
+    assert!(off_time > 0.0, "ROO links never turned off on an 8%-utilized workload");
+    let total_wakes: u64 = managed.links.iter().map(|l| l.wake_count).sum();
+    assert!(total_wakes > 0);
+    assert!(managed.power.watts() < baseline.power.watts());
+}
+
+#[test]
+fn aware_saves_at_least_as_much_as_unaware_on_cold_footprints() {
+    // cg.D has a large cold range; ISP should find at least the savings
+    // unaware finds (paper: aware always saves more on big networks).
+    let (aware, _) = run_pair(cfg(
+        "cg.D",
+        PolicyKind::NetworkAware,
+        Mechanism::VwlRoo,
+        NetworkScale::Big,
+    ));
+    let (unaware, _) = run_pair(cfg(
+        "cg.D",
+        PolicyKind::NetworkUnaware,
+        Mechanism::VwlRoo,
+        NetworkScale::Big,
+    ));
+    let aware_w = aware.power.watts();
+    let unaware_w = unaware.power.watts();
+    assert!(
+        aware_w <= unaware_w * 1.05,
+        "aware {aware_w:.2} W should not lose to unaware {unaware_w:.2} W"
+    );
+}
+
+#[test]
+fn combined_mechanism_beats_single_mechanisms() {
+    let scale = NetworkScale::Big;
+    let run = |mech| {
+        run_pair(cfg("is.D", PolicyKind::NetworkUnaware, mech, scale))
+            .0
+            .power
+            .watts()
+    };
+    let vwl = run(Mechanism::Vwl);
+    let combo = run(Mechanism::VwlRoo);
+    // VWL+ROO should at least match plain VWL (it subsumes its modes).
+    assert!(
+        combo <= vwl * 1.08,
+        "VWL+ROO {combo:.2} W should be near-or-below VWL {vwl:.2} W"
+    );
+}
+
+#[test]
+fn static_selection_saves_power_but_costs_performance() {
+    let mut config = cfg(
+        "mg.D",
+        PolicyKind::StaticSelection,
+        Mechanism::Vwl,
+        NetworkScale::Big,
+    );
+    config.mapping = memnet::core::AddressMapping::PageInterleaved;
+    let (stat, baseline) = run_pair(config);
+    assert!(
+        stat.power.watts() < baseline.power.watts(),
+        "tapered links must burn less than full-width links"
+    );
+    // Static selection has no feedback control: its slowdown is
+    // unbounded by alpha, typically well above the managed policies'.
+    assert!(stat.mean_read_latency_ns >= baseline.mean_read_latency_ns);
+}
+
+#[test]
+fn violation_feedback_rescues_runaway_slowdown() {
+    // At a tiny alpha with a hot workload, links repeatedly overrun their
+    // budgets: the controller must fall back to full power (violations)
+    // instead of letting latency run away.
+    let mut config = cfg(
+        "mixB",
+        PolicyKind::NetworkUnaware,
+        Mechanism::Vwl,
+        NetworkScale::Small,
+    );
+    config.alpha = 0.005;
+    let (managed, baseline) = run_pair(config);
+    let degr = managed.degradation_vs(&baseline);
+    assert!(
+        degr < 0.15,
+        "feedback control failed: {:.1}% degradation at alpha=0.5%",
+        100.0 * degr
+    );
+}
+
+#[test]
+fn dvfs_saves_less_than_vwl_at_equal_alpha() {
+    // Paper §VI-D: DVFS's SERDES latency overhead limits savings.
+    let scale = NetworkScale::Big;
+    let (vwl, base) = run_pair(cfg("cg.D", PolicyKind::NetworkAware, Mechanism::Vwl, scale));
+    let (dvfs, _) = run_pair(cfg("cg.D", PolicyKind::NetworkAware, Mechanism::Dvfs, scale));
+    let vwl_red = vwl.power_reduction_vs(&base);
+    let dvfs_red = dvfs.power_reduction_vs(&base);
+    assert!(
+        dvfs_red <= vwl_red + 0.05,
+        "DVFS {:.1}% should not beat VWL {:.1}% meaningfully",
+        100.0 * dvfs_red,
+        100.0 * vwl_red
+    );
+}
+
+#[test]
+fn all_policies_run_on_every_topology() {
+    for kind in TopologyKind::ALL {
+        for policy in [
+            PolicyKind::FullPower,
+            PolicyKind::NetworkUnaware,
+            PolicyKind::NetworkAware,
+        ] {
+            let mech = if policy == PolicyKind::FullPower {
+                Mechanism::FullPower
+            } else {
+                Mechanism::VwlRoo
+            };
+            let r = SimConfig::builder()
+                .workload("mixE")
+                .topology(kind)
+                .policy(policy)
+                .mechanism(mech)
+                .eval_period(SimDuration::from_us(150))
+                .build()
+                .unwrap()
+                .run();
+            assert!(r.completed_reads > 0, "{kind:?}/{policy:?} moved no data");
+        }
+    }
+}
