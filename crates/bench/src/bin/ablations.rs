@@ -10,10 +10,7 @@ use memnet_policy::Mechanism;
 use memnet_simcore::SimDuration;
 
 fn base() -> SimConfigBuilder {
-    let eval_us = std::env::var("MEMNET_EVAL_US")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600);
+    let eval_us = std::env::var("MEMNET_EVAL_US").ok().and_then(|v| v.parse().ok()).unwrap_or(600);
     SimConfig::builder()
         .workload("cg.D")
         .topology(TopologyKind::Star)
@@ -38,10 +35,7 @@ fn report(label: &str, cfg: SimConfig) {
 fn main() {
     println!("== ablation: ISP iteration cap (paper: 3) ==");
     for iters in [1usize, 2, 3, 5] {
-        report(
-            &format!("isp_iterations={iters}"),
-            base().isp_iterations(iters).build().unwrap(),
-        );
+        report(&format!("isp_iterations={iters}"), base().isp_iterations(iters).build().unwrap());
     }
 
     println!("\n== ablation: epoch length (paper: 100 us) ==");
@@ -62,9 +56,6 @@ fn main() {
 
     println!("\n== ablation: leftover-AMS rescue pool (SVI-A3) ==");
     for on in [true, false] {
-        report(
-            &format!("rescue_pool={on}"),
-            base().rescue_pool(on).build().unwrap(),
-        );
+        report(&format!("rescue_pool={on}"), base().rescue_pool(on).build().unwrap());
     }
 }

@@ -1,0 +1,291 @@
+//! Persistent, versioned on-disk result cache.
+//!
+//! Every figure/table/ablation binary simulates through [`crate::Matrix`],
+//! which consults this cache before sweeping. Cached results live as
+//! JSON-lines files (`*.jsonl`) in the cache directory; each line is one
+//! entry:
+//!
+//! ```json
+//! {"v":1,"fp":"v1|eval_ps=...|seed=...|wl=mixD|...","report":{...}}
+//! ```
+//!
+//! `v` is [`CACHE_SCHEMA_VERSION`]; lines with any other version (or that
+//! fail to parse) are skipped, so stale caches degrade to misses rather
+//! than errors. `fp` is the full configuration fingerprint produced by
+//! [`crate::Key::fingerprint`], which folds in the schema version, the
+//! run-affecting [`crate::Settings`] fields (evaluation period, seed) and
+//! every `Key` field — any change to either invalidates the entry.
+//!
+//! Writes are atomic and collision-free under concurrent figure binaries:
+//! each [`DiskCache::store`] call writes a fresh uniquely named temp file
+//! in the cache directory and `rename(2)`s it into place, so readers only
+//! ever see complete files and two processes never clobber each other's
+//! entries.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memnet_core::RunReport;
+use serde::{json, Deserialize, Serialize};
+
+/// Bump when the serialized [`RunReport`] layout (or the fingerprint
+/// format) changes; old cache files are then ignored wholesale.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// One cache line on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    /// Schema version, [`CACHE_SCHEMA_VERSION`] at write time.
+    v: u32,
+    /// Configuration fingerprint.
+    fp: String,
+    /// The cached result.
+    report: RunReport,
+}
+
+/// An open cache directory with all valid entries loaded.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    entries: HashMap<String, RunReport>,
+}
+
+/// Per-process counter making store filenames unique even when two stores
+/// land in the same nanosecond.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache directory and loads every
+    /// current-schema entry from its `*.jsonl` files.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        fs::create_dir_all(dir)?;
+        let mut entries = HashMap::new();
+        let mut skipped = 0usize;
+        let mut names: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        // Deterministic precedence: later files win on fingerprint ties.
+        names.sort();
+        for path in names {
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(_) => {
+                    skipped += 1;
+                    continue;
+                }
+            };
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match json::parse(line).and_then(|v| Entry::deserialize(&v)) {
+                    Ok(e) if e.v == CACHE_SCHEMA_VERSION => {
+                        entries.insert(e.fp, e.report);
+                    }
+                    _ => skipped += 1,
+                }
+            }
+        }
+        if skipped > 0 {
+            eprintln!("[cache] skipped {skipped} stale or unreadable entries in {}", dir.display());
+        }
+        Ok(DiskCache { dir: dir.to_path_buf(), entries })
+    }
+
+    /// The directory this cache was opened on.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of loaded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a result by fingerprint.
+    pub fn get(&self, fp: &str) -> Option<&RunReport> {
+        self.entries.get(fp)
+    }
+
+    /// Persists freshly simulated results, returning the file written
+    /// (`None` when `fresh` is empty).
+    ///
+    /// The entries are also retained in memory so subsequent `get`s hit.
+    /// The write is atomic: a unique temp file in the cache directory is
+    /// renamed into place, so concurrent figure binaries can store
+    /// simultaneously without corrupting or overwriting one another.
+    pub fn store(
+        &mut self,
+        fresh: impl IntoIterator<Item = (String, RunReport)>,
+    ) -> std::io::Result<Option<PathBuf>> {
+        let mut body = String::new();
+        let mut batch = Vec::new();
+        for (fp, report) in fresh {
+            let entry = Entry { v: CACHE_SCHEMA_VERSION, fp: fp.clone(), report };
+            body.push_str(&json::to_string(&entry));
+            body.push('\n');
+            batch.push((fp, entry.report));
+        }
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        fs::create_dir_all(&self.dir)?;
+        let unique = format!(
+            "{}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp = self.dir.join(format!(".store-{unique}.tmp"));
+        let dest = self.dir.join(format!("results-{unique}.jsonl"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, &dest) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        for (fp, report) in batch {
+            self.entries.insert(fp, report);
+        }
+        Ok(Some(dest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Key, Settings};
+    use memnet_core::{NetworkScale, PolicyKind, SimConfig};
+    use memnet_net::TopologyKind;
+    use memnet_policy::Mechanism;
+    use memnet_simcore::SimDuration;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "memnet-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_report() -> RunReport {
+        SimConfig::builder()
+            .workload("mixD")
+            .eval_period(SimDuration::from_us(20))
+            .seed(7)
+            .build()
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn report_round_trips_byte_identical() {
+        let report = tiny_report();
+        let once = json::to_string(&report);
+        let back = RunReport::deserialize(&json::parse(&once).unwrap()).unwrap();
+        // Re-serializing the deserialized report must reproduce the exact
+        // bytes: float formatting is shortest-round-trip, so equality here
+        // implies bit-identical numeric payloads.
+        assert_eq!(json::to_string(&back), once);
+        assert_eq!(back.workload, report.workload);
+        assert_eq!(back.completed_reads, report.completed_reads);
+        assert_eq!(back.power.watts().to_bits(), report.power.watts().to_bits());
+    }
+
+    #[test]
+    fn store_then_reopen_recovers_entries() {
+        let dir = unique_dir("reopen");
+        let report = tiny_report();
+        let mut cache = DiskCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let written =
+            cache.store([("fp-a".to_owned(), report.clone())]).unwrap().expect("one file");
+        assert!(written.exists());
+        assert_eq!(cache.len(), 1);
+
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let cached = reopened.get("fp-a").expect("entry survives reopen");
+        assert_eq!(json::to_string(cached), json::to_string(&report));
+        assert!(reopened.get("fp-b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_skipped() {
+        let dir = unique_dir("schema");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.store([("fp-a".to_owned(), tiny_report())]).unwrap();
+
+        // Rewrite the stored file claiming a future schema version, plus
+        // one line of garbage: both must be ignored on reopen.
+        let file = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .unwrap();
+        let doctored = fs::read_to_string(&file)
+            .unwrap()
+            .replace(&format!("{{\"v\":{CACHE_SCHEMA_VERSION},"), "{\"v\":999,");
+        fs::write(&file, format!("{doctored}not json at all\n")).unwrap();
+
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert!(reopened.is_empty(), "future-version entries must not load");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_settings_and_schema() {
+        let k = Key::main(
+            "mixD",
+            TopologyKind::DaisyChain,
+            NetworkScale::Small,
+            PolicyKind::NetworkAware,
+            Mechanism::VwlRoo,
+            0.05,
+        );
+        let s = Settings {
+            eval_period: SimDuration::from_us(20),
+            threads: 2,
+            seed: 1,
+            cache_dir: None,
+        };
+        let fp = k.fingerprint(&s);
+        assert!(fp.starts_with(&format!("v{CACHE_SCHEMA_VERSION}|")));
+        assert!(fp.contains("wl=mixD"));
+
+        // A different seed, eval period, or key must change the fingerprint;
+        // the thread count must not (it cannot affect results).
+        let mut other = s.clone();
+        other.seed = 2;
+        assert_ne!(k.fingerprint(&other), fp);
+        other = s.clone();
+        other.eval_period = SimDuration::from_us(21);
+        assert_ne!(k.fingerprint(&other), fp);
+        other = s.clone();
+        other.threads = 9;
+        assert_eq!(k.fingerprint(&other), fp);
+        let mut k2 = k.clone();
+        k2.alpha_tenths_pct += 1;
+        assert_ne!(k2.fingerprint(&s), fp);
+    }
+}

@@ -126,9 +126,8 @@ pub fn tables() -> String {
 /// Figure 4: cumulative fraction of memory accesses by the i-th GB of
 /// address space, per workload.
 pub fn fig04() -> String {
-    let mut out = String::from(
-        "Figure 4: cumulative % of memory accesses by address range (GB)\nGB",
-    );
+    let mut out =
+        String::from("Figure 4: cumulative % of memory accesses by address range (GB)\nGB");
     let specs = catalog::all();
     for w in &specs {
         out.push_str(&format!("\t{}", w.name));
@@ -163,7 +162,8 @@ pub fn fig05(matrix: &mut Matrix, settings: &Settings) -> String {
             let mut cats = [0.0f64; 6];
             let mut n = 0.0;
             for w in workloads() {
-                let k = Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
+                let k =
+                    Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
                 let c = matrix.get(&k).power.watts_per_hmc_by_category();
                 for i in 0..6 {
                     cats[i] += c[i];
@@ -201,7 +201,8 @@ pub fn fig05(matrix: &mut Matrix, settings: &Settings) -> String {
     for scale in SCALES {
         for topo in TOPOS {
             for w in workloads() {
-                let k = Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
+                let k =
+                    Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
                 io_fracs.push(matrix.get(&k).power.io_fraction());
             }
         }
@@ -220,8 +221,7 @@ pub fn fig05(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 6: average number of modules traversed per memory access.
 pub fn fig06(matrix: &mut Matrix, settings: &Settings) -> String {
     matrix.ensure(&fp_keys(), settings);
-    let mut out =
-        String::from("Figure 6: avg modules traversed per access\nworkload");
+    let mut out = String::from("Figure 6: avg modules traversed per access\nworkload");
     for scale in SCALES {
         for topo in TOPOS {
             out.push_str(&format!("\t{}:{}", scale.label(), topo.label()));
@@ -234,7 +234,8 @@ pub fn fig06(matrix: &mut Matrix, settings: &Settings) -> String {
         let mut col = 0;
         for scale in SCALES {
             for topo in TOPOS {
-                let k = Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
+                let k =
+                    Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
                 let v = matrix.get(&k).avg_modules_traversed;
                 avgs[col].push(v);
                 col += 1;
@@ -259,9 +260,8 @@ pub fn fig06(matrix: &mut Matrix, settings: &Settings) -> String {
 /// workload, topology and scale (full-power networks).
 pub fn fig08(matrix: &mut Matrix, settings: &Settings) -> String {
     matrix.ensure(&fp_keys(), settings);
-    let mut out = String::from(
-        "Figure 8: idle I/O power / total network power (%), full power\nworkload",
-    );
+    let mut out =
+        String::from("Figure 8: idle I/O power / total network power (%), full power\nworkload");
     for scale in SCALES {
         for topo in TOPOS {
             out.push_str(&format!("\t{}:{}", scale.label(), topo.label()));
@@ -341,10 +341,7 @@ pub fn fig09(matrix: &mut Matrix, settings: &Settings) -> String {
 /// VWL/ROO/VWL+ROO at α = 2.5 % and 5 %), averaged over workloads.
 pub fn fig11(matrix: &mut Matrix, settings: &Settings) -> String {
     matrix.ensure(&fp_keys(), settings);
-    matrix.ensure(
-        &managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS),
-        settings,
-    );
+    matrix.ensure(&managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
     let mut out = String::from(
         "Figure 11: avg power per HMC (W) under network-unaware management\n\
          scale      topology        FP  2.5%VWL  5%VWL  2.5%ROO  5%ROO  2.5%V+R  5%V+R\n",
@@ -352,7 +349,8 @@ pub fn fig11(matrix: &mut Matrix, settings: &Settings) -> String {
     for scale in SCALES {
         for topo in TOPOS {
             let fp = mean(workloads().iter().map(|w| {
-                let k = Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
+                let k =
+                    Key::main(w, topo, scale, PolicyKind::FullPower, Mechanism::FullPower, 0.05);
                 matrix.get(&k).power.watts_per_hmc()
             }));
             let cell = |mech: Mechanism, alpha: f64| {
@@ -412,10 +410,7 @@ pub fn fig11(matrix: &mut Matrix, settings: &Settings) -> String {
 /// network-unaware management vs. full power.
 pub fn fig12(matrix: &mut Matrix, settings: &Settings) -> String {
     matrix.ensure(&fp_keys(), settings);
-    matrix.ensure(
-        &managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS),
-        settings,
-    );
+    matrix.ensure(&managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
     let mut out = String::from(
         "Figure 12: performance degradation vs full power, network-unaware (%)\n\
          scale      mech      alpha   daisychain  ternary  star  DDRx-like |  avg   max\n",
@@ -486,14 +481,11 @@ pub fn fig13(matrix: &mut Matrix, settings: &Settings) -> String {
                 let window = r.power.window.as_secs();
                 for link in &r.links {
                     total_hours += window;
-                    let b = buckets
-                        .iter()
-                        .position(|&ub| link.utilization < ub)
-                        .unwrap_or(4);
-                    for lane in 0..4 {
+                    let b = buckets.iter().position(|&ub| link.utilization < ub).unwrap_or(4);
+                    for (lane, slot) in cell[b].iter_mut().enumerate() {
                         // VWL mode indices are 0..4 in BwMode order.
                         let idx = BwMode::from_index(lane).index();
-                        cell[b][lane] += link.mode_time[idx].as_secs();
+                        *slot += link.mode_time[idx].as_secs();
                     }
                 }
             }
@@ -505,8 +497,8 @@ pub fn fig13(matrix: &mut Matrix, settings: &Settings) -> String {
         out.push('\n');
         for (b, label) in bucket_labels.iter().enumerate() {
             out.push_str(&format!("{label:<10}"));
-            for lane in 0..4 {
-                out.push_str(&format!("{:9.1}%", 100.0 * cell[b][lane] / total_hours));
+            for hours in &cell[b] {
+                out.push_str(&format!("{:9.1}%", 100.0 * hours / total_hours));
             }
             out.push('\n');
         }
@@ -542,7 +534,8 @@ pub fn fig15(matrix: &mut Matrix, settings: &Settings) -> String {
                     let red: Vec<f64> = workloads()
                         .iter()
                         .map(|w| {
-                            let ka = Key::main(w, topo, scale, PolicyKind::NetworkAware, mech, alpha);
+                            let ka =
+                                Key::main(w, topo, scale, PolicyKind::NetworkAware, mech, alpha);
                             let ku =
                                 Key::main(w, topo, scale, PolicyKind::NetworkUnaware, mech, alpha);
                             let aware = matrix.get(&ka);

@@ -11,10 +11,17 @@
 //! Simulated evaluation time defaults to 1 ms per run (the paper uses
 //! 10 ms); set `MEMNET_EVAL_US` to lengthen or shorten it, and
 //! `MEMNET_THREADS` to bound the sweep parallelism.
+//!
+//! Results are cached persistently between invocations (see
+//! [`mod@cache`]): re-running any binary with a warm cache performs zero
+//! simulations. Point `MEMNET_CACHE_DIR` somewhere else to relocate the
+//! cache, or set `MEMNET_NO_CACHE=1` to bypass it.
 
+pub mod cache;
 pub mod figures;
 pub mod matrix;
 pub mod settings;
 
-pub use matrix::{Key, Matrix};
+pub use cache::{DiskCache, CACHE_SCHEMA_VERSION};
+pub use matrix::{EnsureStats, Key, Matrix};
 pub use settings::Settings;

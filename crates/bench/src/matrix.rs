@@ -8,6 +8,7 @@ use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_policy::Mechanism;
 
+use crate::cache::{DiskCache, CACHE_SCHEMA_VERSION};
 use crate::settings::Settings;
 
 /// A hashable identity for one simulation configuration.
@@ -71,6 +72,28 @@ impl Key {
         f64::from(self.alpha_tenths_pct) / 1000.0
     }
 
+    /// The persistent-cache identity of this configuration under
+    /// `settings`: folds in the cache schema version, every run-affecting
+    /// settings field (evaluation period and seed — thread count cannot
+    /// change results and is excluded), and every key field. Equal
+    /// fingerprints guarantee byte-identical simulation results.
+    pub fn fingerprint(&self, settings: &Settings) -> String {
+        format!(
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}",
+            CACHE_SCHEMA_VERSION,
+            settings.eval_period.as_ps(),
+            settings.seed,
+            self.workload,
+            self.topology,
+            self.scale,
+            self.policy,
+            self.mechanism,
+            self.alpha_tenths_pct,
+            self.roo_wakeup_ns,
+            self.mapping,
+        )
+    }
+
     fn to_config(&self, settings: &Settings) -> SimConfig {
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
         SimConfig::builder()
@@ -89,10 +112,25 @@ impl Key {
     }
 }
 
-/// Memoized experiment results.
+/// What one [`Matrix::ensure`] call did, for logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnsureStats {
+    /// Distinct keys requested.
+    pub requested: usize,
+    /// Served from this process's in-memory matrix.
+    pub memoized: usize,
+    /// Served from the persistent on-disk cache.
+    pub cache_hits: usize,
+    /// Actually simulated this call.
+    pub simulated: usize,
+}
+
+/// Memoized experiment results, backed by the persistent on-disk cache
+/// when [`Settings::cache_dir`] is set.
 #[derive(Debug, Default)]
 pub struct Matrix {
     reports: HashMap<Key, RunReport>,
+    disk: Option<DiskCache>,
 }
 
 impl Matrix {
@@ -101,9 +139,31 @@ impl Matrix {
         Matrix::default()
     }
 
-    /// Ensures every key has been simulated, sweeping the missing ones in
-    /// parallel.
-    pub fn ensure(&mut self, keys: &[Key], settings: &Settings) {
+    /// Returns the open disk cache for `settings`, if caching is enabled
+    /// and the directory is usable. Reopens when the directory changes.
+    fn disk_for(&mut self, settings: &Settings) -> Option<&mut DiskCache> {
+        let dir = settings.cache_dir.as_deref()?;
+        let stale = self.disk.as_ref().is_none_or(|d| d.dir() != dir);
+        if stale {
+            match DiskCache::open(dir) {
+                Ok(d) => self.disk = Some(d),
+                Err(e) => {
+                    eprintln!(
+                        "[matrix] warning: cannot open cache dir {}: {e}; caching disabled",
+                        dir.display()
+                    );
+                    self.disk = None;
+                    return None;
+                }
+            }
+        }
+        self.disk.as_mut()
+    }
+
+    /// Ensures every key has a result, in order of preference: already in
+    /// memory, in the persistent cache, or freshly simulated (in parallel)
+    /// — and persists anything fresh for the next process.
+    pub fn ensure(&mut self, keys: &[Key], settings: &Settings) -> EnsureStats {
         let missing: Vec<Key> = {
             let mut seen = std::collections::HashSet::new();
             keys.iter()
@@ -111,20 +171,60 @@ impl Matrix {
                 .cloned()
                 .collect()
         };
+        let mut stats = EnsureStats {
+            requested: {
+                let distinct: std::collections::HashSet<&Key> = keys.iter().collect();
+                distinct.len()
+            },
+            ..EnsureStats::default()
+        };
+        stats.memoized = stats.requested - missing.len();
         if missing.is_empty() {
-            return;
+            return stats;
         }
+
+        // Second chance: the persistent cache.
+        let mut to_simulate: Vec<Key> = Vec::with_capacity(missing.len());
+        if let Some(disk) = self.disk_for(settings) {
+            let mut hits: Vec<(Key, RunReport)> = Vec::new();
+            for k in missing {
+                match disk.get(&k.fingerprint(settings)) {
+                    Some(r) => hits.push((k, r.clone())),
+                    None => to_simulate.push(k),
+                }
+            }
+            stats.cache_hits = hits.len();
+            self.reports.extend(hits);
+        } else {
+            to_simulate = missing;
+        }
+        stats.simulated = to_simulate.len();
         eprintln!(
-            "[matrix] simulating {} configurations ({} threads, {} per run)...",
-            missing.len(),
+            "[matrix] {} configurations: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
+            stats.requested,
+            stats.memoized,
+            stats.cache_hits,
+            stats.simulated,
             settings.threads,
             settings.eval_period
         );
-        let configs = missing.iter().map(|k| k.to_config(settings)).collect();
+        if to_simulate.is_empty() {
+            return stats;
+        }
+
+        let configs = to_simulate.iter().map(|k| k.to_config(settings)).collect();
         let reports = memnet_core::sweep(configs, settings.threads);
-        for (k, r) in missing.into_iter().zip(reports) {
+        if let Some(disk) = self.disk_for(settings) {
+            let fresh =
+                to_simulate.iter().zip(&reports).map(|(k, r)| (k.fingerprint(settings), r.clone()));
+            if let Err(e) = disk.store(fresh) {
+                eprintln!("[matrix] warning: failed to persist results: {e}");
+            }
+        }
+        for (k, r) in to_simulate.into_iter().zip(reports) {
             self.reports.insert(k, r);
         }
+        stats
     }
 
     /// Fetches a previously ensured report.
@@ -133,9 +233,7 @@ impl Matrix {
     ///
     /// Panics if the key was never ensured.
     pub fn get(&self, key: &Key) -> &RunReport {
-        self.reports
-            .get(key)
-            .unwrap_or_else(|| panic!("configuration not simulated: {key:?}"))
+        self.reports.get(key).unwrap_or_else(|| panic!("configuration not simulated: {key:?}"))
     }
 
     /// Number of simulated configurations.
@@ -155,29 +253,63 @@ mod tests {
     use memnet_simcore::SimDuration;
 
     fn tiny_settings() -> Settings {
-        Settings {
-            eval_period: SimDuration::from_us(20),
-            threads: 2,
-            seed: 1,
-        }
+        Settings { eval_period: SimDuration::from_us(20), threads: 2, seed: 1, cache_dir: None }
     }
 
-    #[test]
-    fn ensure_is_memoized() {
-        let mut m = Matrix::new();
-        let k = Key::main(
-            "mixD",
+    fn tiny_key(workload: &'static str) -> Key {
+        Key::main(
+            workload,
             TopologyKind::DaisyChain,
             NetworkScale::Small,
             PolicyKind::FullPower,
             Mechanism::FullPower,
             0.05,
-        );
-        m.ensure(&[k.clone(), k.clone()], &tiny_settings());
+        )
+    }
+
+    #[test]
+    fn ensure_is_memoized() {
+        let mut m = Matrix::new();
+        let k = tiny_key("mixD");
+        let stats = m.ensure(&[k.clone(), k.clone()], &tiny_settings());
+        assert_eq!(stats, EnsureStats { requested: 1, memoized: 0, cache_hits: 0, simulated: 1 });
         assert_eq!(m.len(), 1);
         let before = m.get(&k).completed_reads;
-        m.ensure(&[k.clone()], &tiny_settings());
+        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings());
+        assert_eq!(stats, EnsureStats { requested: 1, memoized: 1, cache_hits: 0, simulated: 0 });
         assert_eq!(m.get(&k).completed_reads, before);
+    }
+
+    #[test]
+    fn warm_cache_simulates_nothing() {
+        let dir =
+            std::env::temp_dir().join(format!("memnet-matrix-test-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = Settings { cache_dir: Some(dir.clone()), ..tiny_settings() };
+        let keys = [tiny_key("mixD"), tiny_key("lu.D")];
+
+        let mut cold = Matrix::new();
+        let stats = cold.ensure(&keys, &settings);
+        assert_eq!(stats, EnsureStats { requested: 2, memoized: 0, cache_hits: 0, simulated: 2 });
+
+        // A brand-new Matrix (fresh process, in effect) must be served
+        // entirely from disk: zero simulations.
+        let mut warm = Matrix::new();
+        let stats = warm.ensure(&keys, &settings);
+        assert_eq!(stats, EnsureStats { requested: 2, memoized: 0, cache_hits: 2, simulated: 0 });
+        // Cached results are identical to the fresh ones.
+        for k in &keys {
+            let fresh = serde::json::to_string(cold.get(k));
+            let cached = serde::json::to_string(warm.get(k));
+            assert_eq!(fresh, cached, "cache must reproduce {k:?} byte-for-byte");
+        }
+
+        // A different seed invalidates: everything re-simulates.
+        let reseeded = Settings { seed: 2, ..settings.clone() };
+        let stats = Matrix::new().ensure(&keys, &reseeded);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.simulated, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

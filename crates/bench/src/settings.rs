@@ -1,9 +1,16 @@
 //! Harness settings from the environment.
 
+use std::path::PathBuf;
+use std::str::FromStr;
+
 use memnet_simcore::SimDuration;
 
+/// Default location of the persistent result cache, relative to the
+/// working directory.
+pub const DEFAULT_CACHE_DIR: &str = "target/memnet-cache";
+
 /// Batch-level experiment settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Settings {
     /// Simulated evaluation period per run.
     pub eval_period: SimDuration,
@@ -11,40 +18,88 @@ pub struct Settings {
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Where the persistent result cache lives; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Reads `name` from the environment, warning to stderr (and falling back
+/// to the default) when the value is present but unparsable.
+fn env_parse<T: FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("[settings] warning: ignoring unparsable {name}={raw:?}; using default");
+            None
+        }
+    }
 }
 
 impl Settings {
-    /// Reads settings from `MEMNET_EVAL_US` / `MEMNET_THREADS` /
-    /// `MEMNET_SEED`, defaulting to 1 ms, all cores, and a fixed seed.
+    /// Reads settings from the environment, defaulting to a 1 ms
+    /// evaluation period, all cores, a fixed seed, and a result cache in
+    /// [`DEFAULT_CACHE_DIR`]:
+    ///
+    /// * `MEMNET_EVAL_US` — simulated microseconds per run.
+    /// * `MEMNET_THREADS` — sweep worker threads.
+    /// * `MEMNET_SEED` — base RNG seed.
+    /// * `MEMNET_CACHE_DIR` — cache directory.
+    /// * `MEMNET_NO_CACHE` — set to `1`/`true` to disable the cache.
+    ///
+    /// Malformed values warn to stderr and fall back to the default.
     pub fn from_env() -> Self {
-        let eval_us = std::env::var("MEMNET_EVAL_US")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(1_000);
-        let threads = std::env::var("MEMNET_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-            });
-        let seed = std::env::var("MEMNET_SEED")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0xC0FFEE);
+        let eval_us = env_parse::<u64>("MEMNET_EVAL_US").unwrap_or(1_000);
+        let threads = env_parse::<usize>("MEMNET_THREADS")
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        let seed = env_parse::<u64>("MEMNET_SEED").unwrap_or(0xC0FFEE);
+        let no_cache = match std::env::var("MEMNET_NO_CACHE") {
+            Err(_) => false,
+            Ok(raw) => match raw.to_ascii_lowercase().as_str() {
+                "1" | "true" | "yes" => true,
+                "0" | "false" | "no" | "" => false,
+                _ => {
+                    eprintln!(
+                        "[settings] warning: ignoring unparsable MEMNET_NO_CACHE={raw:?}; \
+                         caching stays enabled"
+                    );
+                    false
+                }
+            },
+        };
+        let cache_dir = if no_cache {
+            None
+        } else {
+            match std::env::var("MEMNET_CACHE_DIR") {
+                Ok(dir) if dir.trim().is_empty() => {
+                    eprintln!(
+                        "[settings] warning: ignoring empty MEMNET_CACHE_DIR; \
+                         using {DEFAULT_CACHE_DIR:?}"
+                    );
+                    Some(PathBuf::from(DEFAULT_CACHE_DIR))
+                }
+                Ok(dir) => Some(PathBuf::from(dir)),
+                Err(_) => Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+            }
+        };
         Settings {
             eval_period: SimDuration::from_us(eval_us.max(1)),
             threads: threads.max(1),
             seed,
+            cache_dir,
         }
     }
 }
 
 impl Default for Settings {
+    /// Defaults for in-process use (tests, library callers): 1 ms window,
+    /// four threads, fixed seed, **no** persistent cache. The figure
+    /// binaries use [`Settings::from_env`], which enables the cache.
     fn default() -> Self {
         Settings {
             eval_period: SimDuration::from_us(1_000),
             threads: 4,
             seed: 0xC0FFEE,
+            cache_dir: None,
         }
     }
 }
@@ -58,5 +113,47 @@ mod tests {
         let s = Settings::default();
         assert_eq!(s.eval_period, SimDuration::from_ms(1));
         assert!(s.threads >= 1);
+        assert_eq!(s.cache_dir, None);
+    }
+
+    // Environment mutation is process-global, so everything env-related
+    // lives in one test.
+    #[test]
+    fn from_env_parses_overrides_and_survives_garbage() {
+        std::env::set_var("MEMNET_EVAL_US", "250");
+        std::env::set_var("MEMNET_THREADS", "3");
+        std::env::set_var("MEMNET_SEED", "42");
+        std::env::set_var("MEMNET_CACHE_DIR", "/tmp/memnet-test-cache");
+        std::env::remove_var("MEMNET_NO_CACHE");
+        let s = Settings::from_env();
+        assert_eq!(s.eval_period, SimDuration::from_us(250));
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/memnet-test-cache")));
+
+        // Malformed values warn (to stderr) and fall back to defaults.
+        std::env::set_var("MEMNET_EVAL_US", "a lot");
+        std::env::set_var("MEMNET_THREADS", "-2");
+        std::env::set_var("MEMNET_SEED", "0x12"); // hex not supported
+        std::env::set_var("MEMNET_NO_CACHE", "maybe");
+        std::env::remove_var("MEMNET_CACHE_DIR");
+        let s = Settings::from_env();
+        assert_eq!(s.eval_period, SimDuration::from_us(1_000));
+        assert_eq!(s.seed, 0xC0FFEE);
+        assert_eq!(s.cache_dir.as_deref(), Some(std::path::Path::new(DEFAULT_CACHE_DIR)));
+
+        // MEMNET_NO_CACHE=1 disables the cache entirely.
+        std::env::set_var("MEMNET_NO_CACHE", "1");
+        assert_eq!(Settings::from_env().cache_dir, None);
+
+        for var in [
+            "MEMNET_EVAL_US",
+            "MEMNET_THREADS",
+            "MEMNET_SEED",
+            "MEMNET_CACHE_DIR",
+            "MEMNET_NO_CACHE",
+        ] {
+            std::env::remove_var(var);
+        }
     }
 }

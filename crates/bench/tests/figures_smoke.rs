@@ -5,11 +5,7 @@ use memnet_bench::{figures, Matrix, Settings};
 use memnet_simcore::SimDuration;
 
 fn tiny() -> Settings {
-    Settings {
-        eval_period: SimDuration::from_us(25),
-        threads: 2,
-        seed: 3,
-    }
+    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, cache_dir: None }
 }
 
 #[test]
@@ -27,7 +23,7 @@ fn fig04_has_one_column_per_workload_and_39_rows() {
     let header = lines.nth(1).unwrap();
     assert_eq!(header.split('\t').count(), 15); // "GB" + 14 workloads
     assert_eq!(f.lines().count(), 2 + 39); // title + header + 0..=38 GB
-    // Final row is 100 % everywhere.
+                                           // Final row is 100 % everywhere.
     let last = f.lines().last().unwrap();
     for cell in last.split('\t').skip(1) {
         assert_eq!(cell.trim(), "100.0");

@@ -9,7 +9,7 @@ use memnet_net::TopologyKind;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
 use memnet_simcore::SimDuration;
 use memnet_workload::{catalog, WorkloadSpec};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::engine::Engine;
 use crate::metrics::RunReport;
@@ -19,7 +19,7 @@ use crate::metrics::RunReport;
 /// Small maps the *i*-th contiguous 4 GB of physical space to HMC *i*
 /// (HMCs fully used); big maps the *i*-th contiguous 1 GB, producing a
 /// network four times larger for the same footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NetworkScale {
     /// 4 GB per HMC (the paper's small network study).
     Small,
@@ -49,7 +49,7 @@ impl NetworkScale {
 }
 
 /// How physical lines map onto modules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AddressMapping {
     /// The *i*-th contiguous chunk goes to HMC *i* (the paper's default;
     /// consolidates accesses onto few modules so others can power down).
@@ -363,11 +363,7 @@ mod tests {
     #[test]
     fn big_scale_quadruples_module_count() {
         let small = SimConfig::builder().workload("is.D").build().unwrap();
-        let big = SimConfig::builder()
-            .workload("is.D")
-            .scale(NetworkScale::Big)
-            .build()
-            .unwrap();
+        let big = SimConfig::builder().workload("is.D").scale(NetworkScale::Big).build().unwrap();
         assert_eq!(small.n_hmcs(), 9); // 36 GB / 4
         assert_eq!(big.n_hmcs(), 36); // 36 GB / 1
         assert_eq!(big.chunk_lines(), (1 << 30) / 64);
@@ -389,10 +385,7 @@ mod tests {
 
     #[test]
     fn zero_eval_period_is_rejected() {
-        let err = SimConfig::builder()
-            .eval_period(SimDuration::ZERO)
-            .build()
-            .unwrap_err();
+        let err = SimConfig::builder().eval_period(SimDuration::ZERO).build().unwrap_err();
         assert_eq!(err, ConfigError::BadEvalPeriod);
     }
 

@@ -116,10 +116,8 @@ impl Engine {
         );
         // Initial modes apply at construction with no transition latency.
         let initial = controller.initial_decisions();
-        let mut links: Vec<LinkSim> = initial
-            .iter()
-            .map(|d| LinkSim::new(d.link, d.mode.bw, start))
-            .collect();
+        let mut links: Vec<LinkSim> =
+            initial.iter().map(|d| LinkSim::new(d.link, d.mode.bw, start)).collect();
         for (l, d) in links.iter_mut().zip(&initial) {
             l.set_roo_params(cfg.roo_params);
             l.set_roo_threshold(d.mode.roo);
@@ -127,9 +125,8 @@ impl Engine {
         let vaults = (0..n)
             .map(|_| (0..cfg.dram.vaults).map(|_| Vault::new(&cfg.dram, start)).collect())
             .collect();
-        let vault_hold = (0..n)
-            .map(|_| (0..cfg.dram.vaults).map(|_| Default::default()).collect())
-            .collect();
+        let vault_hold =
+            (0..n).map(|_| (0..cfg.dram.vaults).map(|_| Default::default()).collect()).collect();
         let vault_tick_at = (0..n).map(|_| vec![SimTime::MAX; cfg.dram.vaults]).collect();
         let frontend = Frontend::new(
             cfg.workload.clone(),
@@ -412,7 +409,10 @@ impl Engine {
                     let pos = route.iter().position(|&x| x == m).expect("module on route");
                     let next = route[pos + 1];
                     let at = self.now + ROUTER_LATENCY;
-                    self.schedule(at, Event::EnqueueLink(LinkId::of(next, Direction::Request), pkt));
+                    self.schedule(
+                        at,
+                        Event::EnqueueLink(LinkId::of(next, Direction::Request), pkt),
+                    );
                 }
             }
             Direction::Response => match self.topo.parent(m) {
@@ -492,15 +492,9 @@ impl Engine {
             let Some((pkt, arrival)) = self.vault_hold[m.0][v].pop_front() else { break };
             let line = self.line_in_module(pkt.line_addr);
             let (_, bank) = line_to_vault_bank(line, &self.cfg.dram);
-            let op = VaultOp {
-                id: pkt.id,
-                bank,
-                is_read: pkt.kind == PacketKind::ReadRequest,
-                arrival,
-            };
-            self.vaults[m.0][v]
-                .enqueue(op)
-                .expect("space was checked");
+            let op =
+                VaultOp { id: pkt.id, bank, is_read: pkt.kind == PacketKind::ReadRequest, arrival };
+            self.vaults[m.0][v].enqueue(op).expect("space was checked");
         }
     }
 
@@ -508,10 +502,8 @@ impl Engine {
         if is_read {
             self.controller.on_dram_read(m);
             self.vault_reads_in_flight[m.0] -= 1;
-            let pkt = self
-                .outstanding_reads
-                .remove(&id)
-                .expect("read completion for unknown packet");
+            let pkt =
+                self.outstanding_reads.remove(&id).expect("read completion for unknown packet");
             self.trace(&pkt, TracePoint::VaultDone(m));
             let resp = pkt.to_response();
             let at = self.now + ROUTER_LATENCY;
@@ -593,11 +585,8 @@ impl Engine {
         // (their transmitters live on this module, so the state is local).
         if self.controller.wake_chaining() && l.direction() == Direction::Response {
             let m = l.edge_module();
-            let children_off = self
-                .topo
-                .downstream_same_type(l)
-                .iter()
-                .all(|d| self.links[d.0].is_off());
+            let children_off =
+                self.topo.downstream_same_type(l).iter().all(|d| self.links[d.0].is_off());
             if self.vault_reads_in_flight[m.0] > 0 || !children_off {
                 let recheck = self.now + thr.threshold();
                 self.schedule(recheck, Event::TurnOffCheck(l, token));
@@ -672,10 +661,8 @@ impl Engine {
             });
         }
         for m in self.topo.modules() {
-            let accesses: u64 = self.vaults[m.0]
-                .iter()
-                .map(|v| v.reads_issued() + v.writes_issued())
-                .sum();
+            let accesses: u64 =
+                self.vaults[m.0].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
             energy += self.power_model.module_energy(
                 self.topo.radix(m),
                 SimTime::ZERO,
@@ -699,11 +686,7 @@ impl Engine {
             policy: self.cfg.policy.label(),
             mechanism: self.cfg.mechanism.label(),
             alpha: self.cfg.alpha,
-            power: PowerSummary {
-                energy,
-                window,
-                n_hmcs: self.topo.len(),
-            },
+            power: PowerSummary { energy, window, n_hmcs: self.topo.len() },
             channel_utilization,
             link_utilization,
             avg_modules_traversed: if self.hops_count == 0 {

@@ -167,12 +167,7 @@ mod tests {
     use memnet_workload::catalog;
 
     fn frontend() -> Frontend {
-        Frontend::new(
-            catalog::by_name("mixB").unwrap(),
-            SplitMix64::new(1),
-            4,
-            8,
-        )
+        Frontend::new(catalog::by_name("mixB").unwrap(), SplitMix64::new(1), 4, 8)
     }
 
     #[test]

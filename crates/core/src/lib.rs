@@ -47,7 +47,7 @@ pub mod trace;
 
 pub use config::{AddressMapping, ConfigError, NetworkScale, SimConfig, SimConfigBuilder};
 pub use engine::Engine;
-pub use metrics::{LinkTelemetry, PowerSummary, RunReport};
-pub use trace::{Trace, TraceEvent, TracePoint};
 pub use memnet_policy::PolicyKind;
+pub use metrics::{LinkTelemetry, PowerSummary, RunReport};
 pub use runner::{run_pair, sweep};
+pub use trace::{Trace, TraceEvent, TracePoint};

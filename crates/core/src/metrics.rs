@@ -4,12 +4,12 @@ use memnet_net::mech::N_BW_MODES;
 use memnet_net::{LinkId, TopologyKind};
 use memnet_power::EnergyBreakdown;
 use memnet_simcore::SimDuration;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::trace::TraceEvent;
 
 /// Power summary over the evaluation window.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PowerSummary {
     /// Total joules by Figure 5 category.
     pub energy: EnergyBreakdown,
@@ -51,7 +51,7 @@ impl PowerSummary {
 }
 
 /// Per-link telemetry (Figure 13's link-hours raw data).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkTelemetry {
     /// Which link.
     pub link: LinkId,
@@ -69,7 +69,7 @@ pub struct LinkTelemetry {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: &'static str,

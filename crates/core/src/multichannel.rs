@@ -82,11 +82,7 @@ mod tests {
     use memnet_simcore::SimDuration;
 
     fn tiny() -> SimConfig {
-        SimConfig::builder()
-            .workload("mixD")
-            .eval_period(SimDuration::from_us(40))
-            .build()
-            .unwrap()
+        SimConfig::builder().workload("mixD").eval_period(SimDuration::from_us(40)).build().unwrap()
     }
 
     #[test]

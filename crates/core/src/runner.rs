@@ -1,5 +1,6 @@
 //! Experiment execution helpers: baseline pairing and parallel sweeps.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use memnet_policy::{Mechanism, PolicyKind};
@@ -26,29 +27,56 @@ pub fn run_pair(cfg: SimConfig) -> (RunReport, RunReport) {
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero or a worker panics.
+/// Panics if `threads` is zero, or if a worker panics — in which case the
+/// panic message names the configuration whose run failed rather than
+/// surfacing as an opaque poisoned-lock error in the caller.
 pub fn sweep(configs: Vec<SimConfig>, threads: usize) -> Vec<RunReport> {
     assert!(threads > 0, "need at least one thread");
     let n = configs.len();
     let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
     let queue = Mutex::new(jobs);
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    // One slot per job: the report, or the panic message of a failed run.
+    type Slot = Option<Result<RunReport, String>>;
+    let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
+                // A panicking worker poisons the mutexes; recover the guard
+                // so other workers keep draining the queue and the panic is
+                // attributed below instead of dying on "queue lock".
+                let job = queue.lock().unwrap_or_else(|p| p.into_inner()).pop();
                 let Some((idx, cfg)) = job else { break };
-                let report = cfg.run();
-                results.lock().expect("results lock")[idx] = Some(report);
+                let what = format!(
+                    "workload {:?}, topology {:?}, policy {:?}, mechanism {:?}",
+                    cfg.workload.name, cfg.topology, cfg.policy, cfg.mechanism
+                );
+                let outcome = catch_unwind(AssertUnwindSafe(|| cfg.run())).map_err(|cause| {
+                    let msg = cause
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| cause.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    format!("{what}: {msg}")
+                });
+                results.lock().unwrap_or_else(|p| p.into_inner())[idx] = Some(outcome);
             });
         }
     });
-    results
-        .into_inner()
-        .expect("workers finished")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+    let slots = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    let failures: Vec<String> = slots
+        .iter()
+        .filter_map(|s| match s {
+            Some(Err(msg)) => Some(msg.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "sweep: {} of {n} runs panicked:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    slots.into_iter().map(|r| r.expect("every job ran").expect("failures checked above")).collect()
 }
 
 #[cfg(test)]

@@ -9,10 +9,10 @@
 
 use memnet_net::{LinkId, ModuleId, PacketKind};
 use memnet_simcore::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Where a trace event happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TracePoint {
     /// Injected by the processor front-end.
     Inject,
@@ -42,7 +42,7 @@ impl TracePoint {
 }
 
 /// One recorded packet milestone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,
@@ -112,12 +112,7 @@ mod tests {
     use super::*;
 
     fn ev(t: u64, pkt: u64, point: TracePoint) -> TraceEvent {
-        TraceEvent {
-            time: SimTime::from_ps(t),
-            packet: pkt,
-            kind: PacketKind::ReadRequest,
-            point,
-        }
+        TraceEvent { time: SimTime::from_ps(t), packet: pkt, kind: PacketKind::ReadRequest, point }
     }
 
     #[test]

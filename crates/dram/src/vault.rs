@@ -181,23 +181,16 @@ impl Vault {
     /// Earliest time the head operation's activate could issue, given bank,
     /// tRRD and arrival constraints. `None` when the queue is empty.
     pub fn next_issue_time(&self, now: SimTime) -> Option<SimTime> {
-        self.head().map(|op| {
-            self.bank_ready[op.bank]
-                .max(self.next_act_allowed)
-                .max(op.arrival)
-                .max(now)
-        })
+        self.head()
+            .map(|op| self.bank_ready[op.bank].max(self.next_act_allowed).max(op.arrival).max(now))
     }
 
     /// Issues every operation whose activate can start at or before `now`,
     /// returning them with resolved completion times (ascending).
     pub fn advance(&mut self, now: SimTime) -> Vec<IssuedOp> {
         let mut issued = Vec::new();
-        loop {
-            let Some(op) = self.head().copied() else { break };
-            let act_start = self.bank_ready[op.bank]
-                .max(self.next_act_allowed)
-                .max(op.arrival);
+        while let Some(op) = self.head().copied() {
+            let act_start = self.bank_ready[op.bank].max(self.next_act_allowed).max(op.arrival);
             if act_start > now {
                 break;
             }

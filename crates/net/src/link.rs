@@ -384,9 +384,7 @@ impl LinkSim {
 
     /// Total time spent transmitting through `now`.
     pub fn busy_time(&self, now: SimTime) -> SimDuration {
-        (0..N_BW_MODES)
-            .map(|i| self.residency.time_in(3 + 2 * i, now))
-            .sum()
+        (0..N_BW_MODES).map(|i| self.residency.time_in(3 + 2 * i, now)).sum()
     }
 
     /// Flits transmitted so far.
@@ -501,10 +499,7 @@ mod tests {
         let now = SimTime::from_ps(10_000);
         let snap = l.residency_snapshot(now);
         assert_eq!(snap[state_on_active(BwMode::FULL_VWL)], SimDuration::from_ps(640));
-        assert_eq!(
-            snap[state_on_idle(BwMode::FULL_VWL)],
-            SimDuration::from_ps(10_000 - 640)
-        );
+        assert_eq!(snap[state_on_idle(BwMode::FULL_VWL)], SimDuration::from_ps(10_000 - 640));
         assert_eq!(l.busy_time(now), SimDuration::from_ps(640));
     }
 

@@ -71,7 +71,8 @@ pub enum DvfsLevel {
 
 impl DvfsLevel {
     /// All levels, highest bandwidth first.
-    pub const ALL: [DvfsLevel; 4] = [DvfsLevel::P100, DvfsLevel::P80, DvfsLevel::P50, DvfsLevel::P14];
+    pub const ALL: [DvfsLevel; 4] =
+        [DvfsLevel::P100, DvfsLevel::P80, DvfsLevel::P50, DvfsLevel::P14];
 
     /// Bandwidth as a fraction of full bandwidth.
     pub fn bandwidth_fraction(self) -> f64 {
@@ -220,12 +221,8 @@ pub enum RooThreshold {
 
 impl RooThreshold {
     /// All thresholds, most aggressive first.
-    pub const ALL: [RooThreshold; 4] = [
-        RooThreshold::T32,
-        RooThreshold::T128,
-        RooThreshold::T512,
-        RooThreshold::T2048,
-    ];
+    pub const ALL: [RooThreshold; 4] =
+        [RooThreshold::T32, RooThreshold::T128, RooThreshold::T512, RooThreshold::T2048];
 
     /// The idleness threshold duration.
     pub fn threshold(self) -> SimDuration {
@@ -260,18 +257,12 @@ pub struct RooParams {
 impl RooParams {
     /// The paper's primary configuration: 14 ns wakeup, 1 % off power.
     pub fn fast() -> Self {
-        RooParams {
-            wakeup_latency: SimDuration::from_ns(14),
-            off_power_fraction: 0.01,
-        }
+        RooParams { wakeup_latency: SimDuration::from_ns(14), off_power_fraction: 0.01 }
     }
 
     /// The sensitivity-study configuration: 20 ns wakeup, 1 % off power.
     pub fn slow() -> Self {
-        RooParams {
-            wakeup_latency: SimDuration::from_ns(20),
-            off_power_fraction: 0.01,
-        }
+        RooParams { wakeup_latency: SimDuration::from_ns(20), off_power_fraction: 0.01 }
     }
 }
 

@@ -77,15 +77,8 @@ impl Packet {
     ///
     /// Panics if `self` is not a [`PacketKind::ReadRequest`].
     pub fn to_response(&self) -> Packet {
-        assert_eq!(
-            self.kind,
-            PacketKind::ReadRequest,
-            "only read requests have responses"
-        );
-        Packet {
-            kind: PacketKind::ReadResponse,
-            ..*self
-        }
+        assert_eq!(self.kind, PacketKind::ReadRequest, "only read requests have responses");
+        Packet { kind: PacketKind::ReadResponse, ..*self }
     }
 }
 

@@ -15,9 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Index of a memory module (HMC) within a network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ModuleId(pub usize);
 
 /// A node in the network: the processor or a memory module.
@@ -70,9 +68,7 @@ impl Direction {
 ///
 /// Edge `m` (the connectivity link of module `m`) owns links
 /// `LinkId(2m)` (request) and `LinkId(2m + 1)` (response).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -203,28 +199,23 @@ impl Topology {
     fn daisy_chain(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
         let radix = vec![HmcRadix::Low; n];
         let parent = (0..n)
-            .map(|m| {
-                if m == 0 {
-                    NodeRef::Processor
-                } else {
-                    NodeRef::Module(ModuleId(m - 1))
-                }
-            })
+            .map(|m| if m == 0 { NodeRef::Processor } else { NodeRef::Module(ModuleId(m - 1)) })
             .collect();
         (radix, parent)
     }
 
     fn ternary_tree(n: usize) -> (Vec<HmcRadix>, Vec<NodeRef>) {
         let radix = vec![HmcRadix::High; n];
-        let parent = (0..n)
-            .map(|m| {
-                if m == 0 {
-                    NodeRef::Processor
-                } else {
-                    NodeRef::Module(ModuleId((m - 1) / 3))
-                }
-            })
-            .collect();
+        let parent =
+            (0..n)
+                .map(|m| {
+                    if m == 0 {
+                        NodeRef::Processor
+                    } else {
+                        NodeRef::Module(ModuleId((m - 1) / 3))
+                    }
+                })
+                .collect();
         (radix, parent)
     }
 
@@ -357,10 +348,7 @@ impl Topology {
     /// module `m`).
     pub fn downstream_same_type(&self, link: LinkId) -> Vec<LinkId> {
         let m = link.edge_module();
-        self.children(m)
-            .iter()
-            .map(|&c| LinkId::of(c, link.direction()))
-            .collect()
+        self.children(m).iter().map(|&c| LinkId::of(c, link.direction())).collect()
     }
 
     /// The immediate upstream link of the same type, or `None` if `link`'s
@@ -445,10 +433,7 @@ impl Topology {
                 ));
             }
         }
-        let attached = self
-            .modules()
-            .filter(|&m| self.parent(m) == NodeRef::Processor)
-            .count();
+        let attached = self.modules().filter(|&m| self.parent(m) == NodeRef::Processor).count();
         if attached == 0 {
             return Err("no module attaches to the processor".into());
         }
@@ -561,10 +546,7 @@ mod tests {
         );
         assert_eq!(t.upstream_same_type(req0), None);
         let resp4 = LinkId::of(ModuleId(4), Direction::Response);
-        assert_eq!(
-            t.upstream_same_type(resp4),
-            Some(LinkId::of(ModuleId(1), Direction::Response))
-        );
+        assert_eq!(t.upstream_same_type(resp4), Some(LinkId::of(ModuleId(1), Direction::Response)));
     }
 
     #[test]

@@ -61,9 +61,7 @@ fn dvfs_transition_is_slower_than_vwl() {
 fn superseding_mode_requests_keep_the_last_one() {
     let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
     let _ = l.request_bw_mode(BwMode::Vwl(VwlWidth::W4), SimTime::ZERO).unwrap();
-    let t2 = l
-        .request_bw_mode(BwMode::Vwl(VwlWidth::W8), SimTime::from_ps(100))
-        .unwrap();
+    let t2 = l.request_bw_mode(BwMode::Vwl(VwlWidth::W8), SimTime::from_ps(100)).unwrap();
     // The first transition's completion time passes: only the second
     // request may apply, at its own time.
     l.apply_pending_bw(SimTime::from_ps(1_000_000));

@@ -315,10 +315,8 @@ impl PowerController {
         flits: u64,
         is_read: bool,
     ) -> ViolationAction {
-        let managed = matches!(
-            self.cfg.kind,
-            PolicyKind::NetworkUnaware | PolicyKind::NetworkAware
-        );
+        let managed =
+            matches!(self.cfg.kind, PolicyKind::NetworkUnaware | PolicyKind::NetworkAware);
         let st = &mut self.links[link.0];
         for m in &mut st.monitors {
             m.record(arrival, flits, is_read);
@@ -338,8 +336,7 @@ impl PowerController {
         if st.overhead() > st.budget {
             if self.cfg.kind == PolicyKind::NetworkAware {
                 // Ask the head module for a share of the leftover pool.
-                while st.rescue_used < self.cfg.rescue_max_requests && st.overhead() > st.budget
-                {
+                while st.rescue_used < self.cfg.rescue_max_requests && st.overhead() > st.budget {
                     let grant = ((self.pool_original as f64 * self.cfg.rescue_grant_fraction)
                         as LatencyPs)
                         .min(self.pool);
@@ -424,11 +421,7 @@ impl PowerController {
         let st = &self.links[link.0];
         let off_frac = match mode.roo {
             None => 0.0,
-            Some(thr) => st
-                .histogram
-                .off_time(thr)
-                .ratio(self.cfg.epoch)
-                .clamp(0.0, 1.0),
+            Some(thr) => st.histogram.off_time(thr).ratio(self.cfg.epoch).clamp(0.0, 1.0),
         };
         mode.bw.power_fraction() * (1.0 - off_frac)
             + self.cfg.roo_params.off_power_fraction * off_frac
@@ -575,8 +568,7 @@ impl PowerController {
             }
             // Congestion at this response link hides downstream overheads.
             let qf = resp.queuing_fraction();
-            let discount =
-                ((downstream as f64 * qf) as LatencyPs).min(ps(resp.queuing_delay));
+            let discount = ((downstream as f64 * qf) as LatencyPs).min(ps(resp.queuing_delay));
             subtree[m] = (downstream - discount).max(0) + resp.overhead().max(0);
         }
         let total_overhead: LatencyPs = self
@@ -669,10 +661,7 @@ impl PowerController {
     }
 
     fn src_count(&self, dir: Direction) -> u64 {
-        self.topo
-            .links()
-            .filter(|l| l.direction() == dir && self.links[l.0].src)
-            .count() as u64
+        self.topo.links().filter(|l| l.direction() == dir && self.links[l.0].src).count() as u64
     }
 
     /// ISP scatter for one link type: each SRC adds the received PCS to
@@ -693,7 +682,9 @@ impl PowerController {
             let used = pcs0 * srcs;
             // Stash the remainder on the first root's unused so gather
             // reclaims it.
-            if let Some(root) = self.topo.modules().find(|&m| self.topo.parent(m) == NodeRef::Processor) {
+            if let Some(root) =
+                self.topo.modules().find(|&m| self.topo.parent(m) == NodeRef::Processor)
+            {
                 self.links[LinkId::of(root, dir).0].unused += type_pool - used;
             }
         }
@@ -821,11 +812,7 @@ mod tests {
 
     fn controller(kind: PolicyKind, mech: Mechanism, n: usize) -> PowerController {
         let topo = Topology::build(TopologyKind::TernaryTree, n);
-        PowerController::new(
-            topo,
-            PolicyConfig::new(kind, mech, 0.05),
-            SimDuration::from_ns(30),
-        )
+        PowerController::new(topo, PolicyConfig::new(kind, mech, 0.05), SimDuration::from_ns(30))
     }
 
     /// Feeds `count` well-spaced small read packets through a link.
@@ -898,7 +885,7 @@ mod tests {
         let link = LinkId::of(ModuleId(1), Direction::Response);
         // Tiny budget.
         c.links[link.0].budget = 1_000; // 1 ns
-        // A read that took 100 ns longer than full power predicts.
+                                        // A read that took 100 ns longer than full power predicts.
         c.on_packet_arrival(link, SimTime::ZERO, true);
         let action = c.on_packet_departure(
             link,
@@ -959,10 +946,7 @@ mod tests {
             for d in topo.downstream_same_type(l) {
                 let up = PowerController::power_key(c.selected_mode(l));
                 let down = PowerController::power_key(c.selected_mode(d));
-                assert!(
-                    up + 1e-9 >= down,
-                    "upstream {l:?} ({up}) below downstream {d:?} ({down})"
-                );
+                assert!(up + 1e-9 >= down, "upstream {l:?} ({up}) below downstream {d:?} ({down})");
             }
         }
     }
@@ -996,10 +980,7 @@ mod tests {
         let c = controller(PolicyKind::NetworkAware, Mechanism::Roo, 4);
         assert!(c.wake_chaining());
         let resp = LinkId::of(ModuleId(2), Direction::Response);
-        let mode = LinkPowerMode {
-            bw: BwMode::FULL_VWL,
-            roo: Some(RooThreshold::T32),
-        };
+        let mode = LinkPowerMode { bw: BwMode::FULL_VWL, roo: Some(RooThreshold::T32) };
         assert_eq!(c.flo(resp, mode), 0, "chained response wakeups are hidden");
     }
 
@@ -1029,14 +1010,10 @@ mod tests {
     fn static_selection_tapers_initial_widths() {
         let mut c = controller(PolicyKind::StaticSelection, Mechanism::Vwl, 13);
         let ds = c.initial_decisions();
-        let root = ds
-            .iter()
-            .find(|d| d.link == LinkId::of(ModuleId(0), Direction::Request))
-            .unwrap();
-        let leaf = ds
-            .iter()
-            .find(|d| d.link == LinkId::of(ModuleId(12), Direction::Request))
-            .unwrap();
+        let root =
+            ds.iter().find(|d| d.link == LinkId::of(ModuleId(0), Direction::Request)).unwrap();
+        let leaf =
+            ds.iter().find(|d| d.link == LinkId::of(ModuleId(12), Direction::Request)).unwrap();
         assert!(root.mode.bw.bandwidth_fraction() > leaf.mode.bw.bandwidth_fraction());
     }
 }

@@ -153,9 +153,7 @@ impl IdleHistogram {
     pub fn off_time(&self, thr: RooThreshold) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for i in thr.index()..4 {
-            total += self
-                .duration_sums[i]
-                .saturating_sub(thr.threshold() * self.counts[i]);
+            total += self.duration_sums[i].saturating_sub(thr.threshold() * self.counts[i]);
         }
         total
     }

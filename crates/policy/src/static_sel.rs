@@ -33,10 +33,7 @@ pub fn static_width_decisions(topology: &Topology) -> Vec<LinkDecision> {
             let fraction = fractions[link.edge_module().0];
             LinkDecision {
                 link,
-                mode: LinkPowerMode {
-                    bw: BwMode::Vwl(width_for_fraction(fraction)),
-                    roo: None,
-                },
+                mode: LinkPowerMode { bw: BwMode::Vwl(width_for_fraction(fraction)), roo: None },
             }
         })
         .collect()

@@ -121,7 +121,14 @@ fn congestion_discount_returns_ams_to_the_pool() {
                 };
                 let start = arrival + SimDuration::from_ps(j * 3_200);
                 c.on_packet_arrival(up, arrival, true);
-                c.on_packet_departure(up, arrival, start, start + SimDuration::from_ps(3_200), 5, true);
+                c.on_packet_departure(
+                    up,
+                    arrival,
+                    start,
+                    start + SimDuration::from_ps(3_200),
+                    5,
+                    true,
+                );
             }
         }
         let _ = c.epoch_end(SimTime::ZERO + SimDuration::from_us(100));

@@ -28,11 +28,7 @@ fn mech_strategy() -> impl Strategy<Value = Mechanism> {
 
 /// Builds an aware controller and feeds one epoch of pseudo-random
 /// telemetry derived from `traffic` (per-module intensity seeds).
-fn primed(
-    kind: TopologyKind,
-    mech: Mechanism,
-    traffic: &[u8],
-) -> PowerController {
+fn primed(kind: TopologyKind, mech: Mechanism, traffic: &[u8]) -> PowerController {
     let n = traffic.len().max(1);
     let topo = Topology::build(kind, n);
     let cfg = PolicyConfig::new(PolicyKind::NetworkAware, mech, 0.05);

@@ -41,8 +41,12 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total joules across all categories.
     pub fn total(&self) -> f64 {
-        self.idle_io + self.active_io + self.logic_leak + self.logic_dyn
-            + self.dram_leak + self.dram_dyn
+        self.idle_io
+            + self.active_io
+            + self.logic_leak
+            + self.logic_dyn
+            + self.dram_leak
+            + self.dram_dyn
     }
 
     /// Total I/O joules (idle + active).

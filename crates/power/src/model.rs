@@ -111,8 +111,7 @@ impl HmcPowerModel {
     /// and (in the model's proportional-peak assumption) half the
     /// bandwidth.
     pub fn dram_dyn_energy_per_access(&self) -> f64 {
-        let dynamic_watts =
-            self.dram_peak_watts(HmcRadix::High) * (1.0 - self.dram_idle_fraction);
+        let dynamic_watts = self.dram_peak_watts(HmcRadix::High) * (1.0 - self.dram_idle_fraction);
         let accesses_per_sec = self.dram.hmc_peak_bandwidth() / self.dram.line_bytes as f64;
         dynamic_watts / accesses_per_sec
     }
@@ -126,11 +125,9 @@ impl HmcPowerModel {
     pub fn logic_dyn_energy_per_flit(&self) -> f64 {
         let dynamic_watts =
             self.logic_peak_watts(HmcRadix::High) * (1.0 - self.logic_idle_fraction);
-        let flit_rate = 2.0
-            * HmcRadix::High.full_links() as f64
-            * 2.0
-            * self.unilink_bandwidth_bytes()
-            / memnet_net::FLIT_BYTES as f64;
+        let flit_rate =
+            2.0 * HmcRadix::High.full_links() as f64 * 2.0 * self.unilink_bandwidth_bytes()
+                / memnet_net::FLIT_BYTES as f64;
         dynamic_watts / flit_rate
     }
 
@@ -150,11 +147,7 @@ impl HmcPowerModel {
     ///
     /// Panics if the snapshot length does not match the accounting layout.
     pub fn link_energy(&self, residency: &[SimDuration]) -> EnergyBreakdown {
-        assert_eq!(
-            residency.len(),
-            2 + 2 * N_BW_MODES,
-            "unexpected residency snapshot length"
-        );
+        assert_eq!(residency.len(), 2 + 2 * N_BW_MODES, "unexpected residency snapshot length");
         let p_full = self.io_watts_per_unilink();
         let mut e = EnergyBreakdown::default();
         e.idle_io += p_full * self.link_off_fraction * residency[STATE_OFF].as_secs();

@@ -41,10 +41,7 @@ struct Entry<E> {
 // turning `BinaryHeap` (a max-heap) into a min-heap without `Reverse` noise.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -65,18 +62,12 @@ impl<E> Eq for Entry<E> {}
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
     }
 
     /// Creates an empty queue with capacity for `cap` pending events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::with_capacity(cap), seq: 0 }
     }
 
     /// Schedules `event` to fire at `time`.

@@ -33,11 +33,7 @@ pub struct BusyTracker {
 impl BusyTracker {
     /// Creates a tracker that is idle at `start`.
     pub fn new(start: SimTime) -> Self {
-        BusyTracker {
-            busy: false,
-            last_change: start,
-            accumulated: SimDuration::ZERO,
-        }
+        BusyTracker { busy: false, last_change: start, accumulated: SimDuration::ZERO }
     }
 
     /// Records a busy/idle transition at time `now`.
@@ -101,11 +97,7 @@ impl TimeInState {
     pub fn new(n_states: usize, initial: usize, start: SimTime) -> Self {
         assert!(n_states > 0, "need at least one state");
         assert!(initial < n_states, "initial state out of range");
-        TimeInState {
-            current: initial,
-            since: start,
-            totals: vec![SimDuration::ZERO; n_states],
-        }
+        TimeInState { current: initial, since: start, totals: vec![SimDuration::ZERO; n_states] }
     }
 
     /// Transitions to `state` at time `now`.
@@ -169,11 +161,7 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "bucket bounds must be strictly increasing"
         );
-        Histogram {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len()],
-            overflow: 0,
-        }
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len()], overflow: 0 }
     }
 
     /// Records one sample.
@@ -223,12 +211,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        OnlineStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Records one sample.

@@ -104,10 +104,7 @@ mod tests {
     fn average_footprint_matches_paper() {
         let ws = all();
         let avg = ws.iter().map(|w| w.footprint_gb as f64).sum::<f64>() / ws.len() as f64;
-        assert!(
-            (16.0..18.0).contains(&avg),
-            "paper reports 17 GB average footprint, got {avg}"
-        );
+        assert!((16.0..18.0).contains(&avg), "paper reports 17 GB average footprint, got {avg}");
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl AddressCdf {
             return 1.0;
         }
         // Find the segment containing gb.
-        let idx = self
-            .points
-            .windows(2)
-            .position(|w| gb <= w[1].0)
-            .expect("gb within footprint");
+        let idx = self.points.windows(2).position(|w| gb <= w[1].0).expect("gb within footprint");
         let (x0, y0) = self.points[idx];
         let (x1, y1) = self.points[idx + 1];
         y0 + (y1 - y0) * (gb - x0) / (x1 - x0)
@@ -79,11 +75,7 @@ impl AddressCdf {
         if u >= 1.0 {
             return self.footprint_gb;
         }
-        let idx = self
-            .points
-            .windows(2)
-            .position(|w| u <= w[1].1)
-            .expect("u within [0,1]");
+        let idx = self.points.windows(2).position(|w| u <= w[1].1).expect("u within [0,1]");
         let (x0, y0) = self.points[idx];
         let (x1, y1) = self.points[idx + 1];
         if y1 == y0 {
@@ -158,9 +150,7 @@ mod tests {
         let mut rng = SplitMix64::new(7);
         let n = 100_000;
         let lines_per_gb = (1u64 << 30) / 64;
-        let hot = (0..n)
-            .filter(|_| cdf.sample_line(&mut rng) < 2 * lines_per_gb)
-            .count();
+        let hot = (0..n).filter(|_| cdf.sample_line(&mut rng) < 2 * lines_per_gb).count();
         let frac = hot as f64 / n as f64;
         assert!((frac - 0.8).abs() < 0.01, "hot fraction {frac}, expected 0.8");
     }

@@ -170,10 +170,8 @@ mod tests {
         // far above the mean inter-arrival must appear.
         let reqs = generate("sp.D", 50_000, 13);
         let mean_ia = catalog::by_name("sp.D").unwrap().mean_interarrival();
-        let long_gaps = reqs
-            .windows(2)
-            .filter(|w| w[1].ready_at - w[0].ready_at > mean_ia * 20)
-            .count();
+        let long_gaps =
+            reqs.windows(2).filter(|w| w[1].ready_at - w[0].ready_at > mean_ia * 20).count();
         assert!(long_gaps > 10, "expected bursty gaps, found {long_gaps}");
     }
 }

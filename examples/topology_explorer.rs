@@ -19,10 +19,7 @@ fn main() {
     for kind in TopologyKind::ALL {
         let t = Topology::build(kind, 17);
         let hist = t.depth_histogram();
-        let high = t
-            .modules()
-            .filter(|&m| t.radix(m) == memnet::net::HmcRadix::High)
-            .count();
+        let high = t.modules().filter(|&m| t.radix(m) == memnet::net::HmcRadix::High).count();
         println!(
             "{:<13} {:>9.2} {:>10} {:>11}  {:?}",
             kind.label(),

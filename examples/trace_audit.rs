@@ -25,12 +25,8 @@ fn main() {
     println!("captured {} trace events", report.trace.len());
 
     // Find a read that retired, preferring one that went deep.
-    let retired: Vec<u64> = report
-        .trace
-        .iter()
-        .filter(|e| e.point == TracePoint::Retire)
-        .map(|e| e.packet)
-        .collect();
+    let retired: Vec<u64> =
+        report.trace.iter().filter(|e| e.point == TracePoint::Retire).map(|e| e.packet).collect();
     let Some(&victim) = retired.iter().max() else {
         println!("no retired reads captured");
         return;
@@ -39,9 +35,7 @@ fn main() {
     println!("\ntimeline of transaction #{victim}:");
     let mut prev: Option<memnet_simcore::SimTime> = None;
     for e in report.trace.iter().filter(|e| e.packet == victim) {
-        let delta = prev
-            .map(|p| format!("(+{:.2} ns)", (e.time - p).as_ns()))
-            .unwrap_or_default();
+        let delta = prev.map(|p| format!("(+{:.2} ns)", (e.time - p).as_ns())).unwrap_or_default();
         println!("  {:>12.3} ns  {:<24} {delta}", e.time.as_ns(), format!("{:?}", e.point));
         prev = Some(e.time);
     }

@@ -57,9 +57,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--workload" | "-w" => args.workload = value("--workload")?,
             "--topology" | "-t" => {
@@ -99,24 +97,18 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--alpha" | "-a" => {
-                args.alpha = value("--alpha")?
-                    .parse()
-                    .map_err(|e| format!("bad alpha: {e}"))?
+                args.alpha = value("--alpha")?.parse().map_err(|e| format!("bad alpha: {e}"))?
             }
             "--eval-us" => {
-                args.eval_us = value("--eval-us")?
-                    .parse()
-                    .map_err(|e| format!("bad eval-us: {e}"))?
+                args.eval_us =
+                    value("--eval-us")?.parse().map_err(|e| format!("bad eval-us: {e}"))?
             }
             "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad seed: {e}"))?
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
             }
             "--channels" => {
-                args.channels = value("--channels")?
-                    .parse()
-                    .map_err(|e| format!("bad channels: {e}"))?
+                args.channels =
+                    value("--channels")?.parse().map_err(|e| format!("bad channels: {e}"))?
             }
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
             "--json" => args.json = true,

@@ -6,10 +6,7 @@ use memnet::policy::Mechanism;
 use memnet_simcore::SimDuration;
 
 fn base(workload: &str) -> memnet::core::SimConfigBuilder {
-    SimConfig::builder()
-        .workload(workload)
-        .eval_period(SimDuration::from_us(100))
-        .seed(7)
+    SimConfig::builder().workload(workload).eval_period(SimDuration::from_us(100)).seed(7)
 }
 
 #[test]
@@ -94,10 +91,8 @@ fn hops_match_topology_depth_bounds() {
         let n = r.power.n_hmcs;
         assert_eq!(n, 30); // 30 GB / 1 GB chunks
         let topo = memnet::net::Topology::build(kind, n);
-        let max_depth = (1..=n)
-            .map(|i| topo.depth(memnet::net::ModuleId(i - 1)))
-            .max()
-            .unwrap() as f64;
+        let max_depth =
+            (1..=n).map(|i| topo.depth(memnet::net::ModuleId(i - 1))).max().unwrap() as f64;
         assert!(r.avg_modules_traversed >= 1.0);
         assert!(
             r.avg_modules_traversed <= max_depth,
@@ -133,11 +128,7 @@ fn daisychain_traverses_more_modules_than_tree() {
 
 #[test]
 fn energy_breakdown_is_all_nonnegative_and_consistent() {
-    let r = base("lu.D")
-        .topology(TopologyKind::DdrxLike)
-        .build()
-        .unwrap()
-        .run();
+    let r = base("lu.D").topology(TopologyKind::DdrxLike).build().unwrap().run();
     let e = &r.power.energy;
     for (i, v) in [e.idle_io, e.active_io, e.logic_leak, e.logic_dyn, e.dram_leak, e.dram_dyn]
         .iter()
@@ -152,18 +143,10 @@ fn energy_breakdown_is_all_nonnegative_and_consistent() {
 
 #[test]
 fn big_network_has_higher_idle_io_share_than_small() {
-    let small = base("cg.D")
-        .topology(TopologyKind::Star)
-        .scale(NetworkScale::Small)
-        .build()
-        .unwrap()
-        .run();
-    let big = base("cg.D")
-        .topology(TopologyKind::Star)
-        .scale(NetworkScale::Big)
-        .build()
-        .unwrap()
-        .run();
+    let small =
+        base("cg.D").topology(TopologyKind::Star).scale(NetworkScale::Small).build().unwrap().run();
+    let big =
+        base("cg.D").topology(TopologyKind::Star).scale(NetworkScale::Big).build().unwrap().run();
     assert!(
         big.power.idle_io_fraction() > small.power.idle_io_fraction(),
         "big {:.2} should exceed small {:.2}",

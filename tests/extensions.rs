@@ -20,11 +20,8 @@ fn trace_capture_records_complete_transactions() {
     assert!(!report.trace.is_empty(), "tracing was enabled but recorded nothing");
 
     // Pick a retired transaction and verify its milestone ordering.
-    let retired = report
-        .trace
-        .iter()
-        .find(|e| e.point == TracePoint::Retire)
-        .expect("some read retired");
+    let retired =
+        report.trace.iter().find(|e| e.point == TracePoint::Retire).expect("some read retired");
     let tx: Vec<_> = report.trace.iter().filter(|e| e.packet == retired.packet).collect();
     assert!(tx.len() >= 4, "a read needs inject/link/vault/retire milestones");
     // Time-ordered.
@@ -106,9 +103,8 @@ fn weighted_static_widths_are_usable_for_planning() {
     let spec = memnet::workload::catalog::by_name("cg.D").unwrap();
     let cdf = memnet::workload::AddressCdf::from_spec(&spec);
     let n = spec.footprint_gb as usize; // 1 GB per module
-    let weights: Vec<f64> = (0..n)
-        .map(|m| cdf.fraction_at((m + 1) as f64) - cdf.fraction_at(m as f64))
-        .collect();
+    let weights: Vec<f64> =
+        (0..n).map(|m| cdf.fraction_at((m + 1) as f64) - cdf.fraction_at(m as f64)).collect();
     let topo = Topology::build(TopologyKind::DaisyChain, n);
     let ds = weighted_width_decisions(&topo, &weights, 1.2);
     // The root edge carries all traffic; the last edge carries only the

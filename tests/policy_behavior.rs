@@ -6,12 +6,7 @@ use memnet::net::TopologyKind;
 use memnet::policy::Mechanism;
 use memnet_simcore::SimDuration;
 
-fn cfg(
-    workload: &str,
-    policy: PolicyKind,
-    mech: Mechanism,
-    scale: NetworkScale,
-) -> SimConfig {
+fn cfg(workload: &str, policy: PolicyKind, mech: Mechanism, scale: NetworkScale) -> SimConfig {
     SimConfig::builder()
         .workload(workload)
         .topology(TopologyKind::Star)
@@ -27,12 +22,8 @@ fn cfg(
 
 #[test]
 fn unaware_vwl_saves_power_within_slowdown_bound() {
-    let (managed, baseline) = run_pair(cfg(
-        "cg.D",
-        PolicyKind::NetworkUnaware,
-        Mechanism::Vwl,
-        NetworkScale::Big,
-    ));
+    let (managed, baseline) =
+        run_pair(cfg("cg.D", PolicyKind::NetworkUnaware, Mechanism::Vwl, NetworkScale::Big));
     let saved = managed.power_reduction_vs(&baseline);
     assert!(saved > 0.02, "expected real savings, got {:.1}%", 100.0 * saved);
     let degr = managed.degradation_vs(&baseline);
@@ -41,12 +32,8 @@ fn unaware_vwl_saves_power_within_slowdown_bound() {
 
 #[test]
 fn unaware_roo_turns_links_off_on_bursty_workloads() {
-    let (managed, baseline) = run_pair(cfg(
-        "sp.D",
-        PolicyKind::NetworkUnaware,
-        Mechanism::Roo,
-        NetworkScale::Big,
-    ));
+    let (managed, baseline) =
+        run_pair(cfg("sp.D", PolicyKind::NetworkUnaware, Mechanism::Roo, NetworkScale::Big));
     let off_time: f64 = managed.links.iter().map(|l| l.off_time.as_secs()).sum();
     assert!(off_time > 0.0, "ROO links never turned off on an 8%-utilized workload");
     let total_wakes: u64 = managed.links.iter().map(|l| l.wake_count).sum();
@@ -58,18 +45,10 @@ fn unaware_roo_turns_links_off_on_bursty_workloads() {
 fn aware_saves_at_least_as_much_as_unaware_on_cold_footprints() {
     // cg.D has a large cold range; ISP should find at least the savings
     // unaware finds (paper: aware always saves more on big networks).
-    let (aware, _) = run_pair(cfg(
-        "cg.D",
-        PolicyKind::NetworkAware,
-        Mechanism::VwlRoo,
-        NetworkScale::Big,
-    ));
-    let (unaware, _) = run_pair(cfg(
-        "cg.D",
-        PolicyKind::NetworkUnaware,
-        Mechanism::VwlRoo,
-        NetworkScale::Big,
-    ));
+    let (aware, _) =
+        run_pair(cfg("cg.D", PolicyKind::NetworkAware, Mechanism::VwlRoo, NetworkScale::Big));
+    let (unaware, _) =
+        run_pair(cfg("cg.D", PolicyKind::NetworkUnaware, Mechanism::VwlRoo, NetworkScale::Big));
     let aware_w = aware.power.watts();
     let unaware_w = unaware.power.watts();
     assert!(
@@ -81,29 +60,16 @@ fn aware_saves_at_least_as_much_as_unaware_on_cold_footprints() {
 #[test]
 fn combined_mechanism_beats_single_mechanisms() {
     let scale = NetworkScale::Big;
-    let run = |mech| {
-        run_pair(cfg("is.D", PolicyKind::NetworkUnaware, mech, scale))
-            .0
-            .power
-            .watts()
-    };
+    let run = |mech| run_pair(cfg("is.D", PolicyKind::NetworkUnaware, mech, scale)).0.power.watts();
     let vwl = run(Mechanism::Vwl);
     let combo = run(Mechanism::VwlRoo);
     // VWL+ROO should at least match plain VWL (it subsumes its modes).
-    assert!(
-        combo <= vwl * 1.08,
-        "VWL+ROO {combo:.2} W should be near-or-below VWL {vwl:.2} W"
-    );
+    assert!(combo <= vwl * 1.08, "VWL+ROO {combo:.2} W should be near-or-below VWL {vwl:.2} W");
 }
 
 #[test]
 fn static_selection_saves_power_but_costs_performance() {
-    let mut config = cfg(
-        "mg.D",
-        PolicyKind::StaticSelection,
-        Mechanism::Vwl,
-        NetworkScale::Big,
-    );
+    let mut config = cfg("mg.D", PolicyKind::StaticSelection, Mechanism::Vwl, NetworkScale::Big);
     config.mapping = memnet::core::AddressMapping::PageInterleaved;
     let (stat, baseline) = run_pair(config);
     assert!(
@@ -120,20 +86,11 @@ fn violation_feedback_rescues_runaway_slowdown() {
     // At a tiny alpha with a hot workload, links repeatedly overrun their
     // budgets: the controller must fall back to full power (violations)
     // instead of letting latency run away.
-    let mut config = cfg(
-        "mixB",
-        PolicyKind::NetworkUnaware,
-        Mechanism::Vwl,
-        NetworkScale::Small,
-    );
+    let mut config = cfg("mixB", PolicyKind::NetworkUnaware, Mechanism::Vwl, NetworkScale::Small);
     config.alpha = 0.005;
     let (managed, baseline) = run_pair(config);
     let degr = managed.degradation_vs(&baseline);
-    assert!(
-        degr < 0.15,
-        "feedback control failed: {:.1}% degradation at alpha=0.5%",
-        100.0 * degr
-    );
+    assert!(degr < 0.15, "feedback control failed: {:.1}% degradation at alpha=0.5%", 100.0 * degr);
 }
 
 #[test]
@@ -155,11 +112,8 @@ fn dvfs_saves_less_than_vwl_at_equal_alpha() {
 #[test]
 fn all_policies_run_on_every_topology() {
     for kind in TopologyKind::ALL {
-        for policy in [
-            PolicyKind::FullPower,
-            PolicyKind::NetworkUnaware,
-            PolicyKind::NetworkAware,
-        ] {
+        for policy in [PolicyKind::FullPower, PolicyKind::NetworkUnaware, PolicyKind::NetworkAware]
+        {
             let mech = if policy == PolicyKind::FullPower {
                 Mechanism::FullPower
             } else {
