@@ -6,7 +6,7 @@
 //! entry:
 //!
 //! ```json
-//! {"v":1,"fp":"v1|eval_ps=...|seed=...|wl=mixD|...","report":{...}}
+//! {"v":2,"fp":"v2|eval_ps=...|seed=...|wl=mixD|...","report":{...}}
 //! ```
 //!
 //! `v` is [`CACHE_SCHEMA_VERSION`]; lines with any other version (or that
@@ -33,7 +33,8 @@ use serde::{json, Deserialize, Serialize};
 
 /// Bump when the serialized [`RunReport`] layout (or the fingerprint
 /// format) changes; old cache files are then ignored wholesale.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// History: 1 = initial layout; 2 = `RunReport` gained the `audit` field.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

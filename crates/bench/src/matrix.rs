@@ -77,6 +77,10 @@ impl Key {
     /// settings field (evaluation period and seed — thread count cannot
     /// change results and is excluded), and every key field. Equal
     /// fingerprints guarantee byte-identical simulation results.
+    /// (`MEMNET_AUDIT` is also excluded: audit checks cannot change
+    /// results, only the diagnostic `audit` section of a cached report,
+    /// which therefore reflects the level in effect when it was first
+    /// simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
             "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}",

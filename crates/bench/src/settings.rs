@@ -41,7 +41,8 @@ impl Settings {
     /// [`DEFAULT_CACHE_DIR`]:
     ///
     /// * `MEMNET_EVAL_US` — simulated microseconds per run.
-    /// * `MEMNET_THREADS` — sweep worker threads.
+    /// * `MEMNET_THREADS` — sweep worker threads (`0` is rejected with a
+    ///   warning and falls back to all cores).
     /// * `MEMNET_SEED` — base RNG seed.
     /// * `MEMNET_CACHE_DIR` — cache directory.
     /// * `MEMNET_NO_CACHE` — set to `1`/`true` to disable the cache.
@@ -49,8 +50,17 @@ impl Settings {
     /// Malformed values warn to stderr and fall back to the default.
     pub fn from_env() -> Self {
         let eval_us = env_parse::<u64>("MEMNET_EVAL_US").unwrap_or(1_000);
-        let threads = env_parse::<usize>("MEMNET_THREADS")
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        let threads = match env_parse::<usize>("MEMNET_THREADS") {
+            Some(0) => {
+                eprintln!(
+                    "[settings] warning: MEMNET_THREADS=0 is invalid (a sweep needs at least \
+                     one worker); using all cores"
+                );
+                None
+            }
+            other => other,
+        }
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
         let seed = env_parse::<u64>("MEMNET_SEED").unwrap_or(0xC0FFEE);
         let no_cache = match std::env::var("MEMNET_NO_CACHE") {
             Err(_) => false,
@@ -130,6 +140,12 @@ mod tests {
         assert_eq!(s.threads, 3);
         assert_eq!(s.seed, 42);
         assert_eq!(s.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/memnet-test-cache")));
+
+        // MEMNET_THREADS=0 parses but is meaningless: it must warn and
+        // fall back to the all-cores default, never produce 0 workers.
+        std::env::set_var("MEMNET_THREADS", "0");
+        let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        assert_eq!(Settings::from_env().threads, auto);
 
         // Malformed values warn (to stderr) and fall back to defaults.
         std::env::set_var("MEMNET_EVAL_US", "a lot");

@@ -7,7 +7,7 @@ use memnet_dram::DramParams;
 use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
-use memnet_simcore::SimDuration;
+use memnet_simcore::{AuditLevel, SimDuration};
 use memnet_workload::{catalog, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +121,10 @@ pub struct SimConfig {
     pub rescue_pool: bool,
     /// Maximum packet-trace events to record (0 disables tracing).
     pub trace_limit: usize,
+    /// Runtime invariant-audit level (see [`memnet_simcore::audit`]).
+    /// Audit checks never mutate simulation state, so the level cannot
+    /// change results — only the `audit` section of the report.
+    pub audit: AuditLevel,
 }
 
 impl SimConfig {
@@ -179,6 +183,7 @@ pub struct SimConfigBuilder {
     wake_chaining: bool,
     rescue_pool: bool,
     trace_limit: usize,
+    audit: AuditLevel,
 }
 
 impl SimConfigBuilder {
@@ -204,6 +209,7 @@ impl SimConfigBuilder {
             wake_chaining: true,
             rescue_pool: true,
             trace_limit: 0,
+            audit: AuditLevel::from_env(),
         }
     }
 
@@ -303,6 +309,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the runtime invariant-audit level (defaults to the
+    /// `MEMNET_AUDIT` environment variable, or off).
+    pub fn audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -339,6 +352,7 @@ impl SimConfigBuilder {
             wake_chaining: self.wake_chaining,
             rescue_pool: self.rescue_pool,
             trace_limit: self.trace_limit,
+            audit: self.audit,
         })
     }
 }
@@ -387,6 +401,16 @@ mod tests {
     fn zero_eval_period_is_rejected() {
         let err = SimConfig::builder().eval_period(SimDuration::ZERO).build().unwrap_err();
         assert_eq!(err, ConfigError::BadEvalPeriod);
+    }
+
+    #[test]
+    fn audit_level_is_settable() {
+        // The default tracks MEMNET_AUDIT (process-wide), so only the
+        // explicit override is asserted here.
+        let cfg = SimConfig::builder().audit(AuditLevel::Full).build().unwrap();
+        assert_eq!(cfg.audit, AuditLevel::Full);
+        let cfg = SimConfig::builder().audit(AuditLevel::Off).build().unwrap();
+        assert_eq!(cfg.audit, AuditLevel::Off);
     }
 
     #[test]

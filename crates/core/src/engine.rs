@@ -35,7 +35,8 @@ use memnet_net::mech::LinkPowerMode;
 use memnet_net::{Direction, LinkId, ModuleId, NodeRef, Packet, PacketKind, Topology};
 use memnet_policy::{PowerController, ViolationAction};
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
-use memnet_simcore::{EventQueue, SimDuration, SimTime, SplitMix64};
+use memnet_simcore::audit::approx_eq_rel;
+use memnet_simcore::{AuditLevel, Auditor, EventQueue, SimDuration, SimTime, SplitMix64};
 
 use crate::config::{AddressMapping, SimConfig};
 use crate::frontend::{Frontend, InjectStep};
@@ -75,6 +76,11 @@ pub struct Engine {
     links: Vec<LinkSim>,
     /// In-flight transmission per link: (packet, queue arrival, start).
     in_flight: Vec<Option<(Packet, SimTime, SimTime)>>,
+    /// Packets delivered out of each link (audit conservation counter).
+    delivered: Vec<u64>,
+    /// Packets past the transmitter but still in the SERDES window
+    /// (Deliver scheduled, not yet processed).
+    in_serdes: Vec<u64>,
 
     vaults: Vec<Vec<Vault>>,
     /// Module-side ingress hold per vault (packet, original arrival).
@@ -101,6 +107,7 @@ pub struct Engine {
     hops_sum: u64,
     hops_count: u64,
     trace: Trace,
+    audit: Auditor,
 }
 
 impl Engine {
@@ -141,6 +148,8 @@ impl Engine {
             now: start,
             end,
             in_flight: vec![None; topo.n_links()],
+            delivered: vec![0; topo.n_links()],
+            in_serdes: vec![0; topo.n_links()],
             vaults,
             vault_hold,
             vault_tick_at,
@@ -156,6 +165,7 @@ impl Engine {
             hops_sum: 0,
             hops_count: 0,
             trace: Trace::with_limit(cfg.trace_limit),
+            audit: Auditor::new(cfg.audit),
             links,
             topo,
             cfg,
@@ -182,6 +192,12 @@ impl Engine {
             }
             let (t, ev) = self.queue.pop().expect("peeked");
             debug_assert!(t >= self.now, "time went backwards");
+            if self.audit.enabled(AuditLevel::Full) {
+                let now = self.now;
+                self.audit.check(AuditLevel::Full, "event-time-monotonic", t >= now, || {
+                    format!("event scheduled at {t} precedes current time {now}")
+                });
+            }
             self.now = t;
             if debug {
                 processed += 1;
@@ -387,6 +403,7 @@ impl Engine {
         }
         let serdes = self.links[l.0].serdes_latency();
         let deliver_at = self.now + serdes;
+        self.in_serdes[l.0] += 1;
         self.schedule(deliver_at, Event::Deliver(l, pkt));
         if self.links[l.0].queue_len() > 0 {
             let now = self.now;
@@ -397,6 +414,8 @@ impl Engine {
     }
 
     fn on_deliver(&mut self, l: LinkId, pkt: Packet) {
+        self.in_serdes[l.0] -= 1;
+        self.delivered[l.0] += 1;
         let m = l.edge_module();
         match l.direction() {
             Direction::Request => {
@@ -603,6 +622,12 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn apply_decision(&mut self, link: LinkId, mode: LinkPowerMode) {
+        if self.audit.enabled(AuditLevel::Full) {
+            let mech = self.cfg.mechanism;
+            self.audit.check(AuditLevel::Full, "mode-transition-legal", mech.allows(mode), || {
+                format!("link {link:?}: decision {mode:?} is not a candidate of {mech:?}")
+            });
+        }
         let pending_at = self.links[link.0].request_bw_mode(mode.bw, self.now);
         if let Some(at) = pending_at {
             self.schedule(at, Event::ModeApply(link));
@@ -632,6 +657,7 @@ impl Engine {
         for d in decisions {
             self.apply_decision(d.link, d.mode);
         }
+        self.controller.audit_epoch(&mut self.audit);
         let next = self.now + self.cfg.epoch;
         self.schedule(next, Event::EpochEnd);
     }
@@ -641,11 +667,49 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn finalize(self) -> RunReport {
+        let mut audit = self.audit;
         let window = self.end - SimTime::ZERO;
         let mut energy = EnergyBreakdown::default();
         let mut telemetry = Vec::with_capacity(self.links.len());
         for link in &self.links {
             let snap = link.residency_snapshot(self.end);
+            if audit.enabled(AuditLevel::Cheap) {
+                let covered: SimDuration = snap.iter().copied().sum();
+                let id = link.id();
+                audit.check(
+                    AuditLevel::Cheap,
+                    "residency-covers-window",
+                    covered == window,
+                    || format!("link {id:?}: residency sums to {covered}, window is {window}"),
+                );
+                // Per-link packet conservation: everything accepted into
+                // the queue was transmitted or is still queued, and
+                // everything transmitted was delivered or is still on the
+                // wire (transmitting or in the SERDES window).
+                let sent = link.packets_sent();
+                let queued = link.queue_len() as u64;
+                let enqueued = link.packets_enqueued();
+                audit.check(
+                    AuditLevel::Cheap,
+                    "link-queue-conservation",
+                    enqueued == sent + queued,
+                    || format!("link {id:?}: {enqueued} enqueued != {sent} sent + {queued} queued"),
+                );
+                let transmitting = u64::from(self.in_flight[id.0].is_some());
+                let delivered = self.delivered[id.0];
+                let in_serdes = self.in_serdes[id.0];
+                audit.check(
+                    AuditLevel::Cheap,
+                    "link-delivery-conservation",
+                    sent == delivered + in_serdes + transmitting,
+                    || {
+                        format!(
+                            "link {id:?}: {sent} sent != {delivered} delivered + \
+                             {in_serdes} in SERDES + {transmitting} transmitting"
+                        )
+                    },
+                );
+            }
             energy += self.power_model.link_energy(&snap);
             let mut mode_time = [SimDuration::ZERO; memnet_net::mech::N_BW_MODES];
             for (i, mt) in mode_time.iter_mut().enumerate() {
@@ -679,7 +743,7 @@ impl Engine {
             telemetry.iter().map(|t| t.utilization).sum::<f64>() / telemetry.len() as f64;
 
         let completed = self.frontend.completed_reads() + self.frontend.retired_writes();
-        RunReport {
+        let mut report = RunReport {
             workload: self.cfg.workload.name,
             topology: self.cfg.topology,
             scale: self.cfg.scale.label(),
@@ -702,8 +766,71 @@ impl Engine {
             accesses_per_us: completed as f64 / window.as_us(),
             epochs: self.controller.epochs_completed(),
             violations: self.controller.violations(),
+            audit: Default::default(),
             links: telemetry,
             trace: self.trace.events().to_vec(),
+        };
+        if audit.enabled(AuditLevel::Cheap) {
+            // Double-entry energy conservation: reprice the per-link
+            // telemetry independently and diff against the accumulated
+            // breakdown. The epsilon only absorbs float-summation-order
+            // noise — a real bookkeeping bug is orders of magnitude wider.
+            let expected = report.expected_io_energy(&self.power_model);
+            let actual = report.power.energy.io_total();
+            audit.check(
+                AuditLevel::Cheap,
+                "io-energy-conservation",
+                approx_eq_rel(expected, actual, 1e-9),
+                || {
+                    format!(
+                        "accumulated I/O energy {actual} J != {expected} J \
+                         repriced from residency telemetry"
+                    )
+                },
+            );
+            audit.check(
+                AuditLevel::Cheap,
+                "energy-physical",
+                report.power.energy.is_physical(),
+                || {
+                    format!(
+                        "energy breakdown has a negative or non-finite category: {:?}",
+                        report.power.energy
+                    )
+                },
+            );
+            // Front-end transaction conservation: nothing completes that
+            // was never injected, nothing injected vanishes.
+            let fe = &self.frontend;
+            audit.check(
+                AuditLevel::Cheap,
+                "read-conservation",
+                fe.injected_reads() == fe.completed_reads() + fe.outstanding_reads() as u64,
+                || {
+                    format!(
+                        "{} reads injected != {} completed + {} outstanding",
+                        fe.injected_reads(),
+                        fe.completed_reads(),
+                        fe.outstanding_reads()
+                    )
+                },
+            );
+            audit.check(
+                AuditLevel::Cheap,
+                "write-conservation",
+                fe.injected_writes() == fe.retired_writes() + fe.outstanding_writes() as u64,
+                || {
+                    format!(
+                        "{} writes injected != {} retired + {} outstanding",
+                        fe.injected_writes(),
+                        fe.retired_writes(),
+                        fe.outstanding_writes()
+                    )
+                },
+            );
         }
+        self.controller.audit_epoch(&mut audit);
+        report.audit = audit.finish();
+        report
     }
 }

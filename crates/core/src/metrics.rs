@@ -1,9 +1,9 @@
 //! Run reports: everything a paper figure needs from one simulation.
 
-use memnet_net::mech::N_BW_MODES;
+use memnet_net::mech::{BwMode, N_BW_MODES};
 use memnet_net::{LinkId, TopologyKind};
-use memnet_power::EnergyBreakdown;
-use memnet_simcore::SimDuration;
+use memnet_power::{EnergyBreakdown, HmcPowerModel};
+use memnet_simcore::{AuditReport, SimDuration};
 use serde::{Deserialize, Serialize};
 
 use crate::trace::TraceEvent;
@@ -108,43 +108,67 @@ pub struct RunReport {
     pub epochs: u64,
     /// AMS violations (forced full-power transitions).
     pub violations: u64,
+    /// Runtime invariant-audit results (empty at `AuditLevel::Off`).
+    pub audit: AuditReport,
     /// Per-link detail.
     pub links: Vec<LinkTelemetry>,
     /// Captured packet trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
 }
 
+/// Relative change `1 − ours/baseline`, guarded against degenerate
+/// baselines: a zero or non-finite denominator (or a non-finite
+/// numerator) yields 0.0 rather than ±∞/NaN, so a broken baseline run
+/// reads as "no change" instead of poisoning every downstream figure.
+fn relative_reduction(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 || !baseline.is_finite() || !ours.is_finite() {
+        0.0
+    } else {
+        1.0 - ours / baseline
+    }
+}
+
 impl RunReport {
     /// Performance degradation of `self` versus a baseline run, as a
     /// fraction (0.03 = 3 % slower). Negative values mean `self` was
-    /// faster.
+    /// faster. Returns 0.0 for degenerate (zero or non-finite) baselines.
     pub fn degradation_vs(&self, baseline: &RunReport) -> f64 {
-        if baseline.accesses_per_us == 0.0 {
-            0.0
-        } else {
-            1.0 - self.accesses_per_us / baseline.accesses_per_us
-        }
+        relative_reduction(self.accesses_per_us, baseline.accesses_per_us)
     }
 
     /// Network-wide power reduction of `self` versus a baseline run, as a
-    /// fraction (0.25 = 25 % less power).
+    /// fraction (0.25 = 25 % less power). Returns 0.0 for degenerate
+    /// (zero or non-finite) baselines.
     pub fn power_reduction_vs(&self, baseline: &RunReport) -> f64 {
-        let base = baseline.power.watts();
-        if base == 0.0 {
-            0.0
-        } else {
-            1.0 - self.power.watts() / base
-        }
+        relative_reduction(self.power.watts(), baseline.power.watts())
     }
 
     /// Idle-I/O (plus active-I/O) power reduction versus a baseline.
+    /// Returns 0.0 for degenerate (zero or non-finite) baselines.
     pub fn io_power_reduction_vs(&self, baseline: &RunReport) -> f64 {
-        let base = baseline.power.energy.io_total();
-        if base == 0.0 {
-            0.0
-        } else {
-            1.0 - self.power.energy.io_total() / base
-        }
+        relative_reduction(self.power.energy.io_total(), baseline.power.energy.io_total())
+    }
+
+    /// Recomputes the run's total I/O energy from the per-link residency
+    /// telemetry: every link's off/waking/per-mode times priced at the
+    /// model's mode power fractions. The audit layer diffs this against
+    /// the engine's accumulated [`EnergyBreakdown::io_total`] — a
+    /// double-entry check that catches energy-bookkeeping bugs on either
+    /// side. (Idle and active residency in a mode burn the same I/O
+    /// power, so the merged `mode_time` suffices.)
+    pub fn expected_io_energy(&self, model: &HmcPowerModel) -> f64 {
+        let w = model.io_watts_per_unilink();
+        self.links
+            .iter()
+            .map(|t| {
+                let mut joules = w * model.link_off_fraction * t.off_time.as_secs()
+                    + w * t.waking_time.as_secs();
+                for (i, mt) in t.mode_time.iter().enumerate() {
+                    joules += w * BwMode::from_index(i).power_fraction() * mt.as_secs();
+                }
+                joules
+            })
+            .sum()
     }
 }
 
@@ -180,6 +204,7 @@ mod tests {
             accesses_per_us: throughput,
             epochs: 10,
             violations: 0,
+            audit: AuditReport::default(),
             links: Vec::new(),
             trace: Vec::new(),
         }
@@ -207,6 +232,61 @@ mod tests {
         saver.power.energy.idle_io = 3.5; // halve idle I/O only
         let expected = 1.0 - (3.5 + 1.0) / 7.0;
         assert!((saver.io_power_reduction_vs(&base) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baselines_compare_as_no_change() {
+        let zero = report(0.0, 0.0);
+        let real = report(1.0, 100.0);
+        assert_eq!(real.degradation_vs(&zero), 0.0);
+        assert_eq!(real.power_reduction_vs(&zero), 0.0);
+        assert_eq!(real.io_power_reduction_vs(&zero), 0.0);
+        // A zero run against a real baseline is a valid 100 % reduction.
+        assert_eq!(zero.power_reduction_vs(&real), 1.0);
+    }
+
+    #[test]
+    fn non_finite_baselines_compare_as_no_change() {
+        let real = report(1.0, 100.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut base = report(1.0, 100.0);
+            base.accesses_per_us = bad;
+            base.power.energy.idle_io = bad;
+            assert_eq!(real.degradation_vs(&base), 0.0, "throughput baseline {bad}");
+            assert_eq!(real.power_reduction_vs(&base), 0.0, "power baseline {bad}");
+            assert_eq!(real.io_power_reduction_vs(&base), 0.0, "io baseline {bad}");
+            // And a non-finite numerator never leaks NaN either.
+            assert_eq!(base.degradation_vs(&real), 0.0);
+            assert_eq!(base.power_reduction_vs(&real), 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_io_energy_prices_telemetry() {
+        use memnet_net::link::{state_on_active, state_on_idle};
+        let model = HmcPowerModel::paper();
+        let mut r = report(1.0, 100.0);
+        // One link: 1 s idle at full width, 1 s off, 0.5 s waking.
+        let mut mode_time = [SimDuration::ZERO; N_BW_MODES];
+        mode_time[BwMode::FULL_VWL.index()] = SimDuration::from_ms(1000);
+        r.links.push(LinkTelemetry {
+            link: LinkId(0),
+            utilization: 0.0,
+            mode_time,
+            off_time: SimDuration::from_ms(1000),
+            waking_time: SimDuration::from_ms(500),
+            wake_count: 1,
+        });
+        let w = model.io_watts_per_unilink();
+        let expected = w + w * model.link_off_fraction + 0.5 * w;
+        assert!((r.expected_io_energy(&model) - expected).abs() < 1e-9);
+        // And it agrees with the power model's own snapshot pricing.
+        let mut snap = vec![SimDuration::ZERO; memnet_net::link::N_ACCOUNTING_STATES];
+        snap[state_on_idle(BwMode::FULL_VWL)] = SimDuration::from_ms(400);
+        snap[state_on_active(BwMode::FULL_VWL)] = SimDuration::from_ms(600);
+        snap[memnet_net::link::STATE_OFF] = SimDuration::from_ms(1000);
+        snap[memnet_net::link::STATE_WAKING] = SimDuration::from_ms(500);
+        assert!((model.link_energy(&snap).io_total() - expected).abs() < 1e-9);
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub struct LinkSim {
 
     residency: TimeInState,
     last_activity_end: SimTime,
+    packets_enqueued: u64,
     flits_sent: u64,
     packets_sent: u64,
     read_packets_sent: u64,
@@ -128,6 +129,7 @@ impl LinkSim {
             buffer_entries: LINK_BUFFER_ENTRIES,
             residency: TimeInState::new(N_ACCOUNTING_STATES, state_on_idle(bw_mode), start),
             last_activity_end: start,
+            packets_enqueued: 0,
             flits_sent: 0,
             packets_sent: 0,
             read_packets_sent: 0,
@@ -218,11 +220,7 @@ impl LinkSim {
         if !self.can_accept() {
             return Err(LinkFull);
         }
-        if pkt.kind.is_read() {
-            self.reads.push_back((pkt, now));
-        } else {
-            self.writes.push_back((pkt, now));
-        }
+        self.enqueue_unchecked(pkt, now);
         Ok(())
     }
 
@@ -231,6 +229,7 @@ impl LinkSim {
     /// sender-side capacity check; overflow is bounded by the processor's
     /// outstanding-request windows.
     pub fn enqueue_unchecked(&mut self, pkt: Packet, now: SimTime) {
+        self.packets_enqueued += 1;
         if pkt.kind.is_read() {
             self.reads.push_back((pkt, now));
         } else {
@@ -387,6 +386,12 @@ impl LinkSim {
         (0..N_BW_MODES).map(|i| self.residency.time_in(3 + 2 * i, now)).sum()
     }
 
+    /// Packets ever accepted into the controller queue (the audit layer
+    /// checks `packets_enqueued == packets_sent + queue_len`).
+    pub fn packets_enqueued(&self) -> u64 {
+        self.packets_enqueued
+    }
+
     /// Flits transmitted so far.
     pub fn flits_sent(&self) -> u64 {
         self.flits_sent
@@ -442,6 +447,18 @@ mod tests {
         l.enqueue(pkt(2, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
         let (first, _, _) = l.start_transmission(SimTime::ZERO).unwrap();
         assert_eq!(first.id, 2, "the read must jump the write");
+    }
+
+    #[test]
+    fn enqueue_counter_balances_sent_plus_queued() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::ReadRequest), SimTime::ZERO).unwrap();
+        l.enqueue(pkt(2, PacketKind::WriteRequest), SimTime::ZERO).unwrap();
+        l.enqueue_unchecked(pkt(3, PacketKind::ReadResponse), SimTime::ZERO);
+        assert_eq!(l.packets_enqueued(), 3);
+        let (_, _, done) = l.start_transmission(SimTime::ZERO).unwrap();
+        l.finish_transmission(done);
+        assert_eq!(l.packets_enqueued(), l.packets_sent() + l.queue_len() as u64);
     }
 
     #[test]

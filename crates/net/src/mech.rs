@@ -382,6 +382,19 @@ impl Mechanism {
         out
     }
 
+    /// True if `mode` is a legal operating point for this mechanism:
+    /// its bandwidth mode is one of [`Mechanism::bw_modes`] and its ROO
+    /// threshold presence matches [`Mechanism::uses_roo`]. Equivalent to
+    /// membership in [`Mechanism::candidate_modes`] but allocation-free;
+    /// the audit layer uses it to validate every mode transition.
+    pub fn allows(self, mode: LinkPowerMode) -> bool {
+        self.bw_modes().contains(&mode.bw)
+            && match self.roo_thresholds() {
+                None => mode.roo.is_none(),
+                Some(thresholds) => mode.roo.is_some_and(|t| thresholds.contains(&t)),
+            }
+    }
+
     /// Report label ("FP", "VWL", "ROO", ...).
     pub fn label(self) -> &'static str {
         match self {
@@ -421,6 +434,31 @@ mod tests {
         for w in p.windows(2) {
             let step = w[0] - w[1];
             assert!((0.25..=0.35).contains(&step), "step {step} not ~30 %");
+        }
+    }
+
+    #[test]
+    fn allows_matches_candidate_mode_membership() {
+        let all_mechs = [
+            Mechanism::FullPower,
+            Mechanism::Vwl,
+            Mechanism::Roo,
+            Mechanism::VwlRoo,
+            Mechanism::Dvfs,
+            Mechanism::DvfsRoo,
+        ];
+        for mech in all_mechs {
+            let candidates = mech.candidate_modes();
+            assert!(mech.allows(mech.full_mode()), "{mech:?} must allow its full mode");
+            for other in all_mechs {
+                for mode in other.candidate_modes() {
+                    assert_eq!(
+                        mech.allows(mode),
+                        candidates.contains(&mode),
+                        "{mech:?}.allows({mode:?}) disagrees with candidate_modes"
+                    );
+                }
+            }
         }
     }
 

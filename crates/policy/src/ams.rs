@@ -65,6 +65,14 @@ impl AmsAccount {
     pub fn ams(&self, alpha: f64) -> LatencyPs {
         (alpha * self.sum_fel as f64) as LatencyPs - self.sum_overrun
     }
+
+    /// True if the account is internally consistent: Σ FEL sums actual
+    /// epoch durations, so it can never go negative. (Σ overrun *can* be
+    /// negative — an epoch may come in under its full-power estimate.)
+    /// The audit layer checks this on every account each epoch.
+    pub fn is_consistent(&self) -> bool {
+        self.sum_fel >= 0
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +112,16 @@ mod tests {
         a.record_epoch(SimDuration::from_us(100), 1_000_000);
         let after = a.ams(0.05);
         assert_eq!(after - before, 5_000_000 - 1_000_000);
+    }
+
+    #[test]
+    fn consistency_tracks_fel_sign() {
+        let mut a = AmsAccount::new();
+        assert!(a.is_consistent());
+        a.record_epoch(SimDuration::from_us(100), 50_000_000);
+        assert!(a.is_consistent(), "overdrawn budgets are still consistent");
+        a.sum_fel = -1;
+        assert!(!a.is_consistent());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use memnet_net::mech::{LinkPowerMode, Mechanism, RooParams, RooThreshold};
 use memnet_net::{Direction, LinkId, NodeRef, Topology};
-use memnet_simcore::{SimDuration, SimTime};
+use memnet_simcore::{AuditLevel, Auditor, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::ams::{ps, AmsAccount, LatencyPs};
@@ -436,6 +436,56 @@ impl PowerController {
     /// The leftover-AMS rescue pool currently held at the head module.
     pub fn rescue_pool(&self) -> LatencyPs {
         self.pool
+    }
+
+    /// Audits the controller's budget invariants into `auditor` (at
+    /// [`AuditLevel::Cheap`]): per-link budgets are non-negative, no link
+    /// exceeded its rescue-request ceiling, every selected mode is legal
+    /// for the mechanism, the rescue pool sits within `[0, original]`,
+    /// and every AMS account is consistent. The engine calls this at each
+    /// epoch boundary and once more at the end of the run.
+    pub fn audit_epoch(&self, auditor: &mut Auditor) {
+        if !auditor.enabled(AuditLevel::Cheap) {
+            return;
+        }
+        for (i, st) in self.links.iter().enumerate() {
+            auditor.check(AuditLevel::Cheap, "ams-budget-non-negative", st.budget >= 0, || {
+                format!("link {i}: epoch budget {} ps is negative", st.budget)
+            });
+            auditor.check(
+                AuditLevel::Cheap,
+                "rescue-request-ceiling",
+                st.rescue_used <= self.cfg.rescue_max_requests,
+                || {
+                    format!(
+                        "link {i}: {} rescue requests exceed the ceiling of {}",
+                        st.rescue_used, self.cfg.rescue_max_requests
+                    )
+                },
+            );
+            auditor.check(
+                AuditLevel::Cheap,
+                "selected-mode-legal",
+                self.cfg.mechanism.allows(st.selected),
+                || {
+                    format!(
+                        "link {i}: selected mode {:?} is not a candidate of {:?}",
+                        st.selected, self.cfg.mechanism
+                    )
+                },
+            );
+        }
+        auditor.check(
+            AuditLevel::Cheap,
+            "rescue-pool-bounds",
+            self.pool >= 0 && self.pool <= self.pool_original.max(0),
+            || format!("rescue pool {} ps outside [0, {}]", self.pool, self.pool_original),
+        );
+        let accounts_ok =
+            self.head.is_consistent() && self.modules.iter().all(AmsAccount::is_consistent);
+        auditor.check(AuditLevel::Cheap, "ams-account-consistent", accounts_ok, || {
+            format!("head {:?} or a module account has negative Σ FEL", self.head)
+        });
     }
 
     /// The head module's running AMS account (network-aware management).

@@ -54,6 +54,25 @@ impl EnergyBreakdown {
         self.idle_io + self.active_io
     }
 
+    /// The six categories in [`EnergyBreakdown::CATEGORY_LABELS`] order.
+    pub fn categories(&self) -> [f64; 6] {
+        [
+            self.idle_io,
+            self.active_io,
+            self.logic_leak,
+            self.logic_dyn,
+            self.dram_leak,
+            self.dram_dyn,
+        ]
+    }
+
+    /// True if every category is finite and non-negative — energy is a
+    /// physical quantity, so anything else is an accounting bug. The
+    /// audit layer checks this on every finished run.
+    pub fn is_physical(&self) -> bool {
+        self.categories().iter().all(|&j| j.is_finite() && j >= 0.0)
+    }
+
     /// Idle-I/O energy as a fraction of total energy (0 when empty).
     pub fn idle_io_fraction(&self) -> f64 {
         let total = self.total();
@@ -188,6 +207,18 @@ mod tests {
         assert!((e.watts_per_hmc(SimDuration::from_ms(10), 5) - 200.0).abs() < 1e-9);
         let cats = e.watts_by_category(SimDuration::from_ms(10));
         assert!((cats.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(sample().is_physical());
+        assert!(EnergyBreakdown::default().is_physical());
+        let negative = EnergyBreakdown { active_io: -1.0, ..sample() };
+        assert!(!negative.is_physical());
+        let nan = EnergyBreakdown { dram_dyn: f64::NAN, ..sample() };
+        assert!(!nan.is_physical());
+        let inf = EnergyBreakdown { logic_leak: f64::INFINITY, ..sample() };
+        assert!(!inf.is_physical());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The build environment has no access to crates.io, so this crate provides
 //! the subset of proptest the memnet test suites use: [`Strategy`] over
 //! integer/float ranges, [`Just`], `prop_oneof!`, `any::<T>()`,
-//! `prop::collection::vec`, tuple strategies, and the `proptest!` /
-//! `prop_assert*` macros.
+//! `prop::collection::vec`, `prop::sample::select`, tuple strategies, the
+//! [`Strategy::prop_map`] / [`Strategy::prop_filter`] combinators, and the
+//! `proptest!` / `prop_assert*` macros.
 //!
 //! Differences from real proptest: case generation is deterministic (seeded
 //! from the property name, overridable with `PROPTEST_SEED`), and failing
@@ -63,6 +64,57 @@ pub trait Strategy {
     type Value: Debug;
     /// Samples one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps every sampled value through `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Resamples until `f` accepts a value (mirrors `prop_filter`; the
+    /// message names the predicate in the panic if 1000 samples all miss).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { source: self, keep: f, whence }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    keep: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.sample(rng);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 consecutive samples", self.whence);
+    }
 }
 
 /// A strategy producing one fixed value.
@@ -216,6 +268,34 @@ pub mod collection {
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.len.sample(rng);
             (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections, mirroring `proptest::sample`.
+
+    use super::{Debug, Strategy, TestRng};
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// A strategy choosing uniformly from a fixed slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone + Debug>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "sample::select needs at least one value");
+        Select(values.to_vec())
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[idx].clone()
         }
     }
 }
@@ -384,7 +464,7 @@ pub mod prelude {
 
     /// Mirrors `proptest::prelude::prop`.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, sample};
     }
 }
 
@@ -418,6 +498,57 @@ mod tests {
         let v = Strategy::sample(&prop::collection::vec(0u64..10, 5..9), &mut rng);
         assert!((5..9).contains(&v.len()));
         assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn prop_map_transforms_samples() {
+        let mut rng = TestRng::new(3);
+        let doubled = (1u32..50).prop_map(|x| u64::from(x) * 2);
+        for _ in 0..200 {
+            let v = Strategy::sample(&doubled, &mut rng);
+            assert!(v % 2 == 0 && (2..100).contains(&v));
+        }
+        // Maps compose.
+        let labeled = (0u8..3).prop_map(|x| x + 10).prop_map(|x| format!("v{x}"));
+        let s = Strategy::sample(&labeled, &mut rng);
+        assert!(["v10", "v11", "v12"].contains(&s.as_str()));
+    }
+
+    #[test]
+    fn prop_filter_rejects_samples() {
+        let mut rng = TestRng::new(4);
+        let odd = (0u32..100).prop_filter("odd", |x| x % 2 == 1);
+        for _ in 0..200 {
+            assert!(Strategy::sample(&odd, &mut rng) % 2 == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected 1000 consecutive samples")]
+    fn prop_filter_gives_up_eventually() {
+        let mut rng = TestRng::new(5);
+        let never = (0u32..100).prop_filter("impossible", |_| false);
+        Strategy::sample(&never, &mut rng);
+    }
+
+    #[test]
+    fn select_covers_and_stays_in_the_slice() {
+        let mut rng = TestRng::new(6);
+        let values = ["a", "b", "c"];
+        let s = prop::sample::select(&values);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            let idx = values.iter().position(|&x| x == v).expect("sampled a member");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform choice must cover all values");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn select_rejects_empty_slices() {
+        prop::sample::select::<u32>(&[]);
     }
 
     #[test]

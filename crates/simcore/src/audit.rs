@@ -1,0 +1,329 @@
+//! Runtime invariant auditing: cheap self-checks compiled in always, gated
+//! at runtime by an [`AuditLevel`].
+//!
+//! The simulator's conclusions rest entirely on simulated power and latency
+//! numbers, so silently-wrong accounting (energy that does not integrate to
+//! power × time, packets that vanish between links, AMS budgets spent twice)
+//! corrupts every downstream figure. This module provides the machinery the
+//! engine and policies use to audit themselves while running:
+//!
+//! - [`AuditLevel`] selects how much checking to do (`Off`/`Cheap`/`Full`),
+//!   settable per run via `SimConfig` or globally via the `MEMNET_AUDIT`
+//!   environment variable.
+//! - [`Auditor`] collects check outcomes during a run. Checks never mutate
+//!   simulation state, so enabling auditing cannot change results.
+//! - [`AuditReport`] is the structured summary attached to a finished run's
+//!   `RunReport`.
+//!
+//! Violations are recorded, not fatal, by default; set `MEMNET_AUDIT_PANIC=1`
+//! (or construct the auditor with [`Auditor::with_panic`]) to abort on the
+//! first violation, which is how the test suites turn audits into hard
+//! failures.
+
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+/// How much runtime invariant checking to perform.
+///
+/// Levels are ordered: `Off < Cheap < Full`. A check registered at level
+/// `L` runs whenever the configured level is `>= L`.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::audit::AuditLevel;
+///
+/// assert!(AuditLevel::Full > AuditLevel::Cheap);
+/// assert_eq!(AuditLevel::parse("cheap"), Some(AuditLevel::Cheap));
+/// assert_eq!(AuditLevel::parse("nonsense"), None);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum AuditLevel {
+    /// No checking: zero per-event overhead beyond one branch.
+    #[default]
+    Off,
+    /// End-of-run and per-epoch conservation checks (residency sums,
+    /// energy double-entry, packet conservation, AMS budget ceilings).
+    Cheap,
+    /// Everything in `Cheap` plus per-event checks (timestamp
+    /// monotonicity, mode-transition legality).
+    Full,
+}
+
+impl AuditLevel {
+    /// Parses a level name (case-insensitive): `off`/`0`, `cheap`/`1`,
+    /// `full`/`2`. Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<AuditLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "" => Some(AuditLevel::Off),
+            "cheap" | "1" => Some(AuditLevel::Cheap),
+            "full" | "2" => Some(AuditLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default level from the `MEMNET_AUDIT` environment
+    /// variable, read once and cached (so a sweep building thousands of
+    /// configs warns at most once about a malformed value). Unset or
+    /// malformed values mean [`AuditLevel::Off`].
+    pub fn from_env() -> AuditLevel {
+        static LEVEL: OnceLock<AuditLevel> = OnceLock::new();
+        *LEVEL.get_or_init(|| match std::env::var("MEMNET_AUDIT") {
+            Err(_) => AuditLevel::Off,
+            Ok(v) => AuditLevel::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "[audit] warning: MEMNET_AUDIT={v:?} not recognized \
+                     (want off|cheap|full); auditing disabled"
+                );
+                AuditLevel::Off
+            }),
+        })
+    }
+}
+
+/// One failed invariant check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    /// Stable identifier of the check that failed (e.g.
+    /// `"link-energy-conservation"`).
+    pub check: String,
+    /// Human-readable description of the observed inconsistency.
+    pub detail: String,
+}
+
+/// Structured audit results for one simulation run, attached to its
+/// `RunReport`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// The level the run was audited at.
+    pub level: AuditLevel,
+    /// How many individual checks actually executed.
+    pub checks_run: u64,
+    /// Every check that failed, in the order observed.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// True if no executed check failed. (Trivially true at
+    /// [`AuditLevel::Off`], when nothing runs.)
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Collects invariant-check outcomes during a run.
+///
+/// Construct one per simulation with the run's configured level, call
+/// [`Auditor::check`] at instrumentation points, and convert it into an
+/// [`AuditReport`] with [`Auditor::finish`] when the run completes.
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::audit::{AuditLevel, Auditor};
+///
+/// let mut a = Auditor::with_panic(AuditLevel::Cheap, false);
+/// a.check(AuditLevel::Cheap, "example", 1 + 1 == 2, || "math broke".into());
+/// a.check(AuditLevel::Full, "skipped", false, || unreachable!());
+/// let report = a.finish();
+/// assert!(report.is_clean());
+/// assert_eq!(report.checks_run, 1);
+/// ```
+#[derive(Debug)]
+pub struct Auditor {
+    level: AuditLevel,
+    panic_on_violation: bool,
+    checks_run: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl Auditor {
+    /// Creates an auditor at `level`. Violations panic only when the
+    /// `MEMNET_AUDIT_PANIC` environment variable is truthy (`1`, `true`,
+    /// `yes`); otherwise they are recorded into the report.
+    pub fn new(level: AuditLevel) -> Auditor {
+        Auditor::with_panic(level, env_panic())
+    }
+
+    /// Creates an auditor with an explicit panic-on-violation setting,
+    /// ignoring the environment. Tests use this to make violations fatal
+    /// (or to assert on recorded violations without aborting).
+    pub fn with_panic(level: AuditLevel, panic_on_violation: bool) -> Auditor {
+        Auditor { level, panic_on_violation, checks_run: 0, violations: Vec::new() }
+    }
+
+    /// The level this auditor runs at.
+    pub fn level(&self) -> AuditLevel {
+        self.level
+    }
+
+    /// True if checks registered at `at` execute under this auditor.
+    /// Callers use this to skip expensive *preparation* of check inputs;
+    /// [`Auditor::check`] itself performs the same gate.
+    pub fn enabled(&self, at: AuditLevel) -> bool {
+        at != AuditLevel::Off && self.level >= at
+    }
+
+    /// Runs one invariant check registered at level `at`: a no-op unless
+    /// [`Auditor::enabled`]`(at)`. `ok` is the invariant; `detail` is only
+    /// invoked on failure, so formatting costs nothing on the happy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a failed check when panic-on-violation is set.
+    pub fn check(&mut self, at: AuditLevel, name: &str, ok: bool, detail: impl FnOnce() -> String) {
+        if !self.enabled(at) {
+            return;
+        }
+        self.checks_run += 1;
+        if ok {
+            return;
+        }
+        let v = AuditViolation { check: name.to_string(), detail: detail() };
+        if self.panic_on_violation {
+            panic!("audit violation [{}]: {}", v.check, v.detail);
+        }
+        self.violations.push(v);
+    }
+
+    /// Number of checks executed so far.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Consumes the auditor into its report.
+    pub fn finish(self) -> AuditReport {
+        AuditReport { level: self.level, checks_run: self.checks_run, violations: self.violations }
+    }
+}
+
+fn env_panic() -> bool {
+    static PANIC: OnceLock<bool> = OnceLock::new();
+    *PANIC.get_or_init(|| {
+        matches!(std::env::var("MEMNET_AUDIT_PANIC").as_deref(), Ok("1") | Ok("true") | Ok("yes"))
+    })
+}
+
+/// Relative-epsilon float comparison for conservation checks: true when
+/// `|a − b| ≤ rel_eps · max(|a|, |b|, 1e-12)`. Non-finite inputs never
+/// compare equal (a NaN energy total is itself a violation).
+///
+/// # Examples
+///
+/// ```
+/// use memnet_simcore::audit::approx_eq_rel;
+///
+/// assert!(approx_eq_rel(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!approx_eq_rel(1.0, 1.1, 1e-9));
+/// assert!(!approx_eq_rel(f64::NAN, f64::NAN, 1e-9));
+/// ```
+pub fn approx_eq_rel(a: f64, b: f64, rel_eps: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= rel_eps * a.abs().max(b.abs()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(AuditLevel::Off < AuditLevel::Cheap);
+        assert!(AuditLevel::Cheap < AuditLevel::Full);
+        assert_eq!(AuditLevel::default(), AuditLevel::Off);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_digits() {
+        assert_eq!(AuditLevel::parse("off"), Some(AuditLevel::Off));
+        assert_eq!(AuditLevel::parse(""), Some(AuditLevel::Off));
+        assert_eq!(AuditLevel::parse("Cheap"), Some(AuditLevel::Cheap));
+        assert_eq!(AuditLevel::parse(" FULL "), Some(AuditLevel::Full));
+        assert_eq!(AuditLevel::parse("0"), Some(AuditLevel::Off));
+        assert_eq!(AuditLevel::parse("1"), Some(AuditLevel::Cheap));
+        assert_eq!(AuditLevel::parse("2"), Some(AuditLevel::Full));
+        assert_eq!(AuditLevel::parse("max"), None);
+        assert_eq!(AuditLevel::parse("3"), None);
+    }
+
+    #[test]
+    fn checks_gate_on_level() {
+        let mut a = Auditor::with_panic(AuditLevel::Cheap, false);
+        assert!(a.enabled(AuditLevel::Cheap));
+        assert!(!a.enabled(AuditLevel::Full));
+        assert!(!a.enabled(AuditLevel::Off));
+        a.check(AuditLevel::Full, "full-only", false, || "should not run".into());
+        assert_eq!(a.checks_run(), 0);
+        a.check(AuditLevel::Cheap, "cheap", true, || unreachable!());
+        assert_eq!(a.checks_run(), 1);
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn off_auditor_runs_nothing() {
+        let mut a = Auditor::with_panic(AuditLevel::Off, false);
+        a.check(AuditLevel::Cheap, "x", false, || unreachable!());
+        let r = a.finish();
+        assert_eq!(r.checks_run, 0);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn violations_are_recorded_in_order() {
+        let mut a = Auditor::with_panic(AuditLevel::Full, false);
+        a.check(AuditLevel::Cheap, "first", false, || "one".into());
+        a.check(AuditLevel::Full, "ok", true, || unreachable!());
+        a.check(AuditLevel::Full, "second", false, || "two".into());
+        let r = a.finish();
+        assert_eq!(r.checks_run, 3);
+        assert!(!r.is_clean());
+        assert_eq!(r.violations.len(), 2);
+        assert_eq!(r.violations[0].check, "first");
+        assert_eq!(r.violations[0].detail, "one");
+        assert_eq!(r.violations[1].check, "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "audit violation [boom]")]
+    fn panic_mode_aborts_on_violation() {
+        let mut a = Auditor::with_panic(AuditLevel::Cheap, true);
+        a.check(AuditLevel::Cheap, "boom", false, || "fatal".into());
+    }
+
+    #[test]
+    fn approx_eq_rel_behaves() {
+        assert!(approx_eq_rel(100.0, 100.0, 0.0));
+        assert!(approx_eq_rel(100.0, 100.0 + 1e-8, 1e-9));
+        assert!(!approx_eq_rel(100.0, 101.0, 1e-9));
+        // Near zero, the absolute floor keeps tiny noise from failing.
+        assert!(approx_eq_rel(0.0, 1e-15, 1e-3));
+        assert!(!approx_eq_rel(f64::NAN, 1.0, 1e-9));
+        assert!(!approx_eq_rel(1.0, f64::INFINITY, 1e-9));
+        assert!(!approx_eq_rel(f64::INFINITY, f64::INFINITY, 1e-9));
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let r = AuditReport {
+            level: AuditLevel::Full,
+            checks_run: 42,
+            violations: vec![AuditViolation {
+                check: "energy".into(),
+                detail: "off by 10%".into(),
+            }],
+        };
+        let json = serde::json::to_string(&r);
+        let back: AuditReport = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back, r);
+    }
+}

@@ -14,6 +14,8 @@
 //!   generators. Runs with equal seeds produce identical request streams.
 //! - [`stats`] — counters, time-in-state trackers, histograms and online
 //!   summary statistics used for power/performance accounting.
+//! - [`audit`] — runtime invariant checking (energy conservation, packet
+//!   conservation, budget ceilings) gated by an [`AuditLevel`].
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@
 //! assert_eq!(time.as_ps(), 2_000);
 //! ```
 
+pub mod audit;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::{AuditLevel, AuditReport, AuditViolation, Auditor};
 pub use event::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

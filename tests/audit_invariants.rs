@@ -1,0 +1,128 @@
+//! Runtime invariant-audit tests: every policy/mechanism combination must
+//! run clean under the strictest audit level, and a deliberately injected
+//! energy-accounting bug must be caught by the audit layer.
+
+use memnet::core::{NetworkScale, PolicyKind, SimConfig};
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet::power::HmcPowerModel;
+use memnet::simcore::audit::approx_eq_rel;
+use memnet::simcore::{AuditLevel, Auditor};
+use memnet_simcore::SimDuration;
+
+fn audited(workload: &str) -> memnet::core::SimConfigBuilder {
+    SimConfig::builder()
+        .workload(workload)
+        .eval_period(SimDuration::from_us(100))
+        .seed(11)
+        .audit(AuditLevel::Full)
+}
+
+#[test]
+fn full_audit_is_clean_across_policies_and_mechanisms() {
+    let cases = [
+        (PolicyKind::FullPower, Mechanism::FullPower),
+        (PolicyKind::NetworkUnaware, Mechanism::Roo),
+        (PolicyKind::NetworkUnaware, Mechanism::Vwl),
+        (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+        (PolicyKind::NetworkAware, Mechanism::Dvfs),
+        (PolicyKind::NetworkAware, Mechanism::DvfsRoo),
+    ];
+    for (policy, mech) in cases {
+        let r = audited("mixD")
+            .topology(TopologyKind::TernaryTree)
+            .scale(NetworkScale::Small)
+            .policy(policy)
+            .mechanism(mech)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.audit.level, AuditLevel::Full, "{policy:?}/{mech:?}");
+        assert!(r.audit.checks_run > 0, "{policy:?}/{mech:?} ran zero checks");
+        assert!(
+            r.audit.is_clean(),
+            "{policy:?}/{mech:?} violated invariants: {:?}",
+            r.audit.violations
+        );
+    }
+}
+
+#[test]
+fn audit_off_runs_no_checks() {
+    let r = audited("mixD").audit(AuditLevel::Off).build().unwrap().run();
+    assert_eq!(r.audit.checks_run, 0);
+    assert!(r.audit.violations.is_empty());
+}
+
+#[test]
+fn cheap_audit_runs_fewer_checks_than_full() {
+    let cheap = audited("mixB").audit(AuditLevel::Cheap).build().unwrap().run();
+    let full = audited("mixB").audit(AuditLevel::Full).build().unwrap().run();
+    assert!(cheap.audit.checks_run > 0);
+    assert!(
+        full.audit.checks_run > cheap.audit.checks_run,
+        "Full ({}) must strictly add checks over Cheap ({})",
+        full.audit.checks_run,
+        cheap.audit.checks_run
+    );
+    assert!(cheap.audit.is_clean() && full.audit.is_clean());
+}
+
+/// The acceptance test for the audit layer itself: inject an
+/// energy-accounting bug into an otherwise healthy report and show the
+/// double-entry I/O energy check catches it, while the unmutated report
+/// passes the identical check.
+#[test]
+fn injected_energy_bug_is_caught_by_the_audit() {
+    let model = HmcPowerModel::paper();
+    let healthy = audited("mixD")
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::VwlRoo)
+        .build()
+        .unwrap()
+        .run();
+    assert!(healthy.audit.is_clean());
+
+    // The same conservation check the engine runs, applied out-of-band so
+    // we can feed it a corrupted report without panicking the engine.
+    let io_conservation = |r: &memnet::core::RunReport| {
+        let mut auditor = Auditor::with_panic(AuditLevel::Cheap, false);
+        let expected = r.expected_io_energy(&model);
+        let actual = r.power.energy.io_total();
+        auditor.check(
+            AuditLevel::Cheap,
+            "io-energy-conservation",
+            approx_eq_rel(expected, actual, 1e-9),
+            || format!("telemetry prices I/O at {expected} J but accounting recorded {actual} J"),
+        );
+        auditor.finish()
+    };
+
+    assert!(io_conservation(&healthy).is_clean(), "unmutated report must pass");
+
+    // Simulate an accounting bug: active I/O energy overstated by 10 %.
+    let mut buggy = healthy.clone();
+    buggy.power.energy.active_io *= 1.1;
+    let report = io_conservation(&buggy);
+    assert!(!report.is_clean(), "a 10 % active-I/O error must be flagged");
+    assert_eq!(report.violations[0].check, "io-energy-conservation");
+    assert!(report.violations[0].detail.contains("J"));
+
+    // And an unphysical (negative-energy) mutation trips the physicality
+    // check the engine applies to every finished run.
+    let mut negative = healthy.clone();
+    negative.power.energy.dram_dyn = -1.0;
+    assert!(!negative.power.energy.is_physical());
+    assert!(healthy.power.energy.is_physical());
+}
+
+#[test]
+fn audit_results_survive_serialization() {
+    use serde::Deserialize;
+    let r = audited("mixD").build().unwrap().run();
+    let json = serde::json::to_string(&r);
+    let back = memnet::core::RunReport::deserialize(&serde::json::parse(&json).unwrap()).unwrap();
+    assert_eq!(back.audit.level, r.audit.level);
+    assert_eq!(back.audit.checks_run, r.audit.checks_run);
+    assert_eq!(back.audit.violations.len(), r.audit.violations.len());
+}

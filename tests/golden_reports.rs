@@ -1,0 +1,134 @@
+//! Golden-report regression harness: figure/table text is snapshotted
+//! under `tests/golden/` and every run is diffed against the blessed
+//! copy, so any change to simulation results or figure formatting shows
+//! up as a readable line diff.
+//!
+//! To (re)bless the snapshots after an intentional change:
+//!
+//! ```text
+//! MEMNET_BLESS=1 cargo test --test golden_reports
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use memnet_bench::{figures, Matrix, Settings};
+use memnet_simcore::SimDuration;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var("MEMNET_BLESS").is_ok_and(|v| matches!(v.as_str(), "1" | "true" | "yes"))
+}
+
+/// Renders a unified-style line diff, or `None` when the texts match.
+fn line_diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i);
+        let a = act.get(i);
+        if e == a {
+            continue;
+        }
+        if shown == 12 {
+            out.push_str("  ... (more differences elided)\n");
+            break;
+        }
+        shown += 1;
+        match (e, a) {
+            (Some(e), Some(a)) => {
+                out.push_str(&format!("  line {}:\n    -{e}\n    +{a}\n", i + 1));
+            }
+            (Some(e), None) => {
+                out.push_str(&format!("  line {} only in golden:\n    -{e}\n", i + 1))
+            }
+            (None, Some(a)) => {
+                out.push_str(&format!("  line {} only in actual:\n    +{a}\n", i + 1))
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Some(out)
+}
+
+/// Compares `actual` against the blessed snapshot `name.txt`, rewriting
+/// it instead when `MEMNET_BLESS=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if blessing() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden snapshot {}; run `MEMNET_BLESS=1 cargo test --test golden_reports` \
+             to create it",
+            path.display()
+        )
+    });
+    if let Some(diff) = line_diff(&expected, actual) {
+        panic!(
+            "{name} diverged from its golden snapshot ({}):\n{diff}\
+             If the change is intentional, re-bless with \
+             `MEMNET_BLESS=1 cargo test --test golden_reports`.",
+            path.display()
+        );
+    }
+}
+
+/// The fixed harness configuration every snapshot was blessed under.
+/// Changing any of these invalidates (and requires re-blessing) the
+/// snapshots, so they are deliberately independent of the environment.
+fn golden_settings() -> Settings {
+    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, cache_dir: None }
+}
+
+#[test]
+fn figure_text_matches_golden_snapshots() {
+    let settings = golden_settings();
+    let mut matrix = Matrix::new();
+    // Static tables and workload CDFs: no simulation at all.
+    check_golden("tables", &figures::tables());
+    check_golden("fig04", &figures::fig04());
+    // Simulated figures share one matrix, like the `all` binary does.
+    check_golden("fig05", &figures::fig05(&mut matrix, &settings));
+    check_golden("fig06", &figures::fig06(&mut matrix, &settings));
+    check_golden("fig09", &figures::fig09(&mut matrix, &settings));
+}
+
+#[test]
+fn diff_rendering_is_readable() {
+    assert_eq!(line_diff("a\nb\n", "a\nb\n"), None);
+    let d = line_diff("a\nb\nc\n", "a\nX\nc\n").expect("texts differ");
+    assert!(d.contains("line 2:"), "diff names the line: {d}");
+    assert!(d.contains("-b") && d.contains("+X"), "diff shows both sides: {d}");
+    let d = line_diff("a\n", "a\nextra\n").expect("texts differ");
+    assert!(d.contains("only in actual"), "length changes are reported: {d}");
+}
+
+/// A perturbed configuration must *fail* the snapshot comparison with a
+/// readable diff — this guards the guard: if results stopped feeding the
+/// figure text, golden comparisons would silently pass everything.
+#[test]
+fn perturbed_config_fails_the_snapshot() {
+    if blessing() {
+        return; // nothing to compare against while re-blessing
+    }
+    let path = golden_dir().join("fig05.txt");
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden snapshot {}; bless first", path.display()));
+    let perturbed = Settings { seed: 4, ..golden_settings() };
+    let actual = figures::fig05(&mut Matrix::new(), &perturbed);
+    let diff = line_diff(&expected, &actual).expect("a different seed must change the figure text");
+    assert!(diff.contains("line "), "diff must name the diverging lines: {diff}");
+}
