@@ -20,6 +20,7 @@ fn main() {
         ("Figure 17", figures::fig17(&mut m, &settings)),
         ("Figure 18", figures::fig18(&mut m, &settings)),
         ("Section VII-A", figures::sec7a(&mut m, &settings)),
+        ("Fault sweep", figures::faults_sweep(&mut m, &settings)),
     ];
     for (title, body) in sections {
         println!("==================== {title} ====================");

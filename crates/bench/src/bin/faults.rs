@@ -1,0 +1,8 @@
+//! Regenerates the fault-sweep (link resilience) data series.
+use memnet_bench::{Matrix, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let mut matrix = Matrix::new();
+    print!("{}", memnet_bench::figures::faults_sweep(&mut matrix, &settings));
+}

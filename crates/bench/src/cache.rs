@@ -33,8 +33,10 @@ use serde::{json, Deserialize, Serialize};
 
 /// Bump when the serialized [`RunReport`] layout (or the fingerprint
 /// format) changes; old cache files are then ignored wholesale.
-/// History: 1 = initial layout; 2 = `RunReport` gained the `audit` field.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// History: 1 = initial layout; 2 = `RunReport` gained the `audit` field;
+/// 3 = `RunReport` gained the `faults` section (plus per-link
+/// retransmission telemetry) and the fingerprint a `faults=` field.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -821,3 +821,66 @@ pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
         100.0 * power_gain,
     )
 }
+
+// ----------------------------------------------------------------------
+// Fault sweep — link resilience under power management
+// ----------------------------------------------------------------------
+
+/// Per-flit error rates swept by [`faults_sweep`]: a fault-free control,
+/// the realistic post-CRC floor the HMC specification targets, a
+/// pessimistic rate, and two stress rates high enough that retries are
+/// statistically certain inside a 1 ms evaluation window.
+pub const FAULT_SWEEP_RATES: [f64; 5] = [0.0, 1e-12, 1e-9, 1e-5, 1e-3];
+
+/// Fault sweep: power, throughput and retry cost versus per-flit error
+/// rate, for unmanaged and ROO-managed links on the chain and tree
+/// topologies. The `faults` key dimension keeps every scenario distinct
+/// in the persistent cache.
+pub fn faults_sweep(matrix: &mut Matrix, settings: &Settings) -> String {
+    use memnet_faults::FaultConfig;
+    let topos = [TopologyKind::DaisyChain, TopologyKind::TernaryTree];
+    let cases = [
+        ("unmanaged", PolicyKind::FullPower, Mechanism::FullPower),
+        ("aware ROO", PolicyKind::NetworkAware, Mechanism::Roo),
+    ];
+    let workload = "mixD";
+    let mut keys = Vec::new();
+    for &(_, policy, mech) in &cases {
+        for topo in topos {
+            for rate in FAULT_SWEEP_RATES {
+                let spec = FaultConfig::with_flit_error_rate(rate).spec();
+                keys.push(
+                    Key::main(workload, topo, NetworkScale::Small, policy, mech, 0.05)
+                        .with_faults(&spec),
+                );
+            }
+        }
+    }
+    matrix.ensure(&keys, settings);
+    let mut out = String::from(
+        "Fault sweep: link-level retry cost vs per-flit error rate (mixD, small networks)\n\
+         case       topology      error-rate   W/HMC  acc/us  retries  re-flits  retrans(uJ)\n",
+    );
+    for &(label, policy, mech) in &cases {
+        for topo in topos {
+            for rate in FAULT_SWEEP_RATES {
+                let spec = FaultConfig::with_flit_error_rate(rate).spec();
+                let k = Key::main(workload, topo, NetworkScale::Small, policy, mech, 0.05)
+                    .with_faults(&spec);
+                let r = matrix.get(&k);
+                out.push_str(&format!(
+                    "{:<10} {:<13} {:>10}  {:6.2}  {:6.1}  {:7}  {:8}  {:11.3}\n",
+                    label,
+                    topo.label(),
+                    if rate == 0.0 { "0".to_string() } else { format!("{rate:.0e}") },
+                    r.power.watts_per_hmc(),
+                    r.accesses_per_us,
+                    r.faults.retries,
+                    r.faults.retransmitted_flits,
+                    1e6 * r.faults.retransmission_energy,
+                ));
+            }
+        }
+    }
+    out
+}

@@ -30,6 +30,11 @@ pub struct Key {
     pub roo_wakeup_ns: u32,
     /// Address mapping.
     pub mapping: AddressMapping,
+    /// Canonical fault-scenario spec ([`FaultConfig::spec`]); empty for
+    /// fault-free runs, so pre-existing sweep dimensions are unaffected.
+    ///
+    /// [`FaultConfig::spec`]: memnet_faults::FaultConfig::spec
+    pub faults: String,
 }
 
 impl Key {
@@ -51,7 +56,15 @@ impl Key {
             alpha_tenths_pct: (alpha * 1000.0).round() as u32,
             roo_wakeup_ns: 14,
             mapping: AddressMapping::Contiguous,
+            faults: String::new(),
         }
+    }
+
+    /// This key with a fault scenario attached (the `faults` sweep
+    /// dimension). Pass the canonical spec from
+    /// [`memnet_faults::FaultConfig::spec`].
+    pub fn with_faults(&self, spec: &str) -> Key {
+        Key { faults: spec.to_string(), ..self.clone() }
     }
 
     /// The full-power baseline key matching this configuration. α and the
@@ -83,7 +96,7 @@ impl Key {
     /// simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
-            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}",
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
             settings.seed,
@@ -95,11 +108,14 @@ impl Key {
             self.alpha_tenths_pct,
             self.roo_wakeup_ns,
             self.mapping,
+            self.faults,
         )
     }
 
     fn to_config(&self, settings: &Settings) -> SimConfig {
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
+        let faults =
+            memnet_faults::FaultConfig::parse(&self.faults).expect("matrix fault specs are valid");
         SimConfig::builder()
             .workload(self.workload)
             .topology(self.topology)
@@ -109,6 +125,7 @@ impl Key {
             .alpha(self.alpha().max(0.001))
             .roo_params(roo)
             .mapping(self.mapping)
+            .faults(faults)
             .eval_period(settings.eval_period)
             .seed(settings.seed)
             .build()

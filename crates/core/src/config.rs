@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use memnet_dram::DramParams;
+use memnet_faults::FaultConfig;
 use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
@@ -68,6 +69,9 @@ pub enum ConfigError {
     BadAlpha(String),
     /// The evaluation period must be positive.
     BadEvalPeriod,
+    /// The fault scenario is malformed or names links/modules outside the
+    /// network.
+    BadFaults(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -76,6 +80,7 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
             ConfigError::BadAlpha(m) => write!(f, "invalid alpha: {m}"),
             ConfigError::BadEvalPeriod => f.write_str("evaluation period must be positive"),
+            ConfigError::BadFaults(m) => write!(f, "invalid fault scenario: {m}"),
         }
     }
 }
@@ -125,6 +130,9 @@ pub struct SimConfig {
     /// Audit checks never mutate simulation state, so the level cannot
     /// change results — only the `audit` section of the report.
     pub audit: AuditLevel,
+    /// Link-fault scenario ([`FaultConfig::none`] by default: a fault-free
+    /// run is bit-identical to a build without the fault subsystem).
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -184,6 +192,7 @@ pub struct SimConfigBuilder {
     rescue_pool: bool,
     trace_limit: usize,
     audit: AuditLevel,
+    faults: FaultConfig,
 }
 
 impl SimConfigBuilder {
@@ -210,6 +219,7 @@ impl SimConfigBuilder {
             rescue_pool: true,
             trace_limit: 0,
             audit: AuditLevel::from_env(),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -316,6 +326,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the link-fault scenario. Note the builder deliberately does
+    /// *not* read `MEMNET_FAULTS` itself (that would silently poison cached
+    /// sweep results); the CLI applies [`FaultConfig::from_env`] at its own
+    /// layer and bench sweeps carry the spec in their cache key.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -332,6 +351,24 @@ impl SimConfigBuilder {
         }
         if self.eval_period.is_zero() {
             return Err(ConfigError::BadEvalPeriod);
+        }
+        self.faults.validate().map_err(ConfigError::BadFaults)?;
+        let n_hmcs = workload.footprint_gb.div_ceil(self.scale.chunk_gb()) as usize;
+        for d in &self.faults.degraded {
+            if d.link >= 2 * n_hmcs {
+                return Err(ConfigError::BadFaults(format!(
+                    "degraded link {} out of range (network has {} links)",
+                    d.link,
+                    2 * n_hmcs
+                )));
+            }
+        }
+        for &m in &self.faults.hard_failed {
+            if m >= n_hmcs {
+                return Err(ConfigError::BadFaults(format!(
+                    "hard-failed module {m} out of range (network has {n_hmcs} modules)"
+                )));
+            }
         }
         Ok(SimConfig {
             workload,
@@ -353,6 +390,7 @@ impl SimConfigBuilder {
             rescue_pool: self.rescue_pool,
             trace_limit: self.trace_limit,
             audit: self.audit,
+            faults: self.faults,
         })
     }
 }
@@ -411,6 +449,26 @@ mod tests {
         assert_eq!(cfg.audit, AuditLevel::Full);
         let cfg = SimConfig::builder().audit(AuditLevel::Off).build().unwrap();
         assert_eq!(cfg.audit, AuditLevel::Off);
+    }
+
+    #[test]
+    fn fault_scenarios_are_validated_against_the_network() {
+        // mixB on small scale = 3 HMCs = 6 links.
+        let ok = SimConfig::builder()
+            .faults(FaultConfig::parse("ber=1e-6,degrade=5:4,fail=2").unwrap())
+            .build()
+            .unwrap();
+        assert!(!ok.faults.is_none());
+        let err = SimConfig::builder()
+            .faults(FaultConfig::parse("degrade=6:4").unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadFaults(_)), "{err}");
+        let err =
+            SimConfig::builder().faults(FaultConfig::parse("fail=3").unwrap()).build().unwrap_err();
+        assert!(matches!(err, ConfigError::BadFaults(_)), "{err}");
+        // Defaults stay fault-free.
+        assert!(SimConfig::builder().build().unwrap().faults.is_none());
     }
 
     #[test]

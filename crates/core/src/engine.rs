@@ -30,8 +30,9 @@
 use std::collections::HashMap;
 
 use memnet_dram::{line_to_vault_bank, Vault, VaultOp};
-use memnet_net::link::LinkSim;
-use memnet_net::mech::LinkPowerMode;
+use memnet_faults::FaultModel;
+use memnet_net::link::{state_retrans, LinkSim};
+use memnet_net::mech::{BwMode, DvfsLevel, LinkPowerMode, VwlWidth};
 use memnet_net::{Direction, LinkId, ModuleId, NodeRef, Packet, PacketKind, Topology};
 use memnet_policy::{PowerController, ViolationAction};
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
@@ -40,7 +41,7 @@ use memnet_simcore::{AuditLevel, Auditor, EventQueue, SimDuration, SimTime, Spli
 
 use crate::config::{AddressMapping, SimConfig};
 use crate::frontend::{Frontend, InjectStep};
-use crate::metrics::{LinkTelemetry, PowerSummary, RunReport};
+use crate::metrics::{FaultSummary, LinkTelemetry, PowerSummary, RunReport};
 use crate::trace::{Trace, TraceEvent, TracePoint};
 
 /// Router traversal latency: four pipeline cycles at the 0.64 ns flit
@@ -58,6 +59,7 @@ enum Event {
     VaultTick(ModuleId, usize),
     VaultDone(ModuleId, usize, u64, bool),
     WakeDone(LinkId),
+    LinkRetry(LinkId),
     TurnOffCheck(LinkId, SimTime),
     ModeApply(LinkId),
     ChainWake(LinkId),
@@ -94,6 +96,20 @@ pub struct Engine {
     frontend: Frontend,
     power_model: HmcPowerModel,
 
+    /// Active fault model; `None` in fault-free runs so no fault RNG
+    /// stream is ever advanced and results stay bit-identical to the
+    /// pre-fault baseline.
+    faults: Option<FaultModel>,
+    /// Consecutive NAKs for the packet currently held by each link
+    /// (reset when a transmission finally passes CRC).
+    retry_attempts: Vec<u32>,
+    /// Per-module reachability after route-around (all true without
+    /// hard link failures).
+    reachable: Vec<bool>,
+    rerouted_modules: usize,
+    unreachable_modules: usize,
+    wake_timeouts: u64,
+
     /// Read packets awaiting their DRAM completion, keyed by packet id.
     outstanding_reads: HashMap<u64, Packet>,
     routes: Vec<Vec<ModuleId>>,
@@ -114,20 +130,51 @@ impl Engine {
     /// Builds the simulator for `cfg`.
     pub fn new(cfg: SimConfig) -> Engine {
         let n = cfg.n_hmcs();
-        let topo = Topology::build(cfg.topology, n);
+        let built = Topology::build(cfg.topology, n);
+        // Hard-failed upstream edges are routed around before anything
+        // else sees the topology, so the controller, the routing tables
+        // and the wake-chaining helpers all operate on the surviving tree.
+        let (topo, rerouted_modules, unreachable) = if cfg.faults.hard_failed.is_empty() {
+            (built, 0, Vec::new())
+        } else {
+            let failed: Vec<ModuleId> =
+                cfg.faults.hard_failed.iter().map(|&m| ModuleId(m)).collect();
+            let ra = built.route_around(&failed);
+            (ra.topology, ra.rerouted.len(), ra.unreachable)
+        };
+        let faults = (!cfg.faults.is_none())
+            .then(|| FaultModel::new(cfg.faults.clone(), topo.n_links(), cfg.seed));
         let start = SimTime::ZERO;
         let mut controller = PowerController::new(
             topo.clone(),
             cfg.policy_config(),
             cfg.dram.nominal_read_latency(),
         );
-        // Initial modes apply at construction with no transition latency.
+        // Initial modes apply at construction with no transition latency;
+        // lane-degraded links are clamped to what they can physically run.
         let initial = controller.initial_decisions();
-        let mut links: Vec<LinkSim> =
-            initial.iter().map(|d| LinkSim::new(d.link, d.mode.bw, start)).collect();
+        let mut links: Vec<LinkSim> = initial
+            .iter()
+            .map(|d| {
+                let lanes = faults.as_ref().and_then(|fm| fm.degraded_lanes(d.link.0));
+                LinkSim::new(d.link, clamp_bw_to_lanes(d.mode.bw, lanes), start)
+            })
+            .collect();
         for (l, d) in links.iter_mut().zip(&initial) {
             l.set_roo_params(cfg.roo_params);
             l.set_roo_threshold(d.mode.roo);
+        }
+        let mut reachable = vec![true; n];
+        for &m in &unreachable {
+            reachable[m.0] = false;
+            // A severed module's links can never carry traffic: drop
+            // them to the 1 % off state for the whole run and keep the
+            // ROO machinery from ever trying to wake them.
+            for dir in [Direction::Request, Direction::Response] {
+                let l = LinkId::of(m, dir);
+                links[l.0].set_roo_threshold(None);
+                links[l.0].turn_off(start);
+            }
         }
         let vaults = (0..n)
             .map(|_| (0..cfg.dram.vaults).map(|_| Vault::new(&cfg.dram, start)).collect())
@@ -157,6 +204,12 @@ impl Engine {
             controller,
             frontend,
             power_model: HmcPowerModel::paper(),
+            faults,
+            retry_attempts: vec![0; topo.n_links()],
+            reachable,
+            rerouted_modules,
+            unreachable_modules: unreachable.len(),
+            wake_timeouts: 0,
             outstanding_reads: HashMap::new(),
             routes,
             next_packet_id: 0,
@@ -185,7 +238,7 @@ impl Engine {
 
         let debug = std::env::var_os("MEMNET_DEBUG").is_some();
         let mut processed: u64 = 0;
-        let mut histo = [0u64; 13];
+        let mut histo = [0u64; 14];
         while let Some(t) = self.queue.peek_time() {
             if t > self.end {
                 break;
@@ -215,6 +268,7 @@ impl Engine {
                     Event::ModeApply(_) => 10,
                     Event::ChainWake(_) => 11,
                     Event::EpochEnd => 12,
+                    Event::LinkRetry(_) => 13,
                 };
                 histo[idx] += 1;
                 if processed.is_multiple_of(1_000_000) {
@@ -262,6 +316,7 @@ impl Engine {
             Event::VaultTick(m, v) => self.on_vault_tick(m, v),
             Event::VaultDone(m, v, id, is_read) => self.on_vault_done(m, v, id, is_read),
             Event::WakeDone(l) => self.on_wake_done(l),
+            Event::LinkRetry(l) => self.on_link_retry(l),
             Event::TurnOffCheck(l, token) => self.on_turnoff_check(l, token),
             Event::ModeApply(l) => self.on_mode_apply(l),
             Event::ChainWake(l) => self.on_chain_wake(l),
@@ -320,6 +375,19 @@ impl Engine {
             match self.frontend.step(self.now) {
                 InjectStep::Inject(req) => {
                     let dest = self.module_of_line(req.line_addr);
+                    if !self.reachable[dest.0] {
+                        // The destination sits below a severed edge no
+                        // spare port could bridge: the access cannot
+                        // enter the network. Abort it at the front-end
+                        // so its window slot is released and the loss
+                        // is counted instead of hanging forever.
+                        if req.is_read {
+                            self.frontend.abort_read();
+                        } else {
+                            self.frontend.abort_write();
+                        }
+                        continue;
+                    }
                     let kind = if req.is_read {
                         PacketKind::ReadRequest
                     } else {
@@ -382,6 +450,26 @@ impl Engine {
     }
 
     fn on_link_done(&mut self, l: LinkId) {
+        // Link-level retry: the receiver CRC-checks the packet as its
+        // last flit lands. A corrupted packet is NAK'd over the reverse
+        // control channel and replayed from the transmitter's retry
+        // buffer after the turnaround; `in_flight` stays occupied so the
+        // link admits nothing new while the replay is pending. At the
+        // retry limit the packet is delivered anyway (matching HMC-style
+        // links, where an exhausted retry raises a machine check rather
+        // than dropping traffic — the simulator keeps the traffic).
+        if let Some(fm) = self.faults.as_mut() {
+            let flits = self.in_flight[l.0].as_ref().expect("transmission in flight").0.flits();
+            if self.retry_attempts[l.0] < fm.retry_limit() && fm.transmission_corrupted(l.0, flits)
+            {
+                self.retry_attempts[l.0] += 1;
+                self.links[l.0].finish_transmission(self.now);
+                let at = self.now + self.links[l.0].retry_turnaround();
+                self.schedule(at, Event::LinkRetry(l));
+                return;
+            }
+        }
+        self.retry_attempts[l.0] = 0;
         self.links[l.0].finish_transmission(self.now);
         let (pkt, arrival, start) = self.in_flight[l.0].take().expect("transmission in flight");
         self.trace(&pkt, TracePoint::LinkDone(l));
@@ -411,6 +499,14 @@ impl Engine {
         } else {
             self.arm_turnoff(l);
         }
+    }
+
+    /// Replays the NAK'd packet still held in `in_flight` after the retry
+    /// turnaround has elapsed.
+    fn on_link_retry(&mut self, l: LinkId) {
+        let flits = self.in_flight[l.0].as_ref().expect("retry without a held packet").0.flits();
+        let done = self.links[l.0].start_retransmission(self.now, flits);
+        self.schedule(done, Event::LinkDone(l));
     }
 
     fn on_deliver(&mut self, l: LinkId, pkt: Packet) {
@@ -540,7 +636,15 @@ impl Engine {
         if !self.links[l.0].is_off() {
             return;
         }
-        let done = self.links[l.0].start_wake(self.now);
+        let mut done = self.links[l.0].start_wake(self.now);
+        if let Some(fm) = self.faults.as_mut() {
+            if fm.wake_times_out(l.0) {
+                // The wake handshake missed its training window; one
+                // more full wakeup interval retrains the link.
+                self.wake_timeouts += 1;
+                done = done + (done - self.now);
+            }
+        }
         self.schedule(done, Event::WakeDone(l));
         // Network-aware chaining: a waking response link warns its
         // upstream response link so the wake latency pipelines.
@@ -589,6 +693,12 @@ impl Engine {
     }
 
     fn on_turnoff_check(&mut self, l: LinkId, token: SimTime) {
+        if self.in_flight[l.0].is_some() {
+            // A NAK'd packet is waiting out its retry turnaround: the
+            // link is on-idle but must stay up for the replay. The
+            // success path re-arms the idleness timer afterwards.
+            return;
+        }
         let link = &self.links[l.0];
         let Some(thr) = link.roo_threshold() else { return };
         if link.idle_since() != Some(token) || link.queue_len() > 0 {
@@ -622,12 +732,27 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn apply_decision(&mut self, link: LinkId, mode: LinkPowerMode) {
+        // Links below an unbridged hard failure were shut down at
+        // construction and take no further decisions.
+        if !self.reachable[link.edge_module().0] {
+            return;
+        }
         if self.audit.enabled(AuditLevel::Full) {
             let mech = self.cfg.mechanism;
             self.audit.check(AuditLevel::Full, "mode-transition-legal", mech.allows(mode), || {
                 format!("link {link:?}: decision {mode:?} is not a candidate of {mech:?}")
             });
         }
+        // Physical-layer clamp, applied *after* the legality audit (the
+        // audit judges the controller's decision; the clamp models a
+        // lane-degraded link refusing lanes it no longer has).
+        let mode = match &self.faults {
+            Some(fm) => LinkPowerMode {
+                bw: clamp_bw_to_lanes(mode.bw, fm.degraded_lanes(link.0)),
+                roo: mode.roo,
+            },
+            None => mode,
+        };
         let pending_at = self.links[link.0].request_bw_mode(mode.bw, self.now);
         if let Some(at) = pending_at {
             self.schedule(at, Event::ModeApply(link));
@@ -715,6 +840,10 @@ impl Engine {
             for (i, mt) in mode_time.iter_mut().enumerate() {
                 *mt = snap[2 + 2 * i] + snap[3 + 2 * i];
             }
+            let mut retrans_time = [SimDuration::ZERO; memnet_net::mech::N_BW_MODES];
+            for (i, rt) in retrans_time.iter_mut().enumerate() {
+                *rt = snap[state_retrans(BwMode::from_index(i))];
+            }
             telemetry.push(LinkTelemetry {
                 link: link.id(),
                 utilization: link.busy_time(self.end).ratio(window),
@@ -722,6 +851,9 @@ impl Engine {
                 off_time: snap[memnet_net::link::STATE_OFF],
                 waking_time: snap[memnet_net::link::STATE_WAKING],
                 wake_count: link.wake_count(),
+                retrans_time,
+                retrans_flits: link.retrans_flits(),
+                retransmissions: link.retransmissions(),
             });
         }
         for m in self.topo.modules() {
@@ -743,6 +875,15 @@ impl Engine {
             telemetry.iter().map(|t| t.utilization).sum::<f64>() / telemetry.len() as f64;
 
         let completed = self.frontend.completed_reads() + self.frontend.retired_writes();
+        let fault_summary = FaultSummary {
+            retries: self.links.iter().map(|l| l.retransmissions()).sum(),
+            retransmitted_flits: self.links.iter().map(|l| l.retrans_flits()).sum(),
+            retransmission_energy: energy.retrans_io,
+            wake_timeouts: self.wake_timeouts,
+            aborted_accesses: self.frontend.aborted_reads() + self.frontend.aborted_writes(),
+            rerouted_modules: self.rerouted_modules,
+            unreachable_modules: self.unreachable_modules,
+        };
         let mut report = RunReport {
             workload: self.cfg.workload.name,
             topology: self.cfg.topology,
@@ -767,6 +908,7 @@ impl Engine {
             epochs: self.controller.epochs_completed(),
             violations: self.controller.violations(),
             audit: Default::default(),
+            faults: fault_summary,
             links: telemetry,
             trace: self.trace.events().to_vec(),
         };
@@ -788,6 +930,17 @@ impl Engine {
                     )
                 },
             );
+            // Double-entry check for the fault subsystem's ledger: the
+            // accumulated retransmission energy must equal the per-link
+            // replay residency repriced independently at each mode's
+            // active power (exactly zero against zero when fault-free).
+            audit.check_conservation(
+                AuditLevel::Cheap,
+                "retrans-energy-conservation",
+                report.expected_retrans_io_energy(&self.power_model),
+                report.power.energy.retrans_io,
+                1e-9,
+            );
             audit.check(
                 AuditLevel::Cheap,
                 "energy-physical",
@@ -805,26 +958,30 @@ impl Engine {
             audit.check(
                 AuditLevel::Cheap,
                 "read-conservation",
-                fe.injected_reads() == fe.completed_reads() + fe.outstanding_reads() as u64,
+                fe.injected_reads()
+                    == fe.completed_reads() + fe.outstanding_reads() as u64 + fe.aborted_reads(),
                 || {
                     format!(
-                        "{} reads injected != {} completed + {} outstanding",
+                        "{} reads injected != {} completed + {} outstanding + {} aborted",
                         fe.injected_reads(),
                         fe.completed_reads(),
-                        fe.outstanding_reads()
+                        fe.outstanding_reads(),
+                        fe.aborted_reads()
                     )
                 },
             );
             audit.check(
                 AuditLevel::Cheap,
                 "write-conservation",
-                fe.injected_writes() == fe.retired_writes() + fe.outstanding_writes() as u64,
+                fe.injected_writes()
+                    == fe.retired_writes() + fe.outstanding_writes() as u64 + fe.aborted_writes(),
                 || {
                     format!(
-                        "{} writes injected != {} retired + {} outstanding",
+                        "{} writes injected != {} retired + {} outstanding + {} aborted",
                         fe.injected_writes(),
                         fe.retired_writes(),
-                        fe.outstanding_writes()
+                        fe.outstanding_writes(),
+                        fe.aborted_writes()
                     )
                 },
             );
@@ -832,5 +989,60 @@ impl Engine {
         self.controller.audit_epoch(&mut audit);
         report.audit = audit.finish();
         report
+    }
+}
+
+/// Clamps a bandwidth mode to what a lane-degraded link can physically
+/// sustain: the widest VWL width whose lane count fits the surviving
+/// lanes, or the fastest DVFS level whose bandwidth fraction fits
+/// (falling back to the narrowest point when nothing does). `None`
+/// means the link is healthy and the mode passes through untouched.
+fn clamp_bw_to_lanes(bw: BwMode, lanes: Option<u8>) -> BwMode {
+    let Some(lanes) = lanes else { return bw };
+    match bw {
+        BwMode::Vwl(w) if w.lanes() <= u32::from(lanes) => bw,
+        BwMode::Vwl(_) => BwMode::Vwl(
+            VwlWidth::ALL
+                .into_iter()
+                .find(|w| w.lanes() <= u32::from(lanes))
+                .unwrap_or(VwlWidth::W1),
+        ),
+        BwMode::Dvfs(level) => {
+            let cap = f64::from(lanes) / 16.0;
+            if level.bandwidth_fraction() <= cap {
+                bw
+            } else {
+                BwMode::Dvfs(
+                    DvfsLevel::ALL
+                        .into_iter()
+                        .find(|l| l.bandwidth_fraction() <= cap)
+                        .unwrap_or(DvfsLevel::P14),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_lanes_clamp_modes_but_never_raise_them() {
+        let w16 = BwMode::Vwl(VwlWidth::W16);
+        let w4 = BwMode::Vwl(VwlWidth::W4);
+        assert_eq!(clamp_bw_to_lanes(w16, None), w16);
+        assert_eq!(clamp_bw_to_lanes(w16, Some(8)), BwMode::Vwl(VwlWidth::W8));
+        assert_eq!(clamp_bw_to_lanes(w16, Some(7)), BwMode::Vwl(VwlWidth::W4));
+        // A narrower request than the cap passes through unchanged.
+        assert_eq!(clamp_bw_to_lanes(w4, Some(8)), w4);
+        assert_eq!(clamp_bw_to_lanes(w16, Some(1)), BwMode::Vwl(VwlWidth::W1));
+        let p100 = BwMode::Dvfs(DvfsLevel::P100);
+        let p50 = BwMode::Dvfs(DvfsLevel::P50);
+        assert_eq!(clamp_bw_to_lanes(p100, Some(8)), p50);
+        assert_eq!(clamp_bw_to_lanes(p50, Some(16)), p50);
+        assert_eq!(clamp_bw_to_lanes(p100, Some(12)), BwMode::Dvfs(DvfsLevel::P50));
+        // Below every DVFS point, the narrowest level is the floor.
+        assert_eq!(clamp_bw_to_lanes(p100, Some(1)), BwMode::Dvfs(DvfsLevel::P14));
     }
 }

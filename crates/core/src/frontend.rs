@@ -42,6 +42,8 @@ pub struct Frontend {
     injected_writes: u64,
     completed_reads: u64,
     retired_writes: u64,
+    aborted_reads: u64,
+    aborted_writes: u64,
     read_latency: OnlineStats,
 }
 
@@ -61,6 +63,8 @@ impl Frontend {
             injected_writes: 0,
             completed_reads: 0,
             retired_writes: 0,
+            aborted_reads: 0,
+            aborted_writes: 0,
             read_latency: OnlineStats::new(),
         }
     }
@@ -125,6 +129,31 @@ impl Frontend {
         self.retired_writes += 1;
     }
 
+    /// Records a read aborted by the memory system (its destination is
+    /// unreachable after a hard link failure): the window slot is released
+    /// but no latency is recorded and the access never completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no read is outstanding.
+    pub fn abort_read(&mut self) {
+        assert!(self.outstanding_reads > 0, "read abort without outstanding read");
+        self.outstanding_reads -= 1;
+        self.aborted_reads += 1;
+    }
+
+    /// Records a write aborted by the memory system (unreachable
+    /// destination); the buffer slot is released without retiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no write is outstanding.
+    pub fn abort_write(&mut self) {
+        assert!(self.outstanding_writes > 0, "write abort without outstanding write");
+        self.outstanding_writes -= 1;
+        self.aborted_writes += 1;
+    }
+
     /// Reads currently in flight.
     pub fn outstanding_reads(&self) -> usize {
         self.outstanding_reads
@@ -153,6 +182,16 @@ impl Frontend {
     /// Writes retired so far.
     pub fn retired_writes(&self) -> u64 {
         self.retired_writes
+    }
+
+    /// Reads aborted (unreachable destination) so far.
+    pub fn aborted_reads(&self) -> u64 {
+        self.aborted_reads
+    }
+
+    /// Writes aborted (unreachable destination) so far.
+    pub fn aborted_writes(&self) -> u64 {
+        self.aborted_writes
     }
 
     /// Read latency statistics (nanoseconds).
@@ -254,6 +293,29 @@ mod tests {
         f.complete_read(SimDuration::from_ns(80));
         assert_eq!(f.completed_reads(), 1);
         assert_eq!(f.read_latency().mean(), 80.0);
+    }
+
+    #[test]
+    fn aborts_release_the_window_without_completing() {
+        let mut f = frontend();
+        let mut now = SimTime::ZERO;
+        loop {
+            match f.step(now) {
+                InjectStep::Inject(r) => {
+                    if r.is_read {
+                        break;
+                    }
+                    f.retire_write();
+                }
+                InjectStep::WaitUntil(t) => now = t,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        f.abort_read();
+        assert_eq!(f.outstanding_reads(), 0);
+        assert_eq!(f.aborted_reads(), 1);
+        assert_eq!(f.completed_reads(), 0, "aborted reads never complete");
+        assert_eq!(f.read_latency().count(), 0, "no latency recorded");
     }
 
     #[test]

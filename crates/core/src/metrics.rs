@@ -30,8 +30,9 @@ impl PowerSummary {
         self.energy.watts_per_hmc(self.window, self.n_hmcs)
     }
 
-    /// Per-category average watts per module, Figure 5 order.
-    pub fn watts_per_hmc_by_category(&self) -> [f64; 6] {
+    /// Per-category average watts per module, Figure 5 order with
+    /// retransmission I/O appended last.
+    pub fn watts_per_hmc_by_category(&self) -> [f64; 7] {
         let mut cats = self.energy.watts_by_category(self.window);
         for c in &mut cats {
             *c /= self.n_hmcs.max(1) as f64;
@@ -66,6 +67,34 @@ pub struct LinkTelemetry {
     pub waking_time: SimDuration,
     /// Wakeups performed.
     pub wake_count: u64,
+    /// Time spent replaying CRC-corrupted packets from the retry buffer,
+    /// per bandwidth mode (all zero in fault-free runs).
+    pub retrans_time: [SimDuration; N_BW_MODES],
+    /// Flits re-serialized by retry replays.
+    pub retrans_flits: u64,
+    /// Retry replays performed.
+    pub retransmissions: u64,
+}
+
+/// Fault and resilience outcomes of one run (all zero without an active
+/// fault scenario).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Retry replays performed across all links.
+    pub retries: u64,
+    /// Flits re-serialized by those replays.
+    pub retransmitted_flits: u64,
+    /// I/O joules spent on retransmission (the report's
+    /// `energy.retrans_io`, surfaced here for the fault section).
+    pub retransmission_energy: f64,
+    /// ROO wakes that missed their training window and retrained.
+    pub wake_timeouts: u64,
+    /// Accesses aborted because their destination module was unreachable.
+    pub aborted_accesses: u64,
+    /// Modules re-attached over spare ports after hard link failures.
+    pub rerouted_modules: usize,
+    /// Modules left unreachable after route-around.
+    pub unreachable_modules: usize,
 }
 
 /// The complete result of one simulation run.
@@ -110,6 +139,8 @@ pub struct RunReport {
     pub violations: u64,
     /// Runtime invariant-audit results (empty at `AuditLevel::Off`).
     pub audit: AuditReport,
+    /// Fault-injection outcomes (all zero without a fault scenario).
+    pub faults: FaultSummary,
     /// Per-link detail.
     pub links: Vec<LinkTelemetry>,
     /// Captured packet trace (empty unless tracing was enabled).
@@ -164,9 +195,29 @@ impl RunReport {
                 let mut joules = w * model.link_off_fraction * t.off_time.as_secs()
                     + w * t.waking_time.as_secs();
                 for (i, mt) in t.mode_time.iter().enumerate() {
-                    joules += w * BwMode::from_index(i).power_fraction() * mt.as_secs();
+                    let pf = BwMode::from_index(i).power_fraction();
+                    joules += w * pf * (mt.as_secs() + t.retrans_time[i].as_secs());
                 }
                 joules
+            })
+            .sum()
+    }
+
+    /// Recomputes retransmission I/O energy alone from per-link
+    /// retransmission residency (replay time priced at each mode's active
+    /// power). The audit layer diffs this against the engine's
+    /// [`EnergyBreakdown::retrans_io`] ledger — the double-entry
+    /// conservation check for the fault subsystem's new energy category.
+    pub fn expected_retrans_io_energy(&self, model: &HmcPowerModel) -> f64 {
+        let w = model.io_watts_per_unilink();
+        self.links
+            .iter()
+            .map(|t| {
+                t.retrans_time
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rt)| w * BwMode::from_index(i).power_fraction() * rt.as_secs())
+                    .sum::<f64>()
             })
             .sum()
     }
@@ -184,6 +235,7 @@ mod tests {
             logic_dyn: 0.5 * watts_scale,
             dram_leak: 1.0 * watts_scale,
             dram_dyn: 0.5 * watts_scale,
+            retrans_io: 0.0,
         };
         RunReport {
             workload: "test",
@@ -205,6 +257,7 @@ mod tests {
             epochs: 10,
             violations: 0,
             audit: AuditReport::default(),
+            faults: FaultSummary::default(),
             links: Vec::new(),
             trace: Vec::new(),
         }
@@ -276,6 +329,9 @@ mod tests {
             off_time: SimDuration::from_ms(1000),
             waking_time: SimDuration::from_ms(500),
             wake_count: 1,
+            retrans_time: [SimDuration::ZERO; N_BW_MODES],
+            retrans_flits: 0,
+            retransmissions: 0,
         });
         let w = model.io_watts_per_unilink();
         let expected = w + w * model.link_off_fraction + 0.5 * w;
@@ -287,6 +343,32 @@ mod tests {
         snap[memnet_net::link::STATE_OFF] = SimDuration::from_ms(1000);
         snap[memnet_net::link::STATE_WAKING] = SimDuration::from_ms(500);
         assert!((model.link_energy(&snap).io_total() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_retrans_energy_prices_replay_residency() {
+        let model = HmcPowerModel::paper();
+        let mut r = report(1.0, 100.0);
+        let mut retrans_time = [SimDuration::ZERO; N_BW_MODES];
+        retrans_time[BwMode::FULL_VWL.index()] = SimDuration::from_ms(250);
+        r.links.push(LinkTelemetry {
+            link: LinkId(0),
+            utilization: 0.0,
+            mode_time: [SimDuration::ZERO; N_BW_MODES],
+            off_time: SimDuration::ZERO,
+            waking_time: SimDuration::ZERO,
+            wake_count: 0,
+            retrans_time,
+            retrans_flits: 100,
+            retransmissions: 20,
+        });
+        let w = model.io_watts_per_unilink();
+        assert!((r.expected_retrans_io_energy(&model) - 0.25 * w).abs() < 1e-12);
+        // Replay residency counts toward the total I/O expectation too.
+        assert!((r.expected_io_energy(&model) - 0.25 * w).abs() < 1e-12);
+        // No replays → zero expectation (the audit check is vacuous but
+        // still runs on fault-free runs).
+        assert_eq!(report(1.0, 100.0).expected_retrans_io_energy(&model), 0.0);
     }
 
     #[test]

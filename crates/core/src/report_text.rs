@@ -41,6 +41,25 @@ pub fn power_breakdown(report: &RunReport) -> String {
     out
 }
 
+/// Renders the fault/resilience section of a report: retry counts,
+/// retransmission energy, wake timeouts and route-around outcomes.
+/// Callers typically print it only for runs with an active fault
+/// scenario (every field is zero otherwise).
+pub fn fault_section(report: &RunReport) -> String {
+    let f = &report.faults;
+    format!(
+        "  faults: {} retries, {} flits replayed, {:.3} uJ retrans I/O, {} wake timeouts\n\
+         \x20         {} rerouted module(s), {} unreachable, {} aborted access(es)\n",
+        f.retries,
+        f.retransmitted_flits,
+        1e6 * f.retransmission_energy,
+        f.wake_timeouts,
+        f.rerouted_modules,
+        f.unreachable_modules,
+        f.aborted_accesses,
+    )
+}
+
 /// Renders a one-line summary suitable for sweep tables.
 pub fn summary_line(report: &RunReport) -> String {
     format!(
@@ -129,6 +148,20 @@ mod tests {
         // The baseline row shows 0.0 % savings against itself.
         assert!(t.contains(" 0.0%"));
         assert_eq!(comparison_table(&[]), "(no runs)\n");
+    }
+
+    #[test]
+    fn fault_section_lists_every_counter() {
+        let mut r = tiny_report();
+        r.faults.retries = 7;
+        r.faults.retransmitted_flits = 35;
+        r.faults.retransmission_energy = 2.5e-6;
+        r.faults.unreachable_modules = 2;
+        let text = fault_section(&r);
+        assert!(text.contains("7 retries"));
+        assert!(text.contains("35 flits replayed"));
+        assert!(text.contains("2.500 uJ"));
+        assert!(text.contains("2 unreachable"));
     }
 
     #[test]

@@ -27,4 +27,6 @@ pub mod topology;
 pub use link::{LinkFull, LinkSim};
 pub use mech::{BwMode, DvfsLevel, LinkPowerMode, Mechanism, RooThreshold, VwlWidth};
 pub use packet::{Packet, PacketKind, FLIT_BYTES, LINE_BYTES};
-pub use topology::{Direction, HmcRadix, LinkId, ModuleId, NodeRef, Topology, TopologyKind};
+pub use topology::{
+    Direction, HmcRadix, LinkId, ModuleId, NodeRef, RouteAround, Topology, TopologyKind,
+};

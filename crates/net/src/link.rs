@@ -23,8 +23,9 @@ use crate::topology::LinkId;
 pub const LINK_BUFFER_ENTRIES: usize = 128;
 
 /// Number of accounting states: off, waking, then (idle, active) per
-/// bandwidth mode.
-pub const N_ACCOUNTING_STATES: usize = 2 + 2 * N_BW_MODES;
+/// bandwidth mode, then retransmitting per bandwidth mode (appended last so
+/// the fault-free layout is a prefix and existing indices are unchanged).
+pub const N_ACCOUNTING_STATES: usize = 2 + 3 * N_BW_MODES;
 
 /// Accounting state index for the off state.
 pub const STATE_OFF: usize = 0;
@@ -39,6 +40,14 @@ pub fn state_on_idle(m: BwMode) -> usize {
 /// Accounting state index for on-active (transmitting) in mode `m`.
 pub fn state_on_active(m: BwMode) -> usize {
     3 + 2 * m.index()
+}
+
+/// Accounting state index for retransmitting (link-retry replay of a
+/// CRC-corrupted packet) in mode `m`. The wire does the same work as
+/// on-active; the separate index lets the power model book it as
+/// retransmission I/O.
+pub fn state_retrans(m: BwMode) -> usize {
+    2 + 2 * N_BW_MODES + m.index()
 }
 
 /// Error returned when a link controller's buffer is full.
@@ -64,6 +73,10 @@ enum LinkState {
     OnIdle { since: SimTime },
     /// Transmitting; busy until `until`.
     OnBusy { until: SimTime },
+    /// Replaying a CRC-corrupted packet from the retry buffer; busy until
+    /// `until`. Same wire activity as [`LinkState::OnBusy`], accounted
+    /// separately so retry overhead is visible as retransmission I/O energy.
+    Retransmitting { until: SimTime },
 }
 
 /// One unidirectional link with its controller.
@@ -111,6 +124,8 @@ pub struct LinkSim {
     read_packets_sent: u64,
     wake_count: u64,
     off_transitions: u64,
+    retransmissions: u64,
+    retrans_flits: u64,
 }
 
 impl LinkSim {
@@ -135,6 +150,8 @@ impl LinkSim {
             read_packets_sent: 0,
             wake_count: 0,
             off_transitions: 0,
+            retransmissions: 0,
+            retrans_flits: 0,
         }
     }
 
@@ -193,9 +210,14 @@ impl LinkSim {
         matches!(self.state, LinkState::Waking { .. })
     }
 
-    /// True if the link is transmitting.
+    /// True if the link is transmitting (first attempt or retry replay).
     pub fn is_busy(&self) -> bool {
-        matches!(self.state, LinkState::OnBusy { .. })
+        matches!(self.state, LinkState::OnBusy { .. } | LinkState::Retransmitting { .. })
+    }
+
+    /// True if the link is replaying a packet from the retry buffer.
+    pub fn is_retransmitting(&self) -> bool {
+        matches!(self.state, LinkState::Retransmitting { .. })
     }
 
     /// When the link last finished a transmission (or simulation start).
@@ -263,21 +285,50 @@ impl LinkSim {
         Some((pkt, arrival, done))
     }
 
-    /// Marks the in-flight transmission finished (engine calls this at the
-    /// time returned by [`start_transmission`]).
+    /// Marks the in-flight transmission (or retry replay) finished (engine
+    /// calls this at the time returned by [`start_transmission`] or
+    /// [`start_retransmission`]).
     ///
     /// # Panics
     ///
     /// Panics if the link is not transmitting.
     ///
     /// [`start_transmission`]: LinkSim::start_transmission
+    /// [`start_retransmission`]: LinkSim::start_retransmission
     pub fn finish_transmission(&mut self, now: SimTime) {
         assert!(
-            matches!(self.state, LinkState::OnBusy { .. }),
+            matches!(self.state, LinkState::OnBusy { .. } | LinkState::Retransmitting { .. }),
             "finish_transmission on a link that is not transmitting"
         );
         self.last_activity_end = now;
         self.set_state(now, LinkState::OnIdle { since: now });
+    }
+
+    /// Replays the in-flight packet from the retry buffer after a NAK.
+    ///
+    /// The engine keeps the corrupted packet in flight (the retry buffer
+    /// holds it until a clean CRC), waits one NAK turnaround with the link
+    /// idle-on, then calls this; the wire re-serializes all `flits` at the
+    /// current mode. Returns when the replay's last flit leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not on-idle.
+    pub fn start_retransmission(&mut self, now: SimTime, flits: u64) -> SimTime {
+        assert!(self.is_idle_on(), "retransmission requires an on-idle link");
+        let done = now + self.bw_mode.flit_time() * flits;
+        self.retransmissions += 1;
+        self.retrans_flits += flits;
+        self.set_state(now, LinkState::Retransmitting { until: done });
+        done
+    }
+
+    /// Receiver CRC-check + NAK turnaround: the time between a corrupted
+    /// transmission finishing and its replay starting. The receiver detects
+    /// the bad CRC one SERDES latency after the last flit lands and the NAK
+    /// flows back over the (always-on) reverse control channel.
+    pub fn retry_turnaround(&self) -> SimDuration {
+        self.bw_mode.serdes_latency() * 2 + self.bw_mode.flit_time()
     }
 
     /// SERDES latency a packet experiences after its last flit leaves.
@@ -366,6 +417,7 @@ impl LinkSim {
             LinkState::Waking { .. } => STATE_WAKING,
             LinkState::OnIdle { .. } => state_on_idle(self.bw_mode),
             LinkState::OnBusy { .. } => state_on_active(self.bw_mode),
+            LinkState::Retransmitting { .. } => state_retrans(self.bw_mode),
         }
     }
 
@@ -381,9 +433,16 @@ impl LinkSim {
         self.residency.snapshot(now)
     }
 
-    /// Total time spent transmitting through `now`.
+    /// Total time spent transmitting through `now` (including retry
+    /// replays: the wire is equally occupied either way).
     pub fn busy_time(&self, now: SimTime) -> SimDuration {
-        (0..N_BW_MODES).map(|i| self.residency.time_in(3 + 2 * i, now)).sum()
+        (0..N_BW_MODES)
+            .map(|i| {
+                let m = BwMode::from_index(i);
+                self.residency.time_in(state_on_active(m), now)
+                    + self.residency.time_in(state_retrans(m), now)
+            })
+            .sum()
     }
 
     /// Packets ever accepted into the controller queue (the audit layer
@@ -415,6 +474,19 @@ impl LinkSim {
     /// Number of on→off transitions.
     pub fn off_transitions(&self) -> u64 {
         self.off_transitions
+    }
+
+    /// Number of retry replays performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Flits re-serialized by retry replays (not counted in
+    /// [`flits_sent`], which tracks unique payload flits).
+    ///
+    /// [`flits_sent`]: LinkSim::flits_sent
+    pub fn retrans_flits(&self) -> u64 {
+        self.retrans_flits
     }
 }
 
@@ -518,6 +590,39 @@ mod tests {
         assert_eq!(snap[state_on_active(BwMode::FULL_VWL)], SimDuration::from_ps(640));
         assert_eq!(snap[state_on_idle(BwMode::FULL_VWL)], SimDuration::from_ps(10_000 - 640));
         assert_eq!(l.busy_time(now), SimDuration::from_ps(640));
+    }
+
+    #[test]
+    fn retransmission_is_accounted_separately_from_first_attempt() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.enqueue(pkt(1, PacketKind::ReadResponse), SimTime::ZERO).unwrap();
+        let (sent, _, done) = l.start_transmission(SimTime::ZERO).unwrap();
+        l.finish_transmission(done); // corrupted: engine holds the packet
+        let retry_at = done + l.retry_turnaround();
+        let redone = l.start_retransmission(retry_at, sent.flits());
+        assert!(l.is_retransmitting() && l.is_busy());
+        assert_eq!(redone - retry_at, BwMode::FULL_VWL.flit_time() * 5);
+        l.finish_transmission(redone);
+        assert!(l.is_idle_on());
+        // Counters: one unique packet, one replay of its five flits.
+        assert_eq!(l.packets_sent(), 1);
+        assert_eq!(l.flits_sent(), 5);
+        assert_eq!(l.retransmissions(), 1);
+        assert_eq!(l.retrans_flits(), 5);
+        // Residency: first attempt in the active state, replay in the
+        // retransmission state, both counted as wire-busy time.
+        let snap = l.residency_snapshot(redone);
+        assert_eq!(snap[state_on_active(BwMode::FULL_VWL)], SimDuration::from_ps(5 * 640));
+        assert_eq!(snap[state_retrans(BwMode::FULL_VWL)], SimDuration::from_ps(5 * 640));
+        assert_eq!(l.busy_time(redone), SimDuration::from_ps(2 * 5 * 640));
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmission requires an on-idle link")]
+    fn retransmitting_an_off_link_panics() {
+        let mut l = LinkSim::new(LinkId(0), BwMode::FULL_VWL, SimTime::ZERO);
+        l.turn_off(SimTime::ZERO);
+        l.start_retransmission(SimTime::ZERO, 5);
     }
 
     #[test]

@@ -439,6 +439,144 @@ impl Topology {
         }
         Ok(())
     }
+
+    /// Computes the effective topology after the connectivity edges of
+    /// `failed_edges` are hard-failed.
+    ///
+    /// The paper's topologies are minimally-connected trees, so path
+    /// redundancy comes from *spare ports*: a module whose radix allows
+    /// more full links than it terminates can adopt an orphaned module over
+    /// an unused port (a tree or star degrades into extra chain hops). Each
+    /// orphaned subtree root re-attaches, deterministically, to the
+    /// shallowest (then lowest-numbered) reachable module with a spare
+    /// port — excluding its old parent, whose port (like the orphan's old
+    /// upstream port) is burned by the failure and stays counted against
+    /// the radix budget. A daisy chain of saturated low-radix cubes has no
+    /// spare ports, so everything downstream of the cut reports
+    /// unreachable.
+    ///
+    /// Re-attachment can give a module a higher-numbered parent, so the
+    /// returned topology intentionally relaxes [`validate`]'s
+    /// parent-precedes-child numbering; it stays acyclic because adopters
+    /// are always reachable (their processor path cannot traverse the
+    /// orphan's subtree). Unreachable modules keep their stale parent/depth
+    /// coordinates but are detached from every children list.
+    ///
+    /// [`validate`]: Topology::validate
+    pub fn route_around(&self, failed_edges: &[ModuleId]) -> RouteAround {
+        let n = self.len();
+        let mut severed = vec![false; n];
+        for &m in failed_edges {
+            if m.0 < n {
+                severed[m.0] = true;
+            }
+        }
+        let mut parent = self.parent.clone();
+        // Ports burned by the failure (the orphan's old upstream port and
+        // the matching port on its old parent) on top of live terminations.
+        let mut burned = vec![0usize; n];
+        let mut rerouted = Vec::new();
+
+        loop {
+            let (reach, depth, _) = Self::flood(&parent, &severed, &self.depth);
+            let mut used = vec![1usize; n]; // every module's upstream port, live or dead
+            for p in parent.iter().take(n) {
+                if let NodeRef::Module(p) = p {
+                    used[p.0] += 1;
+                }
+            }
+            let adopted = (0..n).filter(|&m| severed[m]).find_map(|m| {
+                // The orphan needs a spare port of its own for the new
+                // upstream link (its old one is burned).
+                if used[m] + burned[m] >= self.radix[m].full_links() {
+                    return None;
+                }
+                let old_parent = parent[m];
+                (0..n)
+                    .filter(|&c| {
+                        reach[c]
+                            && NodeRef::Module(ModuleId(c)) != old_parent
+                            && used[c] + burned[c] < self.radix[c].full_links()
+                    })
+                    .min_by_key(|&c| (depth[c], c))
+                    .map(|c| (m, c, old_parent))
+            });
+            match adopted {
+                Some((m, c, old_parent)) => {
+                    if let NodeRef::Module(p) = old_parent {
+                        burned[p.0] += 1;
+                    }
+                    burned[m] += 1;
+                    parent[m] = NodeRef::Module(ModuleId(c));
+                    severed[m] = false;
+                    rerouted.push(ModuleId(m));
+                }
+                None => break,
+            }
+        }
+
+        let (reach, depth, children) = Self::flood(&parent, &severed, &self.depth);
+        let unreachable: Vec<ModuleId> = (0..n).filter(|&m| !reach[m]).map(ModuleId).collect();
+        let topology =
+            Topology { kind: self.kind, radix: self.radix.clone(), parent, children, depth };
+        RouteAround { topology, rerouted, unreachable }
+    }
+
+    /// Breadth-first reachability over a parent array with severed edges:
+    /// returns per-module reachability, depth (stale `old_depth` kept for
+    /// unreachable modules) and children lists (severed modules appear in
+    /// none).
+    fn flood(
+        parent: &[NodeRef],
+        severed: &[bool],
+        old_depth: &[u32],
+    ) -> (Vec<bool>, Vec<u32>, Vec<Vec<ModuleId>>) {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        let mut frontier = std::collections::VecDeque::new();
+        let mut reach = vec![false; n];
+        let mut depth = old_depth.to_vec();
+        for (m, &p) in parent.iter().enumerate() {
+            if severed[m] {
+                continue;
+            }
+            match p {
+                NodeRef::Processor => {
+                    reach[m] = true;
+                    depth[m] = 1;
+                    frontier.push_back(m);
+                }
+                NodeRef::Module(pm) => children[pm.0].push(ModuleId(m)),
+            }
+        }
+        while let Some(m) = frontier.pop_front() {
+            for &c in &children[m] {
+                reach[c.0] = true;
+                depth[c.0] = depth[m] + 1;
+                frontier.push_back(c.0);
+            }
+        }
+        // Detach anything unreachable (severed subtrees) from children
+        // lists so chain-wake and turn-off gating never consult dead edges.
+        for kids in &mut children {
+            kids.retain(|c| reach[c.0]);
+        }
+        (reach, depth, children)
+    }
+}
+
+/// The effective topology and bookkeeping produced by
+/// [`Topology::route_around`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteAround {
+    /// The surviving topology: re-attached modules have new parents and
+    /// depths; unreachable modules are detached from every children list.
+    pub topology: Topology,
+    /// Modules whose severed edge was replaced over a spare port, in
+    /// adoption order.
+    pub rerouted: Vec<ModuleId>,
+    /// Modules left with no path to the processor, ascending.
+    pub unreachable: Vec<ModuleId>,
 }
 
 #[cfg(test)]
@@ -561,6 +699,76 @@ mod tests {
                 assert!(f[m.0] <= f[p.0] + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn route_around_without_failures_is_identity() {
+        for kind in TopologyKind::ALL {
+            let t = Topology::build(kind, 9);
+            let ra = t.route_around(&[]);
+            assert_eq!(ra.topology, t);
+            assert!(ra.rerouted.is_empty() && ra.unreachable.is_empty());
+        }
+    }
+
+    #[test]
+    fn route_around_chain_has_no_spares_and_reports_unreachable() {
+        // Every low-radix cube in a chain terminates both its ports, so a
+        // cut strands the whole downstream segment.
+        let t = Topology::build(TopologyKind::DaisyChain, 5);
+        let ra = t.route_around(&[ModuleId(2)]);
+        assert!(ra.rerouted.is_empty());
+        assert_eq!(ra.unreachable, vec![ModuleId(2), ModuleId(3), ModuleId(4)]);
+        // The surviving prefix is untouched, and the dead edge is detached
+        // from its old parent's children list.
+        assert_eq!(ra.topology.route(ModuleId(1)), vec![ModuleId(0), ModuleId(1)]);
+        assert!(ra.topology.children(ModuleId(1)).is_empty());
+    }
+
+    #[test]
+    fn route_around_tree_reattaches_over_a_leaf_spare_port() {
+        // Ternary tree: internal nodes are saturated, but every leaf is a
+        // high-radix cube with three spare ports. Cutting module 4's edge
+        // re-attaches it under leaf 5 — an extra chain hop, as the paper's
+        // minimally-connected trees degrade.
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        let ra = t.route_around(&[ModuleId(4)]);
+        assert_eq!(ra.rerouted, vec![ModuleId(4)]);
+        assert!(ra.unreachable.is_empty());
+        let t2 = &ra.topology;
+        assert_eq!(t2.parent(ModuleId(4)), NodeRef::Module(ModuleId(5)));
+        assert_eq!(t2.depth(ModuleId(4)), 4);
+        assert_eq!(t2.route(ModuleId(4)), vec![ModuleId(0), ModuleId(1), ModuleId(5), ModuleId(4)]);
+        // The burned port stays burned: module 1 now lists only 5 and 6.
+        assert_eq!(t2.children(ModuleId(1)), &[ModuleId(5), ModuleId(6)]);
+        assert_eq!(t2.children(ModuleId(5)), &[ModuleId(4)]);
+    }
+
+    #[test]
+    fn route_around_star_uses_the_hub_spare_port() {
+        // Star of 5: the hub terminates processor + two chain heads = 3 of
+        // its 4 ports, so a failed satellite edge lands on the hub.
+        let t = Topology::build(TopologyKind::Star, 5);
+        let ra = t.route_around(&[ModuleId(3)]);
+        assert_eq!(ra.rerouted, vec![ModuleId(3)]);
+        assert!(ra.unreachable.is_empty());
+        assert_eq!(ra.topology.parent(ModuleId(3)), NodeRef::Module(ModuleId(0)));
+        assert_eq!(ra.topology.depth(ModuleId(3)), 2, "one hop closer than before");
+    }
+
+    #[test]
+    fn route_around_saturated_internal_node_strands_its_subtree() {
+        // An internal ternary node terminates upstream + three children =
+        // all four ports, so it has no spare port left to accept a
+        // replacement upstream link: cutting its edge strands the subtree
+        // even though leaves elsewhere have ports free.
+        let t = Topology::build(TopologyKind::TernaryTree, 13);
+        let ra = t.route_around(&[ModuleId(1)]);
+        assert!(ra.rerouted.is_empty());
+        assert_eq!(ra.unreachable, vec![ModuleId(1), ModuleId(4), ModuleId(5), ModuleId(6)]);
+        // Survivors are untouched and the dead subtree is fully detached.
+        assert_eq!(ra.topology.children(ModuleId(0)), &[ModuleId(2), ModuleId(3)]);
+        assert_eq!(ra.topology.depth(ModuleId(7)), 3);
     }
 
     #[test]

@@ -305,6 +305,13 @@ impl PowerController {
     /// Feeds a completed transmission: the packet arrived at `arrival`,
     /// began serializing at `start` and fully departed at `departure`.
     ///
+    /// The engine reports `departure` only when the packet finally passes
+    /// CRC, so under fault injection it includes every NAK turnaround and
+    /// retry replay. The delay monitors and AMS accounting therefore
+    /// observe retry-induced slowdown exactly like any other congestion —
+    /// no fault-specific plumbing is needed for the policies to react to
+    /// a noisy link.
+    ///
     /// Returns whether the engine must bounce the link to full power.
     pub fn on_packet_departure(
         &mut self,

@@ -1,4 +1,5 @@
-//! Energy breakdown in the six categories of the paper's Figure 5.
+//! Energy breakdown in the six categories of the paper's Figure 5, plus
+//! a seventh double-entry category for link-retry retransmission I/O.
 
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
@@ -36,6 +37,10 @@ pub struct EnergyBreakdown {
     pub dram_leak: f64,
     /// DRAM dynamic energy (array accesses).
     pub dram_dyn: f64,
+    /// I/O energy spent retransmitting CRC-corrupted flits (link-level
+    /// retry). Zero in fault-free runs; audited double-entry against link
+    /// retransmission residency.
+    pub retrans_io: f64,
 }
 
 impl EnergyBreakdown {
@@ -47,15 +52,18 @@ impl EnergyBreakdown {
             + self.logic_dyn
             + self.dram_leak
             + self.dram_dyn
+            + self.retrans_io
     }
 
-    /// Total I/O joules (idle + active).
+    /// Total I/O joules (idle + active + retransmission).
     pub fn io_total(&self) -> f64 {
-        self.idle_io + self.active_io
+        self.idle_io + self.active_io + self.retrans_io
     }
 
-    /// The six categories in [`EnergyBreakdown::CATEGORY_LABELS`] order.
-    pub fn categories(&self) -> [f64; 6] {
+    /// The categories in [`EnergyBreakdown::CATEGORY_LABELS`] order: the
+    /// paper's six, then retransmission I/O (appended last so Figure 5
+    /// consumers indexing `0..6` are unaffected).
+    pub fn categories(&self) -> [f64; 7] {
         [
             self.idle_io,
             self.active_io,
@@ -63,6 +71,7 @@ impl EnergyBreakdown {
             self.logic_dyn,
             self.dram_leak,
             self.dram_dyn,
+            self.retrans_io,
         ]
     }
 
@@ -112,31 +121,26 @@ impl EnergyBreakdown {
         }
     }
 
-    /// Per-category average watts over `window`, in Figure 5 order:
-    /// `[idle I/O, active I/O, logic leak, logic dyn, DRAM leak, DRAM dyn]`.
-    pub fn watts_by_category(&self, window: SimDuration) -> [f64; 6] {
+    /// Per-category average watts over `window`, in Figure 5 order with
+    /// retransmission I/O appended:
+    /// `[idle I/O, active I/O, logic leak, logic dyn, DRAM leak, DRAM dyn, retrans I/O]`.
+    pub fn watts_by_category(&self, window: SimDuration) -> [f64; 7] {
         let secs = window.as_secs();
         if secs == 0.0 {
-            return [0.0; 6];
+            return [0.0; 7];
         }
-        [
-            self.idle_io / secs,
-            self.active_io / secs,
-            self.logic_leak / secs,
-            self.logic_dyn / secs,
-            self.dram_leak / secs,
-            self.dram_dyn / secs,
-        ]
+        self.categories().map(|j| j / secs)
     }
 
     /// Category labels matching [`EnergyBreakdown::watts_by_category`].
-    pub const CATEGORY_LABELS: [&'static str; 6] = [
+    pub const CATEGORY_LABELS: [&'static str; 7] = [
         "Idle I/O",
         "Active I/O",
         "Logic Leakage",
         "Logic Dynamic",
         "DRAM Leakage",
         "DRAM Dynamic",
+        "Retrans I/O",
     ];
 }
 
@@ -150,6 +154,7 @@ impl Add for EnergyBreakdown {
             logic_dyn: self.logic_dyn + rhs.logic_dyn,
             dram_leak: self.dram_leak + rhs.dram_leak,
             dram_dyn: self.dram_dyn + rhs.dram_dyn,
+            retrans_io: self.retrans_io + rhs.retrans_io,
         }
     }
 }
@@ -178,6 +183,7 @@ mod tests {
             logic_dyn: 0.5,
             dram_leak: 1.0,
             dram_dyn: 0.5,
+            retrans_io: 0.0,
         }
     }
 
@@ -219,6 +225,17 @@ mod tests {
         assert!(!nan.is_physical());
         let inf = EnergyBreakdown { logic_leak: f64::INFINITY, ..sample() };
         assert!(!inf.is_physical());
+    }
+
+    #[test]
+    fn retransmission_energy_counts_as_io() {
+        let e = EnergyBreakdown { retrans_io: 2.0, ..sample() };
+        assert_eq!(e.total(), 12.0);
+        assert_eq!(e.io_total(), 9.0);
+        assert_eq!(e.categories()[6], 2.0);
+        assert_eq!(EnergyBreakdown::CATEGORY_LABELS.len(), e.categories().len());
+        let negative = EnergyBreakdown { retrans_io: -1.0, ..sample() };
+        assert!(!negative.is_physical());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! from simulation activity to joules.
 
 use memnet_dram::DramParams;
-use memnet_net::link::{state_on_active, state_on_idle, STATE_OFF, STATE_WAKING};
+use memnet_net::link::{state_on_active, state_on_idle, state_retrans, STATE_OFF, STATE_WAKING};
 use memnet_net::mech::{BwMode, N_BW_MODES};
 use memnet_net::HmcRadix;
 use memnet_simcore::{SimDuration, SimTime};
@@ -140,14 +140,18 @@ impl HmcPowerModel {
     /// Converts one link's time-in-state residency snapshot into I/O energy.
     ///
     /// Index layout follows [`memnet_net::link`]: off, waking, then
-    /// (idle, active) per bandwidth mode. Waking time is charged at full
-    /// link power and booked as *idle* I/O (it transmits no data).
+    /// (idle, active) per bandwidth mode, then retransmitting per bandwidth
+    /// mode. Waking time is charged at full link power and booked as *idle*
+    /// I/O (it transmits no data); retransmission time is charged at the
+    /// mode's active power but booked in the separate `retrans_io` category
+    /// so link-retry overhead stays visible in reports and auditable
+    /// double-entry.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot length does not match the accounting layout.
     pub fn link_energy(&self, residency: &[SimDuration]) -> EnergyBreakdown {
-        assert_eq!(residency.len(), 2 + 2 * N_BW_MODES, "unexpected residency snapshot length");
+        assert_eq!(residency.len(), 2 + 3 * N_BW_MODES, "unexpected residency snapshot length");
         let p_full = self.io_watts_per_unilink();
         let mut e = EnergyBreakdown::default();
         e.idle_io += p_full * self.link_off_fraction * residency[STATE_OFF].as_secs();
@@ -157,6 +161,7 @@ impl HmcPowerModel {
             let p = p_full * mode.power_fraction();
             e.idle_io += p * residency[state_on_idle(mode)].as_secs();
             e.active_io += p * residency[state_on_active(mode)].as_secs();
+            e.retrans_io += p * residency[state_retrans(mode)].as_secs();
         }
         e
     }
@@ -179,6 +184,7 @@ impl HmcPowerModel {
             logic_dyn: self.logic_dyn_energy_per_flit() * flits_routed as f64,
             dram_leak: self.dram_idle_watts(radix) * window,
             dram_dyn: self.dram_dyn_energy_per_access() * dram_accesses as f64,
+            retrans_io: 0.0,
         }
     }
 }
@@ -241,6 +247,21 @@ mod tests {
         snap[state_on_active(mode)] = SimDuration::from_ms(1000);
         let e = m.link_energy(&snap);
         assert!((e.active_io - m.io_watts_per_unilink() * 5.0 / 17.0).abs() < 1e-9);
+        assert_eq!(e.idle_io, 0.0);
+    }
+
+    #[test]
+    fn retransmission_time_is_priced_at_active_power_in_its_own_category() {
+        use memnet_net::mech::VwlWidth;
+        let m = HmcPowerModel::paper();
+        let mode = BwMode::Vwl(VwlWidth::W8);
+        let mut snap = vec![SimDuration::ZERO; N_ACCOUNTING_STATES];
+        snap[state_on_active(mode)] = SimDuration::from_ms(1000);
+        snap[state_retrans(mode)] = SimDuration::from_ms(1000);
+        let e = m.link_energy(&snap);
+        // Same wire, same width, same power — only the ledger differs.
+        assert!((e.retrans_io - e.active_io).abs() < 1e-12);
+        assert!(e.retrans_io > 0.0);
         assert_eq!(e.idle_io, 0.0);
     }
 

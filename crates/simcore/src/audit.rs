@@ -189,6 +189,31 @@ impl Auditor {
         self.violations.push(v);
     }
 
+    /// Runs a double-entry conservation check registered at level `at`:
+    /// `expected` and `actual` must agree to within `rel_eps` relative
+    /// error (per [`approx_eq_rel`], so NaN or infinite totals always
+    /// fail). The failure detail reports both sides and their difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a failed check when panic-on-violation is set.
+    pub fn check_conservation(
+        &mut self,
+        at: AuditLevel,
+        name: &str,
+        expected: f64,
+        actual: f64,
+        rel_eps: f64,
+    ) {
+        self.check(at, name, approx_eq_rel(expected, actual, rel_eps), || {
+            format!(
+                "expected {expected:.6e} but accounted {actual:.6e} \
+                 (diff {:.3e}, tolerance {rel_eps:.1e} relative)",
+                actual - expected
+            )
+        });
+    }
+
     /// Number of checks executed so far.
     pub fn checks_run(&self) -> u64 {
         self.checks_run
@@ -291,6 +316,23 @@ mod tests {
         assert_eq!(r.violations[0].check, "first");
         assert_eq!(r.violations[0].detail, "one");
         assert_eq!(r.violations[1].check, "second");
+    }
+
+    #[test]
+    fn conservation_checks_compare_with_relative_tolerance() {
+        let mut a = Auditor::with_panic(AuditLevel::Cheap, false);
+        a.check_conservation(AuditLevel::Cheap, "energy", 100.0, 100.0 + 1e-8, 1e-9);
+        a.check_conservation(AuditLevel::Cheap, "energy", 100.0, 110.0, 1e-9);
+        a.check_conservation(AuditLevel::Cheap, "nan", 1.0, f64::NAN, 1e-9);
+        // Exact zero-against-zero (e.g. retransmission energy in a
+        // fault-free run) passes through the absolute floor.
+        a.check_conservation(AuditLevel::Cheap, "zero", 0.0, 0.0, 1e-9);
+        let r = a.finish();
+        assert_eq!(r.checks_run, 4);
+        assert_eq!(r.violations.len(), 2);
+        assert_eq!(r.violations[0].check, "energy");
+        assert!(r.violations[0].detail.contains("expected 1.000000e2"));
+        assert_eq!(r.violations[1].check, "nan");
     }
 
     #[test]

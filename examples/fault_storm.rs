@@ -1,0 +1,49 @@
+//! Fault storm: how the paper's power-management policies hold up when the
+//! links misbehave. Runs the unmanaged baseline and the network-aware
+//! VWL+ROO policy at three per-flit CRC error rates and prints power,
+//! performance and the retry/retransmission bill for each.
+//!
+//! ```text
+//! cargo run --release --example fault_storm
+//! ```
+
+use memnet::core::{NetworkScale, PolicyKind, SimConfig};
+use memnet::faults::FaultConfig;
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet_simcore::SimDuration;
+
+fn main() {
+    println!(
+        "{:<16} {:>9} {:>8} {:>9} {:>8} {:>9} {:>12}",
+        "policy", "BER", "W/HMC", "acc/us", "retries", "re-flits", "retrans(uJ)"
+    );
+    for (label, policy, mechanism) in [
+        ("full power", PolicyKind::FullPower, Mechanism::FullPower),
+        ("aware VWL+ROO", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ] {
+        for ber in [0.0, 1e-5, 1e-3] {
+            let report = SimConfig::builder()
+                .workload("mixB")
+                .topology(TopologyKind::TernaryTree)
+                .scale(NetworkScale::Small)
+                .policy(policy)
+                .mechanism(mechanism)
+                .alpha(0.05)
+                .eval_period(SimDuration::from_us(300))
+                .faults(FaultConfig::with_flit_error_rate(ber))
+                .build()
+                .expect("valid configuration")
+                .run();
+
+            println!(
+                "{label:<16} {ber:>9.0e} {:>8.2} {:>9.1} {:>8} {:>9} {:>12.3}",
+                report.power.watts_per_hmc(),
+                report.accesses_per_us,
+                report.faults.retries,
+                report.faults.retransmitted_flits,
+                1e6 * report.faults.retransmission_energy,
+            );
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //! - [`simcore`] — discrete-event kernel (time, events, RNG, stats)
 //! - [`dram`] — HMC vault/bank DRAM timing model
 //! - [`net`] — packets, topologies, routing, link model
+//! - [`faults`] — fault injection: CRC errors, degraded lanes, hard
+//!   failures and the link-retry/route-around resilience model
 //! - [`power`] — the HMC power model and energy accounting
 //! - [`policy`] — power-control mechanisms and management policies
 //! - [`workload`] — the 14 paper workloads as synthetic generators
@@ -44,6 +46,7 @@
 
 pub use memnet_core as core;
 pub use memnet_dram as dram;
+pub use memnet_faults as faults;
 pub use memnet_net as net;
 pub use memnet_policy as policy;
 pub use memnet_power as power;

@@ -6,13 +6,18 @@
 //!        [--scale small|big] [--policy fp|unaware|aware|static]
 //!        [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo]
 //!        [--alpha PCT] [--eval-us N] [--seed N] [--channels K]
-//!        [--trace-csv FILE] [--json] [--compare]
+//!        [--faults SPEC] [--trace-csv FILE] [--json] [--compare]
 //! ```
+//!
+//! `--faults` takes a scenario spec like `ber=1e-6,burst=mild,fail=3`
+//! (see `memnet::faults::FaultConfig::parse`); when omitted, the
+//! `MEMNET_FAULTS` environment variable supplies the scenario.
 
 use std::process::ExitCode;
 
 use memnet::core::multichannel::run_channels;
 use memnet::core::{report_text, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
+use memnet::faults::FaultConfig;
 use memnet::net::TopologyKind;
 use memnet::policy::Mechanism;
 use memnet_simcore::SimDuration;
@@ -27,6 +32,7 @@ struct Args {
     eval_us: u64,
     seed: u64,
     channels: usize,
+    faults: FaultConfig,
     trace_csv: Option<String>,
     json: bool,
     compare: bool,
@@ -36,8 +42,10 @@ fn usage() -> &'static str {
     "usage: memnet [--workload NAME] [--topology daisychain|ternary|star|ddrx]\n\
      \x20             [--scale small|big] [--policy fp|unaware|aware|static]\n\
      \x20             [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo] [--alpha PCT]\n\
-     \x20             [--eval-us N] [--seed N] [--channels K] [--trace-csv FILE]\n\
-     \x20             [--json] [--compare] [--list-workloads]"
+     \x20             [--eval-us N] [--seed N] [--channels K] [--faults SPEC]\n\
+     \x20             [--trace-csv FILE] [--json] [--compare] [--list-workloads]\n\
+     \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
+     \x20                (defaults to the MEMNET_FAULTS environment variable)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         eval_us: 1_000,
         seed: 0xC0FFEE,
         channels: 1,
+        faults: FaultConfig::from_env(),
         trace_csv: None,
         json: false,
         compare: false,
@@ -110,6 +119,10 @@ fn parse_args() -> Result<Args, String> {
                 args.channels =
                     value("--channels")?.parse().map_err(|e| format!("bad channels: {e}"))?
             }
+            "--faults" => {
+                args.faults = FaultConfig::parse(&value("--faults")?)
+                    .map_err(|e| format!("bad fault scenario: {e}"))?
+            }
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
             "--json" => args.json = true,
             "--compare" => args.compare = true,
@@ -145,6 +158,7 @@ fn build(args: &Args) -> Result<SimConfig, String> {
         .alpha(args.alpha / 100.0)
         .eval_period(SimDuration::from_us(args.eval_us))
         .seed(args.seed)
+        .faults(args.faults.clone())
         .trace_limit(if args.trace_csv.is_some() { 1_000_000 } else { 0 });
     builder.build().map_err(|e| e.to_string())
 }
@@ -227,6 +241,9 @@ fn main() -> ExitCode {
         }
     } else {
         print!("{}", report_text::power_breakdown(&report));
+        if !args.faults.is_none() {
+            print!("{}", report_text::fault_section(&report));
+        }
         println!("{}", report_text::summary_line(&report));
     }
     ExitCode::SUCCESS
@@ -245,7 +262,10 @@ fn serde_json_report(r: &memnet::core::RunReport) -> Result<String, String> {
          \"mechanism\":\"{}\",\"alpha\":{},\"watts\":{:.6},\"watts_per_hmc\":{:.6},\
          \"idle_io_fraction\":{:.6},\"io_fraction\":{:.6},\"channel_utilization\":{:.6},\
          \"link_utilization\":{:.6},\"avg_modules_traversed\":{:.4},\"completed_reads\":{},\
-         \"mean_read_latency_ns\":{:.3},\"accesses_per_us\":{:.3},\"violations\":{}}}",
+         \"mean_read_latency_ns\":{:.3},\"accesses_per_us\":{:.3},\"violations\":{},\
+         \"faults\":{{\"retries\":{},\"retransmitted_flits\":{},\"retransmission_energy\":{:.9},\
+         \"wake_timeouts\":{},\"aborted_accesses\":{},\"rerouted_modules\":{},\
+         \"unreachable_modules\":{}}}}}",
         r.workload,
         r.topology.label(),
         r.scale,
@@ -263,5 +283,12 @@ fn serde_json_report(r: &memnet::core::RunReport) -> Result<String, String> {
         r.mean_read_latency_ns,
         r.accesses_per_us,
         r.violations,
+        r.faults.retries,
+        r.faults.retransmitted_flits,
+        r.faults.retransmission_energy,
+        r.faults.wake_timeouts,
+        r.faults.aborted_accesses,
+        r.faults.rerouted_modules,
+        r.faults.unreachable_modules,
     ))
 }

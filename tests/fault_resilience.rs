@@ -1,0 +1,219 @@
+//! End-to-end tests for the fault-injection and link-resilience subsystem:
+//! CRC/retry with audited retransmission energy, route-around under hard
+//! link failures, degraded-lane clamping, ROO wake timeouts, and the
+//! determinism contract for fault sweeps.
+
+use memnet::core::{sweep, NetworkScale, PolicyKind, SimConfig};
+use memnet::faults::FaultConfig;
+use memnet::net::TopologyKind;
+use memnet::policy::Mechanism;
+use memnet::simcore::AuditLevel;
+use memnet_simcore::SimDuration;
+
+fn base(workload: &str, topo: TopologyKind) -> memnet::core::SimConfigBuilder {
+    SimConfig::builder()
+        .workload(workload)
+        .topology(topo)
+        .scale(NetworkScale::Small)
+        .eval_period(SimDuration::from_us(100))
+        .seed(11)
+        .audit(AuditLevel::Full)
+}
+
+fn faulty(workload: &str, topo: TopologyKind, spec: &str) -> memnet::core::SimConfigBuilder {
+    base(workload, topo).faults(FaultConfig::parse(spec).expect("test fault specs are valid"))
+}
+
+/// The ISSUE acceptance sweep: BER x topology x policy must serialize
+/// byte-identically between `threads = 1` and `threads = 4`, so fault
+/// randomness can never leak across parallel workers.
+#[test]
+fn fault_sweep_is_deterministic_across_thread_counts() {
+    let configs = || {
+        let mut v = Vec::new();
+        for topo in [TopologyKind::DaisyChain, TopologyKind::TernaryTree] {
+            for (policy, mech) in [
+                (PolicyKind::FullPower, Mechanism::FullPower),
+                (PolicyKind::NetworkAware, Mechanism::Roo),
+            ] {
+                for ber in [0.0, 1e-12, 1e-9, 1e-3] {
+                    v.push(
+                        base("mixD", topo)
+                            .policy(policy)
+                            .mechanism(mech)
+                            .eval_period(SimDuration::from_us(50))
+                            .faults(FaultConfig::with_flit_error_rate(ber))
+                            .build()
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        v
+    };
+    let serial = sweep(configs(), 1);
+    let parallel = sweep(configs(), 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serde::json::to_string(s),
+            serde::json::to_string(p),
+            "fault sweep differs between threads=1 and threads=4 for {}/{}",
+            s.topology.label(),
+            s.mechanism,
+        );
+    }
+}
+
+/// A noisy link must show retries, replayed flits and nonzero
+/// retransmission energy — all absent from the error-free sibling — and
+/// the double-entry retransmission-energy audit must stay clean.
+#[test]
+fn crc_errors_cause_retries_and_audited_retransmission_energy() {
+    let noisy = faulty("mixD", TopologyKind::DaisyChain, "ber=1e-4").build().unwrap().run();
+    assert!(noisy.audit.is_clean(), "audit violations: {:?}", noisy.audit.violations);
+    assert!(noisy.faults.retries > 0, "1e-4 per-flit BER produced no retries");
+    assert!(
+        noisy.faults.retransmitted_flits >= noisy.faults.retries,
+        "every retry replays at least one flit"
+    );
+    assert!(
+        noisy.faults.retransmission_energy > 0.0,
+        "retries must be charged retransmission I/O energy"
+    );
+    // Retries delay packets but never lose them: work still completes.
+    assert!(noisy.completed_reads > 0);
+
+    let clean = base("mixD", TopologyKind::DaisyChain).build().unwrap().run();
+    assert_eq!(clean.faults.retries, 0);
+    assert_eq!(clean.faults.retransmission_energy, 0.0);
+    assert!(
+        noisy.mean_read_latency_ns > clean.mean_read_latency_ns,
+        "retry turnarounds must show up as added latency ({} vs {} ns)",
+        noisy.mean_read_latency_ns,
+        clean.mean_read_latency_ns
+    );
+}
+
+/// Failing an interior edge of the ternary tree must route the subtree
+/// over a spare port: the module stays reachable, nothing is aborted.
+#[test]
+fn ternary_tree_routes_around_a_failed_edge() {
+    let r = faulty("cg.D", TopologyKind::TernaryTree, "fail=4").build().unwrap().run();
+    assert!(r.audit.is_clean(), "audit violations: {:?}", r.audit.violations);
+    assert_eq!(r.faults.rerouted_modules, 1, "module 4 must re-attach via a spare port");
+    assert_eq!(r.faults.unreachable_modules, 0);
+    assert_eq!(r.faults.aborted_accesses, 0);
+    assert!(r.completed_reads > 0);
+}
+
+/// A daisy chain has no spare ports: cutting module 1's edge strands the
+/// whole tail. Accesses to stranded modules abort, and the access
+/// conservation audit must balance injected = completed + outstanding
+/// + aborted.
+#[test]
+fn daisy_chain_failure_strands_the_tail_and_aborts_accesses() {
+    let r = faulty("cg.D", TopologyKind::DaisyChain, "fail=1").build().unwrap().run();
+    assert!(r.audit.is_clean(), "audit violations: {:?}", r.audit.violations);
+    assert_eq!(r.faults.rerouted_modules, 0, "a chain has no spare ports");
+    assert!(
+        r.faults.unreachable_modules >= 7,
+        "cutting edge 1 of an 8-module chain strands modules 1..=7, got {}",
+        r.faults.unreachable_modules
+    );
+    assert!(r.faults.aborted_accesses > 0, "traffic to the stranded tail must abort");
+    assert!(r.completed_reads > 0, "module 0 keeps serving");
+}
+
+/// Degraded lanes clamp the link's bandwidth mode at the physical layer:
+/// a full-power network with every lane but one stuck must burn less I/O
+/// energy than the healthy network (narrow links idle cheaper) while the
+/// audit still balances.
+#[test]
+fn degraded_lanes_reduce_io_energy_under_full_power() {
+    let healthy = base("mixD", TopologyKind::DaisyChain).build().unwrap().run();
+    let degraded =
+        faulty("mixD", TopologyKind::DaisyChain, "degrade=0:1+1:1+2:1+3:1").build().unwrap().run();
+    assert!(degraded.audit.is_clean(), "audit violations: {:?}", degraded.audit.violations);
+    assert!(
+        degraded.power.energy.io_total() < healthy.power.energy.io_total(),
+        "one surviving lane must idle cheaper than sixteen ({} vs {} J)",
+        degraded.power.energy.io_total(),
+        healthy.power.energy.io_total()
+    );
+    assert_eq!(degraded.faults.retries, 0, "degradation alone corrupts nothing");
+}
+
+/// ROO wakes that miss their training window pay the wake latency twice;
+/// with a high timeout rate the counter must fire and the run stay clean.
+#[test]
+fn wake_timeouts_fire_under_roo() {
+    let r = faulty("mixD", TopologyKind::TernaryTree, "wake_timeout=0.5")
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::Roo)
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.audit.is_clean(), "audit violations: {:?}", r.audit.violations);
+    assert!(r.faults.wake_timeouts > 0, "half of all wakes should time out");
+    assert!(r.completed_reads > 0);
+}
+
+/// At the retry limit a packet is delivered anyway (machine-check
+/// semantics): even an atrociously noisy link makes forward progress.
+#[test]
+fn retry_limit_forces_delivery_on_hopeless_links() {
+    let r = faulty("mixD", TopologyKind::DaisyChain, "ber=0.2,retry_limit=2")
+        .eval_period(SimDuration::from_us(50))
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.audit.is_clean(), "audit violations: {:?}", r.audit.violations);
+    assert!(r.faults.retries > 0);
+    assert!(r.completed_reads > 0, "forced delivery must keep the network live");
+}
+
+/// Every policy/mechanism pair must run clean under the strictest audit
+/// level with a compound fault scenario active — retransmission energy,
+/// access conservation and mode-legality checks all included.
+#[test]
+fn full_audit_is_clean_across_policies_under_compound_faults() {
+    let cases = [
+        (PolicyKind::FullPower, Mechanism::FullPower),
+        (PolicyKind::NetworkUnaware, Mechanism::Roo),
+        (PolicyKind::NetworkUnaware, Mechanism::Vwl),
+        (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+        (PolicyKind::NetworkAware, Mechanism::Dvfs),
+        (PolicyKind::NetworkAware, Mechanism::DvfsRoo),
+    ];
+    let spec = "ber=1e-5,burst=severe,degrade=2:4,wake_timeout=0.05";
+    for (policy, mech) in cases {
+        let r = faulty("mixD", TopologyKind::TernaryTree, spec)
+            .policy(policy)
+            .mechanism(mech)
+            .build()
+            .unwrap()
+            .run();
+        assert!(
+            r.audit.is_clean(),
+            "{policy:?}/{mech:?} violated invariants under faults: {:?}",
+            r.audit.violations
+        );
+        assert!(r.audit.checks_run > 0, "{policy:?}/{mech:?} ran zero checks");
+    }
+}
+
+/// Config validation rejects fault indices that don't exist on the
+/// configured network, naming the bad index.
+#[test]
+fn config_rejects_out_of_range_fault_indices() {
+    // mixD small builds a 2-module network: module 3 / link 7 don't exist.
+    let fail = base("mixD", TopologyKind::DaisyChain)
+        .faults(FaultConfig::parse("fail=3").unwrap())
+        .build();
+    assert!(fail.is_err(), "failing a nonexistent module must not build");
+    let degrade = base("mixD", TopologyKind::DaisyChain)
+        .faults(FaultConfig::parse("degrade=40:4").unwrap())
+        .build();
+    assert!(degrade.is_err(), "degrading a nonexistent link must not build");
+}

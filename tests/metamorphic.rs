@@ -86,6 +86,30 @@ fn fullpower_mechanism_reproduces_unmanaged_baseline() {
     );
 }
 
+/// An explicit `FaultConfig::none()` must be indistinguishable from never
+/// mentioning faults at all: the fault-free path consumes no randomness
+/// and adds no bookkeeping, so the reports serialize byte-identically.
+#[test]
+fn explicit_no_faults_is_bit_identical_to_the_baseline() {
+    let run = |with_faults: bool| {
+        let mut b = base("mixB")
+            .policy(PolicyKind::NetworkAware)
+            .mechanism(Mechanism::VwlRoo)
+            .eval_period(SimDuration::from_us(150));
+        if with_faults {
+            b = b.faults(memnet::faults::FaultConfig::none());
+        }
+        b.build().unwrap().run()
+    };
+    let explicit = run(true);
+    let implicit = run(false);
+    assert_eq!(
+        serde::json::to_string(&explicit),
+        serde::json::to_string(&implicit),
+        "FaultConfig::none() must not perturb a single bit of the report"
+    );
+}
+
 /// Satellite: `sweep()` must be order- and thread-count-invariant — the
 /// same configurations at `threads = 1` and `threads = 4` serialize to
 /// byte-identical JSON, so parallelism can never leak into results.
