@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 /// Builds a 34-module controller with one epoch of synthetic telemetry.
 fn primed_controller(iterations: usize) -> PowerController {
-    let topo = Topology::build(TopologyKind::TernaryTree, 34);
+    let topo = std::sync::Arc::new(Topology::build(TopologyKind::TernaryTree, 34));
     let mut cfg = PolicyConfig::new(PolicyKind::NetworkAware, Mechanism::VwlRoo, 0.05);
     cfg.isp_iterations = iterations;
     let mut c = PowerController::new(topo.clone(), cfg, SimDuration::from_ns(30));

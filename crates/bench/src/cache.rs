@@ -35,8 +35,9 @@ use serde::{json, Deserialize, Serialize};
 /// format) changes; old cache files are then ignored wholesale.
 /// History: 1 = initial layout; 2 = `RunReport` gained the `audit` field;
 /// 3 = `RunReport` gained the `faults` section (plus per-link
-/// retransmission telemetry) and the fingerprint a `faults=` field.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// retransmission telemetry) and the fingerprint a `faults=` field;
+/// 4 = `RunReport` gained the `events_processed` counter.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -95,7 +96,10 @@ impl DiskCache {
             }
         }
         if skipped > 0 {
-            eprintln!("[cache] skipped {skipped} stale or unreadable entries in {}", dir.display());
+            memnet_simcore::memnet_warn!(
+                "[cache] skipped {skipped} stale or unreadable entries in {}",
+                dir.display()
+            );
         }
         Ok(DiskCache { dir: dir.to_path_buf(), entries })
     }

@@ -169,8 +169,8 @@ impl Matrix {
             match DiskCache::open(dir) {
                 Ok(d) => self.disk = Some(d),
                 Err(e) => {
-                    eprintln!(
-                        "[matrix] warning: cannot open cache dir {}: {e}; caching disabled",
+                    memnet_simcore::memnet_warn!(
+                        "[matrix] cannot open cache dir {}: {e}; caching disabled",
                         dir.display()
                     );
                     self.disk = None;
@@ -239,7 +239,7 @@ impl Matrix {
             let fresh =
                 to_simulate.iter().zip(&reports).map(|(k, r)| (k.fingerprint(settings), r.clone()));
             if let Err(e) = disk.store(fresh) {
-                eprintln!("[matrix] warning: failed to persist results: {e}");
+                memnet_simcore::memnet_warn!("[matrix] failed to persist results: {e}");
             }
         }
         for (k, r) in to_simulate.into_iter().zip(reports) {

@@ -29,7 +29,9 @@ fn env_parse<T: FromStr>(name: &str) -> Option<T> {
     match raw.parse::<T>() {
         Ok(v) => Some(v),
         Err(_) => {
-            eprintln!("[settings] warning: ignoring unparsable {name}={raw:?}; using default");
+            memnet_simcore::memnet_warn!(
+                "[settings] ignoring unparsable {name}={raw:?}; using default"
+            );
             None
         }
     }
@@ -52,8 +54,8 @@ impl Settings {
         let eval_us = env_parse::<u64>("MEMNET_EVAL_US").unwrap_or(1_000);
         let threads = match env_parse::<usize>("MEMNET_THREADS") {
             Some(0) => {
-                eprintln!(
-                    "[settings] warning: MEMNET_THREADS=0 is invalid (a sweep needs at least \
+                memnet_simcore::memnet_warn!(
+                    "[settings] MEMNET_THREADS=0 is invalid (a sweep needs at least \
                      one worker); using all cores"
                 );
                 None
@@ -68,8 +70,8 @@ impl Settings {
                 "1" | "true" | "yes" => true,
                 "0" | "false" | "no" | "" => false,
                 _ => {
-                    eprintln!(
-                        "[settings] warning: ignoring unparsable MEMNET_NO_CACHE={raw:?}; \
+                    memnet_simcore::memnet_warn!(
+                        "[settings] ignoring unparsable MEMNET_NO_CACHE={raw:?}; \
                          caching stays enabled"
                     );
                     false
@@ -81,8 +83,8 @@ impl Settings {
         } else {
             match std::env::var("MEMNET_CACHE_DIR") {
                 Ok(dir) if dir.trim().is_empty() => {
-                    eprintln!(
-                        "[settings] warning: ignoring empty MEMNET_CACHE_DIR; \
+                    memnet_simcore::memnet_warn!(
+                        "[settings] ignoring empty MEMNET_CACHE_DIR; \
                          using {DEFAULT_CACHE_DIR:?}"
                     );
                     Some(PathBuf::from(DEFAULT_CACHE_DIR))

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use memnet_dram::DramParams;
 use memnet_faults::FaultConfig;
@@ -132,7 +133,11 @@ pub struct SimConfig {
     pub audit: AuditLevel,
     /// Link-fault scenario ([`FaultConfig::none`] by default: a fault-free
     /// run is bit-identical to a build without the fault subsystem).
-    pub faults: FaultConfig,
+    ///
+    /// Shared behind an `Arc` so that cloning a `SimConfig` — which
+    /// `run_pair` and every sweep job do — never deep-copies the
+    /// degraded/failed link lists.
+    pub faults: Arc<FaultConfig>,
 }
 
 impl SimConfig {
@@ -390,7 +395,7 @@ impl SimConfigBuilder {
             rescue_pool: self.rescue_pool,
             trace_limit: self.trace_limit,
             audit: self.audit,
-            faults: self.faults,
+            faults: Arc::new(self.faults),
         })
     }
 }

@@ -27,9 +27,10 @@
 //! response links when a DRAM read is in flight, with network-aware
 //! wakeup chaining propagating wakes up the response path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use memnet_dram::{line_to_vault_bank, Vault, VaultOp};
+use memnet_dram::{line_to_vault_bank, IssuedOp, Vault, VaultOp};
 use memnet_faults::FaultModel;
 use memnet_net::link::{state_retrans, LinkSim};
 use memnet_net::mech::{BwMode, DvfsLevel, LinkPowerMode, VwlWidth};
@@ -37,7 +38,9 @@ use memnet_net::{Direction, LinkId, ModuleId, NodeRef, Packet, PacketKind, Topol
 use memnet_policy::{PowerController, ViolationAction};
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
 use memnet_simcore::audit::approx_eq_rel;
-use memnet_simcore::{AuditLevel, Auditor, EventQueue, SimDuration, SimTime, SplitMix64};
+use memnet_simcore::{
+    AuditLevel, Auditor, EventQueue, FastHashState, SimDuration, SimTime, SplitMix64,
+};
 
 use crate::config::{AddressMapping, SimConfig};
 use crate::frontend::{Frontend, InjectStep};
@@ -48,14 +51,19 @@ use crate::trace::{Trace, TraceEvent, TracePoint};
 /// clock.
 pub const ROUTER_LATENCY: SimDuration = SimDuration::from_ps(4 * 640);
 
+/// Index into the engine's packet pool. Events reference in-flight packets
+/// by slot instead of embedding the 40-byte [`Packet`], keeping heap
+/// entries small (every push/pop copies the whole entry several times).
+type PktSlot = u32;
+
 #[derive(Debug, Clone)]
 enum Event {
     TryInject,
     LinkTryStart(LinkId),
     LinkDone(LinkId),
-    Deliver(LinkId, Packet),
-    EnqueueLink(LinkId, Packet),
-    VaultIngress(ModuleId, Packet),
+    Deliver(LinkId, PktSlot),
+    EnqueueLink(LinkId, PktSlot),
+    VaultIngress(ModuleId, PktSlot),
     VaultTick(ModuleId, usize),
     VaultDone(ModuleId, usize, u64, bool),
     WakeDone(LinkId),
@@ -70,7 +78,9 @@ enum Event {
 /// [`Engine::run`].
 pub struct Engine {
     cfg: SimConfig,
-    topo: Topology,
+    /// Shared with the [`PowerController`]; never mutated after
+    /// construction (route-around rewrites happen before the share).
+    topo: Arc<Topology>,
     queue: EventQueue<Event>,
     now: SimTime,
     end: SimTime,
@@ -84,13 +94,18 @@ pub struct Engine {
     /// (Deliver scheduled, not yet processed).
     in_serdes: Vec<u64>,
 
-    vaults: Vec<Vec<Vault>>,
+    /// Vaults per module (`cfg.dram.vaults`), the row stride of the flat
+    /// per-vault arrays below (index `module * n_vaults + vault`).
+    n_vaults: usize,
+    vaults: Vec<Vault>,
     /// Module-side ingress hold per vault (packet, original arrival).
-    vault_hold: Vec<Vec<std::collections::VecDeque<(Packet, SimTime)>>>,
+    vault_hold: Vec<VecDeque<(Packet, SimTime)>>,
     /// Earliest scheduled tick per vault (event dedup).
-    vault_tick_at: Vec<Vec<SimTime>>,
+    vault_tick_at: Vec<SimTime>,
     /// Reads currently inside each module's vaults (for wakeup chaining).
     vault_reads_in_flight: Vec<u32>,
+    /// Scratch buffer for [`Vault::advance_into`], reused across ticks.
+    issued_scratch: Vec<IssuedOp>,
 
     controller: PowerController,
     frontend: Frontend,
@@ -111,8 +126,24 @@ pub struct Engine {
     wake_timeouts: u64,
 
     /// Read packets awaiting their DRAM completion, keyed by packet id.
-    outstanding_reads: HashMap<u64, Packet>,
-    routes: Vec<Vec<ModuleId>>,
+    /// Uses the deterministic Fx hasher: packet ids are trusted integers
+    /// and SipHash showed up in the event-loop profile.
+    outstanding_reads: HashMap<u64, Packet, FastHashState>,
+    /// Slab of packets currently referenced by [`PktSlot`] event payloads.
+    packet_pool: Vec<Packet>,
+    /// Recycled slots of `packet_pool`.
+    packet_free: Vec<PktSlot>,
+    /// Cached `cfg.chunk_lines()` (one multiply + divide per lookup
+    /// otherwise, and the mapping runs once per injected access).
+    chunk_lines: u64,
+    /// Cached module count as `u64` for the address mapping.
+    n_modules: u64,
+    /// First hop from the processor toward each destination module.
+    root_of: Vec<ModuleId>,
+    /// Flat next-hop table, `current * n + dest` → the next module on the
+    /// unique tree path (sentinel when `current` is not on `dest`'s
+    /// route). Replaces the per-packet linear scan of a route vector.
+    next_hop: Vec<ModuleId>,
     next_packet_id: u64,
     /// Earliest pending TryInject event (dedup guard: completions and
     /// schedule waits would otherwise pile up duplicate events).
@@ -122,6 +153,7 @@ pub struct Engine {
     flits_routed: Vec<u64>,
     hops_sum: u64,
     hops_count: u64,
+    events_processed: u64,
     trace: Trace,
     audit: Auditor,
 }
@@ -142,11 +174,12 @@ impl Engine {
             let ra = built.route_around(&failed);
             (ra.topology, ra.rerouted.len(), ra.unreachable)
         };
-        let faults = (!cfg.faults.is_none())
-            .then(|| FaultModel::new(cfg.faults.clone(), topo.n_links(), cfg.seed));
+        let topo = Arc::new(topo);
+        let faults =
+            (!cfg.faults.is_none()).then(|| FaultModel::new(&cfg.faults, topo.n_links(), cfg.seed));
         let start = SimTime::ZERO;
         let mut controller = PowerController::new(
-            topo.clone(),
+            Arc::clone(&topo),
             cfg.policy_config(),
             cfg.dram.nominal_read_latency(),
         );
@@ -176,19 +209,28 @@ impl Engine {
                 links[l.0].turn_off(start);
             }
         }
-        let vaults = (0..n)
-            .map(|_| (0..cfg.dram.vaults).map(|_| Vault::new(&cfg.dram, start)).collect())
-            .collect();
-        let vault_hold =
-            (0..n).map(|_| (0..cfg.dram.vaults).map(|_| Default::default()).collect()).collect();
-        let vault_tick_at = (0..n).map(|_| vec![SimTime::MAX; cfg.dram.vaults]).collect();
+        let n_vaults = cfg.dram.vaults;
+        let vaults = (0..n * n_vaults).map(|_| Vault::new(&cfg.dram, start)).collect();
+        let vault_hold = (0..n * n_vaults).map(|_| VecDeque::new()).collect();
+        let vault_tick_at = vec![SimTime::MAX; n * n_vaults];
         let frontend = Frontend::new(
             cfg.workload.clone(),
             SplitMix64::new(cfg.seed),
             cfg.max_outstanding_reads,
             cfg.write_buffer,
         );
-        let routes = topo.modules().map(|m| topo.route(m)).collect();
+        // Flatten the per-destination routes into a next-hop table so the
+        // forwarding path is one indexed load instead of a route scan.
+        let sentinel = ModuleId(usize::MAX);
+        let mut root_of = vec![sentinel; n];
+        let mut next_hop = vec![sentinel; n * n];
+        for dest in topo.modules() {
+            let route = topo.route(dest);
+            root_of[dest.0] = route[0];
+            for hop in route.windows(2) {
+                next_hop[hop[0].0 * n + dest.0] = hop[1];
+            }
+        }
         let end = start + cfg.eval_period;
         Engine {
             queue: EventQueue::with_capacity(4096),
@@ -197,10 +239,12 @@ impl Engine {
             in_flight: vec![None; topo.n_links()],
             delivered: vec![0; topo.n_links()],
             in_serdes: vec![0; topo.n_links()],
+            n_vaults,
             vaults,
             vault_hold,
             vault_tick_at,
             vault_reads_in_flight: vec![0; n],
+            issued_scratch: Vec::with_capacity(32),
             controller,
             frontend,
             power_model: HmcPowerModel::paper(),
@@ -210,13 +254,19 @@ impl Engine {
             rerouted_modules,
             unreachable_modules: unreachable.len(),
             wake_timeouts: 0,
-            outstanding_reads: HashMap::new(),
-            routes,
+            outstanding_reads: HashMap::default(),
+            packet_pool: Vec::with_capacity(256),
+            packet_free: Vec::with_capacity(256),
+            chunk_lines: cfg.chunk_lines(),
+            n_modules: n as u64,
+            root_of,
+            next_hop,
             next_packet_id: 0,
             inject_armed: SimTime::MAX,
             flits_routed: vec![0; n],
             hops_sum: 0,
             hops_count: 0,
+            events_processed: 0,
             trace: Trace::with_limit(cfg.trace_limit),
             audit: Auditor::new(cfg.audit),
             links,
@@ -229,21 +279,16 @@ impl Engine {
     /// produces the report.
     pub fn run(mut self) -> RunReport {
         // Arm idleness timers for links that start with an ROO threshold.
-        for l in self.topo.links().collect::<Vec<_>>() {
-            self.arm_turnoff(l);
+        for i in 0..self.topo.n_links() {
+            self.arm_turnoff(LinkId(i));
         }
         let start = self.now;
         self.arm_inject(start);
         self.schedule(self.now + self.cfg.epoch, Event::EpochEnd);
 
         let debug = std::env::var_os("MEMNET_DEBUG").is_some();
-        let mut processed: u64 = 0;
         let mut histo = [0u64; 14];
-        while let Some(t) = self.queue.peek_time() {
-            if t > self.end {
-                break;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked");
+        while let Some((t, ev)) = self.queue.pop_at_or_before(self.end) {
             debug_assert!(t >= self.now, "time went backwards");
             if self.audit.enabled(AuditLevel::Full) {
                 let now = self.now;
@@ -252,8 +297,9 @@ impl Engine {
                 });
             }
             self.now = t;
+            self.events_processed += 1;
             if debug {
-                processed += 1;
+                let processed = self.events_processed;
                 let idx = match ev {
                     Event::TryInject => 0,
                     Event::LinkTryStart(_) => 1,
@@ -293,6 +339,30 @@ impl Engine {
         self.queue.push(at, ev);
     }
 
+    /// Parks a packet in the pool, returning the slot to embed in an
+    /// event. Slots are reused LIFO so the hot set stays cache-resident.
+    #[inline]
+    fn pool_put(&mut self, pkt: Packet) -> PktSlot {
+        match self.packet_free.pop() {
+            Some(slot) => {
+                self.packet_pool[slot as usize] = pkt;
+                slot
+            }
+            None => {
+                let slot = self.packet_pool.len() as PktSlot;
+                self.packet_pool.push(pkt);
+                slot
+            }
+        }
+    }
+
+    /// Retrieves a pooled packet and releases its slot.
+    #[inline]
+    fn pool_take(&mut self, slot: PktSlot) -> Packet {
+        self.packet_free.push(slot);
+        self.packet_pool[slot as usize]
+    }
+
     #[inline]
     fn trace(&mut self, packet: &Packet, point: TracePoint) {
         if self.trace.active() {
@@ -329,10 +399,9 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn module_of_line(&self, line: u64) -> ModuleId {
-        let n = self.topo.len() as u64;
-        let chunk = self.cfg.chunk_lines();
+        let n = self.n_modules;
         let m = match self.cfg.mapping {
-            AddressMapping::Contiguous => (line / chunk).min(n - 1),
+            AddressMapping::Contiguous => (line / self.chunk_lines).min(n - 1),
             AddressMapping::PageInterleaved => {
                 // 4 KB pages (64 lines) rotate over modules.
                 (line / 64) % n
@@ -343,11 +412,10 @@ impl Engine {
 
     fn line_in_module(&self, line: u64) -> u64 {
         match self.cfg.mapping {
-            AddressMapping::Contiguous => line % self.cfg.chunk_lines(),
+            AddressMapping::Contiguous => line % self.chunk_lines,
             AddressMapping::PageInterleaved => {
-                let n = self.topo.len() as u64;
                 let page = line / 64;
-                (page / n) * 64 + line % 64
+                (page / self.n_modules) * 64 + line % 64
             }
         }
     }
@@ -404,10 +472,11 @@ impl Engine {
                     self.trace(&pkt, TracePoint::Inject);
                     self.hops_sum += u64::from(self.topo.depth(dest));
                     self.hops_count += 1;
-                    let root = self.routes[dest.0][0];
+                    let root = self.root_of[dest.0];
                     let link = LinkId::of(root, Direction::Request);
                     let now = self.now;
-                    self.schedule(now, Event::EnqueueLink(link, pkt));
+                    let slot = self.pool_put(pkt);
+                    self.schedule(now, Event::EnqueueLink(link, slot));
                 }
                 InjectStep::WaitUntil(t) => {
                     self.arm_inject(t);
@@ -422,7 +491,8 @@ impl Engine {
     // Links
     // ------------------------------------------------------------------
 
-    fn on_enqueue_link(&mut self, l: LinkId, pkt: Packet) {
+    fn on_enqueue_link(&mut self, l: LinkId, slot: PktSlot) {
+        let pkt = self.pool_take(slot);
         self.controller.on_packet_arrival(l, self.now, pkt.kind.is_read());
         self.links[l.0].enqueue_unchecked(pkt, self.now);
         if self.links[l.0].is_off() {
@@ -477,7 +547,7 @@ impl Engine {
         self.flits_routed[l.edge_module().0] += pkt.flits();
         // The measured departure includes any SERDES stretch beyond the
         // nominal pipeline (the constant base latency cancels against FEL).
-        let departure = self.now + self.links[l.0].bw_mode().serdes_overhead();
+        let departure = self.now + self.links[l.0].serdes_overhead();
         let action = self.controller.on_packet_departure(
             l,
             arrival,
@@ -492,7 +562,8 @@ impl Engine {
         let serdes = self.links[l.0].serdes_latency();
         let deliver_at = self.now + serdes;
         self.in_serdes[l.0] += 1;
-        self.schedule(deliver_at, Event::Deliver(l, pkt));
+        let slot = self.pool_put(pkt);
+        self.schedule(deliver_at, Event::Deliver(l, slot));
         if self.links[l.0].queue_len() > 0 {
             let now = self.now;
             self.schedule(now, Event::LinkTryStart(l));
@@ -509,29 +580,32 @@ impl Engine {
         self.schedule(done, Event::LinkDone(l));
     }
 
-    fn on_deliver(&mut self, l: LinkId, pkt: Packet) {
+    fn on_deliver(&mut self, l: LinkId, slot: PktSlot) {
         self.in_serdes[l.0] -= 1;
         self.delivered[l.0] += 1;
         let m = l.edge_module();
+        // Copy the packet out but keep the slot: every forwarding path
+        // hands the same slot to the next event without touching the pool.
+        let pkt = self.packet_pool[slot as usize];
         match l.direction() {
             Direction::Request => {
                 if pkt.dest == m {
                     let at = self.now + ROUTER_LATENCY;
-                    self.schedule(at, Event::VaultIngress(m, pkt));
+                    self.schedule(at, Event::VaultIngress(m, slot));
                 } else {
-                    // Forward toward the destination.
-                    let route = &self.routes[pkt.dest.0];
-                    let pos = route.iter().position(|&x| x == m).expect("module on route");
-                    let next = route[pos + 1];
+                    // Forward toward the destination: one next-hop load.
+                    let next = self.next_hop[m.0 * self.topo.len() + pkt.dest.0];
+                    debug_assert!(next.0 != usize::MAX, "module on route");
                     let at = self.now + ROUTER_LATENCY;
                     self.schedule(
                         at,
-                        Event::EnqueueLink(LinkId::of(next, Direction::Request), pkt),
+                        Event::EnqueueLink(LinkId::of(next, Direction::Request), slot),
                     );
                 }
             }
             Direction::Response => match self.topo.parent(m) {
                 NodeRef::Processor => {
+                    self.packet_free.push(slot);
                     self.trace(&pkt, TracePoint::Retire);
                     self.frontend.complete_read(self.now - pkt.created);
                     let now = self.now;
@@ -539,7 +613,7 @@ impl Engine {
                 }
                 NodeRef::Module(p) => {
                     let at = self.now + ROUTER_LATENCY;
-                    self.schedule(at, Event::EnqueueLink(LinkId::of(p, Direction::Response), pkt));
+                    self.schedule(at, Event::EnqueueLink(LinkId::of(p, Direction::Response), slot));
                 }
             },
         }
@@ -549,7 +623,14 @@ impl Engine {
     // Vaults
     // ------------------------------------------------------------------
 
-    fn on_vault_ingress(&mut self, m: ModuleId, pkt: Packet) {
+    /// Flat index of module `m`'s vault `v` in the per-vault arrays.
+    #[inline]
+    fn vidx(&self, m: ModuleId, v: usize) -> usize {
+        m.0 * self.n_vaults + v
+    }
+
+    fn on_vault_ingress(&mut self, m: ModuleId, slot: PktSlot) {
+        let pkt = self.pool_take(slot);
         self.trace(&pkt, TracePoint::VaultEnqueue(m));
         let line = self.line_in_module(pkt.line_addr);
         let (v, bank) = line_to_vault_bank(line, &self.cfg.dram);
@@ -568,30 +649,36 @@ impl Engine {
             is_read: pkt.kind == PacketKind::ReadRequest,
             arrival: self.now,
         };
-        if self.vaults[m.0][v].enqueue(op).is_ok() {
+        let idx = self.vidx(m, v);
+        if self.vaults[idx].enqueue(op).is_ok() {
             self.arm_vault_tick(m, v);
         } else {
-            self.vault_hold[m.0][v].push_back((pkt, self.now));
+            self.vault_hold[idx].push_back((pkt, self.now));
         }
     }
 
     fn arm_vault_tick(&mut self, m: ModuleId, v: usize) {
-        if let Some(t) = self.vaults[m.0][v].next_issue_time(self.now) {
-            if t < self.vault_tick_at[m.0][v] {
-                self.vault_tick_at[m.0][v] = t;
+        let idx = self.vidx(m, v);
+        if let Some(t) = self.vaults[idx].next_issue_time(self.now) {
+            if t < self.vault_tick_at[idx] {
+                self.vault_tick_at[idx] = t;
                 self.schedule(t, Event::VaultTick(m, v));
             }
         }
     }
 
     fn on_vault_tick(&mut self, m: ModuleId, v: usize) {
-        self.vault_tick_at[m.0][v] = SimTime::MAX;
-        let issued = self.vaults[m.0][v].advance(self.now);
+        let idx = self.vidx(m, v);
+        self.vault_tick_at[idx] = SimTime::MAX;
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        issued.clear();
+        self.vaults[idx].advance_into(self.now, &mut issued);
         let mut reads_issued = false;
-        for op in issued {
+        for op in &issued {
             reads_issued |= op.op.is_read;
             self.schedule(op.completion, Event::VaultDone(m, v, op.op.id, op.op.is_read));
         }
+        self.issued_scratch = issued;
         // Proactively wake the module's response link while the DRAM
         // array is being read (both §V and §VI do this for ROO links);
         // the ≥30 ns access hides the 14 ns wake.
@@ -603,13 +690,14 @@ impl Engine {
     }
 
     fn drain_vault_hold(&mut self, m: ModuleId, v: usize) {
-        while self.vaults[m.0][v].has_space() {
-            let Some((pkt, arrival)) = self.vault_hold[m.0][v].pop_front() else { break };
+        let idx = self.vidx(m, v);
+        while self.vaults[idx].has_space() {
+            let Some((pkt, arrival)) = self.vault_hold[idx].pop_front() else { break };
             let line = self.line_in_module(pkt.line_addr);
             let (_, bank) = line_to_vault_bank(line, &self.cfg.dram);
             let op =
                 VaultOp { id: pkt.id, bank, is_read: pkt.kind == PacketKind::ReadRequest, arrival };
-            self.vaults[m.0][v].enqueue(op).expect("space was checked");
+            self.vaults[idx].enqueue(op).expect("space was checked");
         }
     }
 
@@ -622,7 +710,8 @@ impl Engine {
             self.trace(&pkt, TracePoint::VaultDone(m));
             let resp = pkt.to_response();
             let at = self.now + ROUTER_LATENCY;
-            self.schedule(at, Event::EnqueueLink(LinkId::of(m, Direction::Response), resp));
+            let slot = self.pool_put(resp);
+            self.schedule(at, Event::EnqueueLink(LinkId::of(m, Direction::Response), slot));
         }
         self.drain_vault_hold(m, v);
         self.arm_vault_tick(m, v);
@@ -714,8 +803,14 @@ impl Engine {
         // (their transmitters live on this module, so the state is local).
         if self.controller.wake_chaining() && l.direction() == Direction::Response {
             let m = l.edge_module();
-            let children_off =
-                self.topo.downstream_same_type(l).iter().all(|d| self.links[d.0].is_off());
+            // Equivalent to `downstream_same_type(l)` without allocating:
+            // the downstream response links are the children's.
+            let links = &self.links;
+            let children_off = self
+                .topo
+                .children(m)
+                .iter()
+                .all(|&c| links[LinkId::of(c, Direction::Response).0].is_off());
             if self.vault_reads_in_flight[m.0] > 0 || !children_off {
                 let recheck = self.now + thr.threshold();
                 self.schedule(recheck, Event::TurnOffCheck(l, token));
@@ -857,8 +952,9 @@ impl Engine {
             });
         }
         for m in self.topo.modules() {
+            let row = m.0 * self.n_vaults..(m.0 + 1) * self.n_vaults;
             let accesses: u64 =
-                self.vaults[m.0].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
+                self.vaults[row].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
             energy += self.power_model.module_energy(
                 self.topo.radix(m),
                 SimTime::ZERO,
@@ -907,6 +1003,7 @@ impl Engine {
             accesses_per_us: completed as f64 / window.as_us(),
             epochs: self.controller.epochs_completed(),
             violations: self.controller.violations(),
+            events_processed: self.events_processed,
             audit: Default::default(),
             faults: fault_summary,
             links: telemetry,

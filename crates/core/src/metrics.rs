@@ -137,6 +137,10 @@ pub struct RunReport {
     pub epochs: u64,
     /// AMS violations (forced full-power transitions).
     pub violations: u64,
+    /// Discrete events the engine processed (simulator-throughput
+    /// denominator for the perf harness; identical across runs with the
+    /// same configuration by determinism).
+    pub events_processed: u64,
     /// Runtime invariant-audit results (empty at `AuditLevel::Off`).
     pub audit: AuditReport,
     /// Fault-injection outcomes (all zero without a fault scenario).
@@ -256,6 +260,7 @@ mod tests {
             accesses_per_us: throughput,
             epochs: 10,
             violations: 0,
+            events_processed: 12345,
             audit: AuditReport::default(),
             faults: FaultSummary::default(),
             links: Vec::new(),

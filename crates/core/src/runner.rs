@@ -46,17 +46,20 @@ pub fn sweep(configs: Vec<SimConfig>, threads: usize) -> Vec<RunReport> {
                 // attributed below instead of dying on "queue lock".
                 let job = queue.lock().unwrap_or_else(|p| p.into_inner()).pop();
                 let Some((idx, cfg)) = job else { break };
-                let what = format!(
-                    "workload {:?}, topology {:?}, policy {:?}, mechanism {:?}",
-                    cfg.workload.name, cfg.topology, cfg.policy, cfg.mechanism
-                );
+                // Copy the identifying fields out so the description is
+                // only formatted on the panic path, not once per job.
+                let (workload, topology, policy, mechanism) =
+                    (cfg.workload.name, cfg.topology, cfg.policy, cfg.mechanism);
                 let outcome = catch_unwind(AssertUnwindSafe(|| cfg.run())).map_err(|cause| {
                     let msg = cause
                         .downcast_ref::<String>()
                         .map(String::as_str)
                         .or_else(|| cause.downcast_ref::<&str>().copied())
                         .unwrap_or("non-string panic payload");
-                    format!("{what}: {msg}")
+                    format!(
+                        "workload {workload:?}, topology {topology:?}, policy {policy:?}, \
+                         mechanism {mechanism:?}: {msg}"
+                    )
                 });
                 results.lock().unwrap_or_else(|p| p.into_inner())[idx] = Some(outcome);
             });

@@ -187,8 +187,19 @@ impl Vault {
 
     /// Issues every operation whose activate can start at or before `now`,
     /// returning them with resolved completion times (ascending).
+    ///
+    /// Allocates a fresh `Vec` per call; the engine's hot loop uses
+    /// [`Vault::advance_into`] with a reused scratch buffer instead.
     pub fn advance(&mut self, now: SimTime) -> Vec<IssuedOp> {
         let mut issued = Vec::new();
+        self.advance_into(now, &mut issued);
+        issued
+    }
+
+    /// Allocation-free form of [`Vault::advance`]: appends every issued
+    /// operation to `issued` (completion times ascending) instead of
+    /// returning a new vector.
+    pub fn advance_into(&mut self, now: SimTime, issued: &mut Vec<IssuedOp>) {
         while let Some(op) = self.head().copied() {
             let act_start = self.bank_ready[op.bank].max(self.next_act_allowed).max(op.arrival);
             if act_start > now {
@@ -225,7 +236,6 @@ impl Vault {
             }
             issued.push(IssuedOp { op, act_start, completion: burst_end });
         }
-        issued
     }
 
     /// Reads issued so far.

@@ -275,12 +275,16 @@ impl FaultConfig {
         let mut cfg = FaultConfig::none();
         for field in raw.split(',').map(str::trim).filter(|f| !f.is_empty()) {
             if let Err(e) = cfg.apply_field(field) {
-                eprintln!("[faults] warning: ignoring MEMNET_FAULTS field {field:?}: {e}");
+                memnet_simcore::memnet_warn!(
+                    "[faults] ignoring MEMNET_FAULTS field {field:?}: {e}"
+                );
             }
         }
         cfg.normalize();
         if let Err(e) = cfg.validate() {
-            eprintln!("[faults] warning: MEMNET_FAULTS out of range ({e}); disabling faults");
+            memnet_simcore::memnet_warn!(
+                "[faults] MEMNET_FAULTS out of range ({e}); disabling faults"
+            );
             return FaultConfig::none();
         }
         cfg
@@ -363,7 +367,7 @@ impl FaultModel {
     ///
     /// Degraded/failed indices beyond the network size are ignored (the
     /// config layer validates them against the actual topology).
-    pub fn new(cfg: FaultConfig, n_links: usize, seed: u64) -> FaultModel {
+    pub fn new(cfg: &FaultConfig, n_links: usize, seed: u64) -> FaultModel {
         let root = SplitMix64::new(seed).fork(FAULT_STREAM_SALT);
         let links = (0..n_links)
             .map(|l| LinkChannel { rng: root.fork(l as u64), burst_bad: false })
@@ -374,7 +378,7 @@ impl FaultModel {
                 *slot = Some(d.lanes);
             }
         }
-        FaultModel { cfg, links, degraded_lanes }
+        FaultModel { cfg: cfg.clone(), links, degraded_lanes }
     }
 
     /// The scenario this model was built from.
@@ -477,21 +481,21 @@ mod tests {
 
     #[test]
     fn error_rate_statistics_are_approximately_right() {
-        let mut fm = FaultModel::new(FaultConfig::with_flit_error_rate(0.05), 2, 42);
+        let mut fm = FaultModel::new(&FaultConfig::with_flit_error_rate(0.05), 2, 42);
         let n = 20_000u64;
         let hits = (0..n).filter(|_| fm.transmission_corrupted(0, 1)).count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.05).abs() < 0.01, "observed flit error rate {rate}");
         // Zero rate never corrupts (but still advances the stream the same way).
-        let mut quiet = FaultModel::new(FaultConfig::with_flit_error_rate(0.0), 1, 42);
+        let mut quiet = FaultModel::new(&FaultConfig::with_flit_error_rate(0.0), 1, 42);
         assert!((0..1000).all(|_| !quiet.transmission_corrupted(0, 5)));
     }
 
     #[test]
     fn identical_seeds_give_identical_draws_per_link() {
         let cfg = FaultConfig::parse("ber=0.2,burst=severe,wake_timeout=0.3").unwrap();
-        let mut a = FaultModel::new(cfg.clone(), 4, 7);
-        let mut b = FaultModel::new(cfg.clone(), 4, 7);
+        let mut a = FaultModel::new(&cfg, 4, 7);
+        let mut b = FaultModel::new(&cfg, 4, 7);
         for i in 0..500 {
             let link = i % 4;
             assert_eq!(a.transmission_corrupted(link, 5), b.transmission_corrupted(link, 5));
@@ -499,8 +503,8 @@ mod tests {
         }
         // Draws on one link do not perturb another: a model that only ever
         // queries link 3 sees the same link-3 stream as one querying all.
-        let mut solo = FaultModel::new(cfg, 4, 7);
-        let mut full = FaultModel::new(solo.cfg.clone(), 4, 7);
+        let mut solo = FaultModel::new(&cfg, 4, 7);
+        let mut full = FaultModel::new(&solo.cfg, 4, 7);
         for i in 0..200 {
             for l in 0..3 {
                 full.transmission_corrupted(l, (i % 5) + 1);
@@ -522,7 +526,7 @@ mod tests {
             }),
             ..FaultConfig::none()
         };
-        let mut fm = FaultModel::new(cfg, 1, 9);
+        let mut fm = FaultModel::new(&cfg, 1, 9);
         let outcomes: Vec<bool> = (0..50_000).map(|_| fm.transmission_corrupted(0, 1)).collect();
         let marginal = outcomes.iter().filter(|&&e| e).count() as f64 / outcomes.len() as f64;
         let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count() as f64
@@ -538,7 +542,7 @@ mod tests {
     #[test]
     fn degraded_and_failed_lookups() {
         let cfg = FaultConfig::parse("degrade=1:4,fail=2").unwrap();
-        let fm = FaultModel::new(cfg, 4, 0);
+        let fm = FaultModel::new(&cfg, 4, 0);
         assert_eq!(fm.degraded_lanes(0), None);
         assert_eq!(fm.degraded_lanes(1), Some(4));
         assert_eq!(fm.degraded_lanes(99), None, "out-of-range lookups are healthy");

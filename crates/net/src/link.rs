@@ -107,6 +107,11 @@ enum LinkState {
 pub struct LinkSim {
     id: LinkId,
     bw_mode: BwMode,
+    /// `bw_mode.flit_time()`, cached: consulted once per transmission, and
+    /// the mode-table lookup is measurable on the event hot path.
+    flit_time: SimDuration,
+    /// `bw_mode.serdes_latency()`, cached alongside [`Self::flit_time`].
+    serdes_latency: SimDuration,
     pending_bw: Option<(BwMode, SimTime)>,
     roo_threshold: Option<RooThreshold>,
     roo_params: RooParams,
@@ -135,12 +140,16 @@ impl LinkSim {
         LinkSim {
             id,
             bw_mode,
+            flit_time: bw_mode.flit_time(),
+            serdes_latency: bw_mode.serdes_latency(),
             pending_bw: None,
             roo_threshold: None,
             roo_params: RooParams::default(),
             state: LinkState::OnIdle { since: start },
-            reads: VecDeque::new(),
-            writes: VecDeque::new(),
+            // Preallocate a plausible working set so steady-state enqueues
+            // never grow the rings mid-simulation.
+            reads: VecDeque::with_capacity(32),
+            writes: VecDeque::with_capacity(32),
             buffer_entries: LINK_BUFFER_ENTRIES,
             residency: TimeInState::new(N_ACCOUNTING_STATES, state_on_idle(bw_mode), start),
             last_activity_end: start,
@@ -275,7 +284,7 @@ impl LinkSim {
             return None;
         }
         let (pkt, arrival) = self.reads.pop_front().or_else(|| self.writes.pop_front())?;
-        let done = now + self.bw_mode.flit_time() * pkt.flits();
+        let done = now + self.flit_time * pkt.flits();
         self.set_state(now, LinkState::OnBusy { until: done });
         self.flits_sent += pkt.flits();
         self.packets_sent += 1;
@@ -316,7 +325,7 @@ impl LinkSim {
     /// Panics if the link is not on-idle.
     pub fn start_retransmission(&mut self, now: SimTime, flits: u64) -> SimTime {
         assert!(self.is_idle_on(), "retransmission requires an on-idle link");
-        let done = now + self.bw_mode.flit_time() * flits;
+        let done = now + self.flit_time * flits;
         self.retransmissions += 1;
         self.retrans_flits += flits;
         self.set_state(now, LinkState::Retransmitting { until: done });
@@ -328,12 +337,17 @@ impl LinkSim {
     /// the bad CRC one SERDES latency after the last flit lands and the NAK
     /// flows back over the (always-on) reverse control channel.
     pub fn retry_turnaround(&self) -> SimDuration {
-        self.bw_mode.serdes_latency() * 2 + self.bw_mode.flit_time()
+        self.serdes_latency * 2 + self.flit_time
     }
 
     /// SERDES latency a packet experiences after its last flit leaves.
     pub fn serdes_latency(&self) -> SimDuration {
-        self.bw_mode.serdes_latency()
+        self.serdes_latency
+    }
+
+    /// Extra SERDES latency relative to full rate (zero for VWL modes).
+    pub fn serdes_overhead(&self) -> SimDuration {
+        self.serdes_latency.saturating_sub(crate::mech::BASE_SERDES_LATENCY)
     }
 
     /// Turns the link off.
@@ -398,6 +412,8 @@ impl LinkSim {
             if now >= at {
                 self.pending_bw = None;
                 self.bw_mode = mode;
+                self.flit_time = mode.flit_time();
+                self.serdes_latency = mode.serdes_latency();
                 // Refresh the accounting state index under the new mode.
                 let state = self.state;
                 self.set_state(now, state);

@@ -168,18 +168,34 @@ impl BwMode {
     }
 
     /// Time to serialize one flit in this mode.
+    ///
+    /// Served from a table computed once per process: this is called per
+    /// packet per delay monitor, and the float division showed up in the
+    /// event-loop profile. The table holds exactly the values the direct
+    /// computation produces.
     pub fn flit_time(self) -> SimDuration {
-        BASE_FLIT_TIME.mul_f64(1.0 / self.bandwidth_fraction())
+        static TABLE: std::sync::LazyLock<[SimDuration; N_BW_MODES]> =
+            std::sync::LazyLock::new(|| {
+                std::array::from_fn(|i| {
+                    let m = BwMode::from_index(i);
+                    BASE_FLIT_TIME.mul_f64(1.0 / m.bandwidth_fraction())
+                })
+            });
+        TABLE[self.index()]
     }
 
     /// SERDES latency in this mode. VWL keeps the I/O clock at full rate so
     /// the SERDES pipeline depth is unchanged; DVFS slows the clock and the
     /// SERDES latency stretches proportionally.
     pub fn serdes_latency(self) -> SimDuration {
-        match self {
-            BwMode::Vwl(_) => BASE_SERDES_LATENCY,
-            BwMode::Dvfs(l) => BASE_SERDES_LATENCY.mul_f64(1.0 / l.bandwidth_fraction()),
-        }
+        static TABLE: std::sync::LazyLock<[SimDuration; N_BW_MODES]> =
+            std::sync::LazyLock::new(|| {
+                std::array::from_fn(|i| match BwMode::from_index(i) {
+                    BwMode::Vwl(_) => BASE_SERDES_LATENCY,
+                    BwMode::Dvfs(l) => BASE_SERDES_LATENCY.mul_f64(1.0 / l.bandwidth_fraction()),
+                })
+            });
+        TABLE[self.index()]
     }
 
     /// Extra SERDES latency relative to full rate (zero for VWL modes).

@@ -9,6 +9,8 @@
 //! consulting the network-aware rescue pool) when its measured latency
 //! overhead exceeds its allowable memory slowdown.
 
+use std::sync::Arc;
+
 use memnet_net::mech::{LinkPowerMode, Mechanism, RooParams, RooThreshold};
 use memnet_net::{Direction, LinkId, NodeRef, Topology};
 use memnet_simcore::{AuditLevel, Auditor, SimDuration, SimTime};
@@ -153,7 +155,22 @@ struct LinkState {
 impl LinkState {
     fn new(mechanism: Mechanism, roo: RooParams, sampler_period: u64) -> Self {
         LinkState {
-            monitors: mechanism.bw_modes().iter().map(|&m| DelayMonitor::new(m)).collect(),
+            monitors: mechanism
+                .bw_modes()
+                .iter()
+                .enumerate()
+                // Only the full-power monitor's queue depth feeds the QF
+                // statistic; the rest skip the virtual-queue bookkeeping.
+                .map(
+                    |(i, &m)| {
+                        if i == 0 {
+                            DelayMonitor::new(m)
+                        } else {
+                            DelayMonitor::new_untracked(m)
+                        }
+                    },
+                )
+                .collect(),
             histogram: IdleHistogram::new(),
             sampler: WakeupSampler::new(roo.wakeup_latency, sampler_period),
             actual_read_latency: SimDuration::ZERO,
@@ -199,7 +216,7 @@ impl LinkState {
 #[derive(Debug, Clone)]
 pub struct PowerController {
     cfg: PolicyConfig,
-    topo: Topology,
+    topo: Arc<Topology>,
     links: Vec<LinkState>,
     /// Per-module running AMS accounts (network-unaware).
     modules: Vec<AmsAccount>,
@@ -219,7 +236,11 @@ pub struct PowerController {
 impl PowerController {
     /// Creates a controller for `topology` with all links in the
     /// mechanism's full-power mode.
-    pub fn new(topology: Topology, cfg: PolicyConfig, dram_nominal: SimDuration) -> Self {
+    ///
+    /// The topology is shared (`Arc`) with the engine rather than cloned:
+    /// the controller never mutates it, and per-run deep copies of the
+    /// routing tables were measurable in sweep setup cost.
+    pub fn new(topology: Arc<Topology>, cfg: PolicyConfig, dram_nominal: SimDuration) -> Self {
         let n_links = topology.n_links();
         let n_modules = topology.len();
         let links = (0..n_links)
@@ -325,8 +346,15 @@ impl PowerController {
         let managed =
             matches!(self.cfg.kind, PolicyKind::NetworkUnaware | PolicyKind::NetworkAware);
         let st = &mut self.links[link.0];
-        for m in &mut st.monitors {
-            m.record(arrival, flits, is_read);
+        if managed {
+            for m in &mut st.monitors {
+                m.record(arrival, flits, is_read);
+            }
+        } else {
+            // Unmanaged policies never read the alternate-mode monitors
+            // (only `flo` does): feed just the full-power reference, which
+            // the QF and FEL statistics come from.
+            st.monitors[0].record(arrival, flits, is_read);
         }
         st.total_packets += 1;
         if st.monitors[0].queue_depth_at_last_arrival() >= 3 {
@@ -868,7 +896,7 @@ mod tests {
     use memnet_net::{ModuleId, TopologyKind};
 
     fn controller(kind: PolicyKind, mech: Mechanism, n: usize) -> PowerController {
-        let topo = Topology::build(TopologyKind::TernaryTree, n);
+        let topo = Arc::new(Topology::build(TopologyKind::TernaryTree, n));
         PowerController::new(topo, PolicyConfig::new(kind, mech, 0.05), SimDuration::from_ns(30))
     }
 

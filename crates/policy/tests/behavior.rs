@@ -7,7 +7,7 @@ use memnet_simcore::{SimDuration, SimTime};
 
 fn controller(kind: PolicyKind, mech: Mechanism, n: usize) -> PowerController {
     PowerController::new(
-        Topology::build(TopologyKind::TernaryTree, n),
+        std::sync::Arc::new(Topology::build(TopologyKind::TernaryTree, n)),
         PolicyConfig::new(kind, mech, 0.05),
         SimDuration::from_ns(30),
     )

@@ -30,7 +30,7 @@ fn mech_strategy() -> impl Strategy<Value = Mechanism> {
 /// telemetry derived from `traffic` (per-module intensity seeds).
 fn primed(kind: TopologyKind, mech: Mechanism, traffic: &[u8]) -> PowerController {
     let n = traffic.len().max(1);
-    let topo = Topology::build(kind, n);
+    let topo = std::sync::Arc::new(Topology::build(kind, n));
     let cfg = PolicyConfig::new(PolicyKind::NetworkAware, mech, 0.05);
     let mut c = PowerController::new(topo.clone(), cfg, SimDuration::from_ns(30));
     for (m, &intensity) in traffic.iter().enumerate() {

@@ -74,8 +74,8 @@ impl AuditLevel {
         *LEVEL.get_or_init(|| match std::env::var("MEMNET_AUDIT") {
             Err(_) => AuditLevel::Off,
             Ok(v) => AuditLevel::parse(&v).unwrap_or_else(|| {
-                eprintln!(
-                    "[audit] warning: MEMNET_AUDIT={v:?} not recognized \
+                crate::memnet_warn!(
+                    "[audit] MEMNET_AUDIT={v:?} not recognized \
                      (want off|cheap|full); auditing disabled"
                 );
                 AuditLevel::Off

@@ -1,13 +1,91 @@
 //! Deterministic time-ordered event queue.
 //!
-//! [`EventQueue`] is a binary min-heap keyed by [`SimTime`]. Events scheduled
+//! [`EventQueue`] is a priority queue keyed by [`SimTime`]. Events scheduled
 //! for the same instant are delivered in insertion order (FIFO), which makes
-//! simulation runs bit-for-bit reproducible regardless of heap internals.
+//! simulation runs bit-for-bit reproducible regardless of queue internals.
+//!
+//! Discrete-event simulators schedule a large share of events *at the
+//! current instant* (immediate follow-ups of the event being handled), so
+//! the queue keeps a FIFO fast path for entries scheduled at the frontier —
+//! the time of the most recent pop. Those bypass the timeline entirely;
+//! pops merge the fast path and the timeline by exact `(time, seq)` order,
+//! so the delivery sequence is identical to a single sorted queue's.
+//!
+//! Future events live in a *sorted timeline*: a `Vec` kept descending by
+//! `(time, seq)` packed into a single `u128` key, so the earliest entry is
+//! the last element. Memory-network queue depths are small (tens of
+//! entries — bounded by links plus outstanding requests), which makes a
+//! sorted array beat a heap: pop is `Vec::pop`, an event earlier than
+//! everything pending is `Vec::push`, and a binary-search insert only
+//! shifts the short near-future tail. Keys are unique (`seq` is a strictly
+//! increasing tie-break), so delivery order is the global `(time, seq)`
+//! minimum by construction.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
+
+/// Packs `(time, seq)` into one `u128` whose integer order equals the
+/// lexicographic order of the pair.
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    (u128::from(time.as_ps()) << 64) | u128::from(seq)
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_ps((key >> 64) as u64)
+}
+
+/// `(key, event)` entries kept sorted *descending* by key, so the minimum
+/// sits at the back where `Vec::push`/`Vec::pop` are O(1).
+#[derive(Debug, Clone)]
+struct SortedTimeline<E> {
+    entries: Vec<(u128, E)>,
+}
+
+impl<E> SortedTimeline<E> {
+    fn with_capacity(cap: usize) -> Self {
+        SortedTimeline { entries: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn peek_key(&self) -> Option<u128> {
+        self.entries.last().map(|&(k, _)| k)
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn push(&mut self, key: u128, event: E) {
+        // An event earlier than everything pending (the common "schedule
+        // the very next thing" case) appends in O(1); otherwise the
+        // binary-search insert shifts only the nearer-future tail.
+        match self.entries.last() {
+            Some(&(last, _)) if last < key => {
+                let i = self.entries.partition_point(|&(k, _)| k > key);
+                self.entries.insert(i, (key, event));
+            }
+            _ => self.entries.push((key, event)),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u128, E)> {
+        self.entries.pop()
+    }
+}
 
 /// A time-ordered queue of simulation events.
 ///
@@ -26,80 +104,136 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    timeline: SortedTimeline<E>,
+    /// FIFO of entries all scheduled exactly at `bucket_time` (ascending
+    /// `seq`), so its front is the bucket's `(time, seq)` minimum.
+    bucket: VecDeque<(u64, E)>,
+    /// Firing time shared by every entry in `bucket`.
+    bucket_time: SimTime,
+    /// Time of the most recent pop (starts at the epoch, `SimTime::ZERO`).
+    frontier: SimTime,
     seq: u64,
 }
-
-#[derive(Debug, Clone)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-// Order entries so that the *smallest* (time, seq) is the heap maximum,
-// turning `BinaryHeap` (a max-heap) into a min-heap without `Reverse` noise.
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue::with_capacity(0)
     }
 
     /// Creates an empty queue with capacity for `cap` pending events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), seq: 0 }
+        EventQueue {
+            timeline: SortedTimeline::with_capacity(cap),
+            bucket: VecDeque::with_capacity(cap.min(256)),
+            bucket_time: SimTime::ZERO,
+            frontier: SimTime::ZERO,
+            seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        // Same-instant fast path: an event scheduled at the frontier (the
+        // time currently being drained) joins the FIFO bucket with no
+        // timeline insert. The bucket only ever holds entries for one
+        // instant.
+        if self.bucket.is_empty() {
+            if time == self.frontier {
+                self.bucket_time = time;
+                self.bucket.push_back((seq, event));
+                return;
+            }
+        } else if time == self.bucket_time {
+            self.bucket.push_back((seq, event));
+            return;
+        }
+        self.timeline.push(pack(time, seq), event);
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        // Merge the bucket and the timeline by exact (time, seq) order:
+        // the bucket's front is its minimum (one shared time, ascending
+        // seq), so comparing it against the timeline minimum yields the
+        // global minimum and delivery order matches a single sorted queue.
+        let take_timeline = match (self.bucket.front(), self.timeline.peek_key()) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(&(bseq, _)), Some(top)) => top < pack(self.bucket_time, bseq),
+        };
+        if take_timeline {
+            self.timeline.pop().map(|(key, event)| {
+                let time = unpack_time(key);
+                self.frontier = time;
+                (time, event)
+            })
+        } else {
+            let time = self.bucket_time;
+            self.bucket.pop_front().map(|(_, event)| {
+                self.frontier = time;
+                (time, event)
+            })
+        }
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `limit`; leaves the queue untouched otherwise.
+    ///
+    /// This is the main-loop primitive: one call replaces the
+    /// `peek_time` + `pop` pair, deciding between the bucket fast path and
+    /// the sorted timeline exactly once per event.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let take_timeline = match (self.bucket.front(), self.timeline.peek_key()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(&(bseq, _)), Some(top)) => top < pack(self.bucket_time, bseq),
+        };
+        if take_timeline {
+            let time = unpack_time(self.timeline.peek_key().expect("checked non-empty"));
+            if time > limit {
+                return None;
+            }
+            self.frontier = time;
+            self.timeline.pop().map(|(_, event)| (time, event))
+        } else {
+            if self.bucket_time > limit {
+                return None;
+            }
+            let time = self.bucket_time;
+            self.frontier = time;
+            self.bucket.pop_front().map(|(_, event)| (time, event))
+        }
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let timeline_time = self.timeline.peek_key().map(unpack_time);
+        let bucket_time = (!self.bucket.is_empty()).then_some(self.bucket_time);
+        match (timeline_time, bucket_time) {
+            (Some(h), Some(b)) => Some(h.min(b)),
+            (h, b) => h.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.timeline.len() + self.bucket.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.timeline.is_empty() && self.bucket.is_empty()
     }
 
     /// Discards all pending events, keeping allocated capacity.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.timeline.clear();
+        self.bucket.clear();
     }
 }
 
@@ -166,5 +300,84 @@ mod tests {
         q.push(SimTime::ZERO, 1);
         q.clear();
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn frontier_pushes_interleave_with_timeline_entries() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), "a");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ps(10), "a"));
+        // These land in the frontier bucket (scheduled at the current time).
+        q.push(SimTime::from_ps(10), "b");
+        q.push(SimTime::from_ps(20), "c");
+        q.push(SimTime::from_ps(10), "d");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(10)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ps(10), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ps(10), "d"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ps(20), "c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timeline_entry_scheduled_earlier_beats_bucket_at_same_time() {
+        let mut q = EventQueue::new();
+        // Both at t=10, pushed before the frontier reaches 10: they go to
+        // the timeline with seqs 0 and 1.
+        q.push(SimTime::from_ps(10), "a");
+        q.push(SimTime::from_ps(10), "b");
+        assert_eq!(q.pop().unwrap().1, "a"); // frontier is now 10
+                                             // Bucket entry at t=10 has seq 2, after "b"'s seq 1: FIFO order
+                                             // must still deliver "b" first.
+        q.push(SimTime::from_ps(10), "c");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn matches_reference_queue_on_random_schedule() {
+        // Cross-check against a naive sorted-by-(time, seq) reference over
+        // an interleaved push/pop workload biased toward frontier pushes.
+        let mut rng = crate::SplitMix64::new(0xBEEF);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (time_ps, seq)
+        let mut seq = 0u64;
+        let mut frontier = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..2000 {
+            if rng.next_bool(0.6) {
+                let t = if rng.next_bool(0.5) {
+                    frontier // same-instant push
+                } else {
+                    frontier + rng.next_below(50)
+                };
+                q.push(SimTime::from_ps(t), seq);
+                reference.push((t, seq));
+                seq += 1;
+            } else if let Some((t, e)) = q.pop() {
+                frontier = t.as_ps();
+                popped.push(e);
+                let min = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(rt, rs))| (rt, rs))
+                    .map(|(i, _)| i)
+                    .expect("reference tracks queue");
+                expected.push(reference.swap_remove(min).1);
+            }
+        }
+        while let Some((_, e)) = q.pop() {
+            popped.push(e);
+            let min = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(rt, rs))| (rt, rs))
+                .map(|(i, _)| i)
+                .unwrap();
+            expected.push(reference.swap_remove(min).1);
+        }
+        assert_eq!(popped, expected);
+        assert!(reference.is_empty());
     }
 }

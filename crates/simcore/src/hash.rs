@@ -1,0 +1,106 @@
+//! Deterministic, fast hashing for hot-path lookup tables.
+//!
+//! `std::collections::HashMap` defaults to SipHash with a per-process
+//! random key — robust against adversarial keys, but slow for the
+//! engine's integer-keyed tables and (by design) nondeterministic in
+//! iteration order. [`FxHasher64`] is the classic Fx multiply-xor hash:
+//! a couple of instructions per word, fixed constants, identical layout
+//! on every run. Use it only where keys are trusted (packet ids, link
+//! indices), never for external input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Seed constant: 2^64 / φ, the usual Fibonacci-hashing multiplier.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fast, deterministic 64-bit hasher (Fx multiply-xor).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`]; plug into `HashMap::with_hasher` or
+/// use via `HashMap<K, V, FastHashState>::default()`.
+pub type FastHashState = BuildHasherDefault<FxHasher64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |n: u64| {
+            let mut h = FxHasher64::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn works_as_hashmap_state() {
+        let mut m: HashMap<u64, &str, FastHashState> = HashMap::default();
+        m.insert(7, "seven");
+        m.insert(1 << 40, "big");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&(1 << 40)), Some("big"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn byte_writes_match_tail_padding() {
+        let mut a = FxHasher64::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher64::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher64::default();
+        c.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

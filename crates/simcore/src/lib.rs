@@ -32,11 +32,14 @@
 
 pub mod audit;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod warn;
 
 pub use audit::{AuditLevel, AuditReport, AuditViolation, Auditor};
 pub use event::EventQueue;
+pub use hash::{FastHashState, FxHasher64};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

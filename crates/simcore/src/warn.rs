@@ -1,0 +1,22 @@
+//! Uniform warning output for the whole workspace.
+//!
+//! Every crate that needs to surface a non-fatal problem (an unparsable
+//! environment variable, a stale cache entry, a clamped setting) routes it
+//! through [`memnet_warn!`] so all warnings carry the same greppable
+//! `[memnet:warn]` prefix — `grep '\[memnet:warn\]'` over a CI log finds
+//! every one, regardless of which subsystem emitted it.
+
+/// Prints a warning line to stderr with the `[memnet:warn]` prefix.
+///
+/// Accepts the same arguments as `format!`. Subsystems conventionally open
+/// the message with their own `[tag]` so the origin stays visible:
+///
+/// ```
+/// memnet_simcore::memnet_warn!("[settings] unknown key {:?} ignored", "FOO");
+/// ```
+#[macro_export]
+macro_rules! memnet_warn {
+    ($($arg:tt)*) => {
+        eprintln!("[memnet:warn] {}", format_args!($($arg)*))
+    };
+}

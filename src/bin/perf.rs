@@ -1,0 +1,8 @@
+//! Workspace-root alias so `cargo run --release --bin perf` works without
+//! `-p memnet-perf` — see [`memnet_perf::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    memnet_perf::cli::run()
+}
