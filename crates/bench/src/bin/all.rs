@@ -26,5 +26,5 @@ fn main() {
         println!("==================== {title} ====================");
         println!("{body}");
     }
-    eprintln!("[all] total configurations simulated: {}", m.len());
+    memnet_simcore::memnet_log!("[all] total configurations simulated: {}", m.len());
 }

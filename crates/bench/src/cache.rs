@@ -36,8 +36,9 @@ use serde::{json, Deserialize, Serialize};
 /// History: 1 = initial layout; 2 = `RunReport` gained the `audit` field;
 /// 3 = `RunReport` gained the `faults` section (plus per-link
 /// retransmission telemetry) and the fingerprint a `faults=` field;
-/// 4 = `RunReport` gained the `events_processed` counter.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// 4 = `RunReport` gained the `events_processed` counter;
+/// 5 = `RunReport` gained the optional `obs` time-series section.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -220,7 +220,7 @@ impl Matrix {
             to_simulate = missing;
         }
         stats.simulated = to_simulate.len();
-        eprintln!(
+        memnet_simcore::memnet_log!(
             "[matrix] {} configurations: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
             stats.requested,
             stats.memoized,

@@ -8,6 +8,7 @@ use memnet_dram::DramParams;
 use memnet_faults::FaultConfig;
 use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
+use memnet_obs::ObsConfig;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
 use memnet_simcore::{AuditLevel, SimDuration};
 use memnet_workload::{catalog, WorkloadSpec};
@@ -138,6 +139,10 @@ pub struct SimConfig {
     /// `run_pair` and every sweep job do — never deep-copies the
     /// degraded/failed link lists.
     pub faults: Arc<FaultConfig>,
+    /// Time-series observability: per-epoch sampling and/or JSONL event
+    /// tracing (see [`memnet_obs`]). Off by default; a disabled config
+    /// produces bit-identical reports to a build without the subsystem.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -198,6 +203,7 @@ pub struct SimConfigBuilder {
     trace_limit: usize,
     audit: AuditLevel,
     faults: FaultConfig,
+    obs: ObsConfig,
 }
 
 impl SimConfigBuilder {
@@ -225,6 +231,7 @@ impl SimConfigBuilder {
             trace_limit: 0,
             audit: AuditLevel::from_env(),
             faults: FaultConfig::none(),
+            obs: ObsConfig::off(),
         }
     }
 
@@ -340,6 +347,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the observability configuration. Like [`Self::faults`], the
+    /// builder deliberately does *not* read `MEMNET_TRACE` itself (cached
+    /// results must be a function of explicit configuration only); the CLI
+    /// applies [`ObsConfig::from_env`] at its own layer.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -396,6 +412,7 @@ impl SimConfigBuilder {
             trace_limit: self.trace_limit,
             audit: self.audit,
             faults: Arc::new(self.faults),
+            obs: self.obs,
         })
     }
 }

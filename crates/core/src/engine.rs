@@ -32,10 +32,16 @@ use std::sync::Arc;
 
 use memnet_dram::{line_to_vault_bank, IssuedOp, Vault, VaultOp};
 use memnet_faults::FaultModel;
-use memnet_net::link::{state_retrans, LinkSim};
-use memnet_net::mech::{BwMode, DvfsLevel, LinkPowerMode, VwlWidth};
+use memnet_net::link::{
+    state_on_active, state_on_idle, state_retrans, LinkSim, STATE_OFF, STATE_WAKING,
+};
+use memnet_net::mech::{BwMode, DvfsLevel, LinkPowerMode, VwlWidth, N_BW_MODES};
 use memnet_net::{Direction, LinkId, ModuleId, NodeRef, Packet, PacketKind, Topology};
-use memnet_policy::{PowerController, ViolationAction};
+use memnet_obs::{
+    saturate_latency, EpochSample, LinkSample, NullRecorder, ObsEvent, ObsEventKind, Recorder,
+    TimeSeriesRecorder, TraceMeta,
+};
+use memnet_policy::{PolicyKind, PowerController, ViolationAction};
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
 use memnet_simcore::audit::approx_eq_rel;
 use memnet_simcore::{
@@ -156,6 +162,36 @@ pub struct Engine {
     events_processed: u64,
     trace: Trace,
     audit: Auditor,
+
+    // --- observability (crates/obs) ---
+    /// The installed recorder ([`NullRecorder`] when observability is off).
+    obs: Box<dyn Recorder>,
+    /// Cached `obs.is_active()`: every hook site checks this one flag, so
+    /// the disabled path costs a single predictable branch and never
+    /// constructs event payloads.
+    obs_on: bool,
+    /// Per-epoch deltas for the sampler; `None` when observability is off.
+    obs_epoch: Option<Box<ObsEpochState>>,
+}
+
+/// Cumulative counters at the last epoch boundary, used to turn the
+/// engine's monotonic totals into per-epoch deltas. All reads the sampler
+/// performs are pure, so sampling cannot perturb simulation results.
+struct ObsEpochState {
+    /// Index of the epoch currently accumulating.
+    index: u64,
+    /// Start instant of the epoch currently accumulating.
+    start: SimTime,
+    /// Residency snapshot per link at `start`.
+    residency: Vec<Vec<SimDuration>>,
+    /// Wake count per link at `start`.
+    wakes: Vec<u64>,
+    /// Retransmission count per link at `start`.
+    retries: Vec<u64>,
+    /// Vault accesses issued per module at `start`.
+    accesses: Vec<u64>,
+    /// Flits routed per module at `start`.
+    flits: Vec<u64>,
 }
 
 impl Engine {
@@ -232,6 +268,12 @@ impl Engine {
             }
         }
         let end = start + cfg.eval_period;
+        let obs_on = cfg.obs.is_active();
+        let obs: Box<dyn Recorder> = if obs_on {
+            Box::new(TimeSeriesRecorder::new(cfg.obs.clone()))
+        } else {
+            Box::new(NullRecorder)
+        };
         Engine {
             queue: EventQueue::with_capacity(4096),
             now: start,
@@ -269,10 +311,21 @@ impl Engine {
             events_processed: 0,
             trace: Trace::with_limit(cfg.trace_limit),
             audit: Auditor::new(cfg.audit),
+            obs,
+            obs_on,
+            obs_epoch: None,
             links,
             topo,
             cfg,
         }
+    }
+
+    /// Replaces the recorder (tests inject custom [`Recorder`]s this way;
+    /// `Engine::new` already installs the right one for `cfg.obs`).
+    pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Engine {
+        self.obs_on = recorder.is_active();
+        self.obs = recorder;
+        self
     }
 
     /// Runs the simulation to the end of the evaluation period and
@@ -285,6 +338,31 @@ impl Engine {
         let start = self.now;
         self.arm_inject(start);
         self.schedule(self.now + self.cfg.epoch, Event::EpochEnd);
+
+        if self.obs_on {
+            let meta = TraceMeta {
+                workload: self.cfg.workload.name,
+                topology: self.cfg.topology.label(),
+                policy: self.cfg.policy.label(),
+                mechanism: self.cfg.mechanism.label(),
+                seed: self.cfg.seed,
+                epoch_ps: self.cfg.epoch.as_ps(),
+                eval_ps: self.cfg.eval_period.as_ps(),
+                n_links: self.topo.n_links() as u32,
+                n_modules: self.topo.len() as u32,
+            };
+            self.obs.start(&meta);
+            let n = self.topo.len();
+            self.obs_epoch = Some(Box::new(ObsEpochState {
+                index: 0,
+                start: self.now,
+                residency: self.links.iter().map(|l| l.residency_snapshot(start)).collect(),
+                wakes: self.links.iter().map(|l| l.wake_count()).collect(),
+                retries: self.links.iter().map(|l| l.retransmissions()).collect(),
+                accesses: vec![0; n],
+                flits: vec![0; n],
+            }));
+        }
 
         let debug = std::env::var_os("MEMNET_DEBUG").is_some();
         let mut histo = [0u64; 14];
@@ -318,7 +396,7 @@ impl Engine {
                 };
                 histo[idx] += 1;
                 if processed.is_multiple_of(1_000_000) {
-                    eprintln!(
+                    memnet_simcore::memnet_log!(
                         "[engine] {processed} events, now={}, pending={}, histo={histo:?}, out_rd={}, out_wr={}, inj={}, done_rd={}",
                         self.now,
                         self.queue.len(),
@@ -361,6 +439,16 @@ impl Engine {
     fn pool_take(&mut self, slot: PktSlot) -> Packet {
         self.packet_free.push(slot);
         self.packet_pool[slot as usize]
+    }
+
+    /// Delivers a discrete observability event. Callers guard on
+    /// `self.obs_on` themselves when constructing the payload costs
+    /// anything; the double check here is branch-predicted away.
+    #[inline]
+    fn obs_event(&mut self, kind: ObsEventKind) {
+        if self.obs_on {
+            self.obs.record_event(&ObsEvent { t_ps: self.now.as_ps(), kind });
+        }
     }
 
     #[inline]
@@ -533,6 +621,10 @@ impl Engine {
             if self.retry_attempts[l.0] < fm.retry_limit() && fm.transmission_corrupted(l.0, flits)
             {
                 self.retry_attempts[l.0] += 1;
+                if self.obs_on {
+                    let attempt = self.retry_attempts[l.0];
+                    self.obs_event(ObsEventKind::Nak { link: l.0 as u32, attempt });
+                }
                 self.links[l.0].finish_transmission(self.now);
                 let at = self.now + self.links[l.0].retry_turnaround();
                 self.schedule(at, Event::LinkRetry(l));
@@ -726,12 +818,18 @@ impl Engine {
             return;
         }
         let mut done = self.links[l.0].start_wake(self.now);
+        if self.obs_on {
+            self.obs_event(ObsEventKind::Wake { link: l.0 as u32 });
+        }
         if let Some(fm) = self.faults.as_mut() {
             if fm.wake_times_out(l.0) {
                 // The wake handshake missed its training window; one
                 // more full wakeup interval retrains the link.
                 self.wake_timeouts += 1;
                 done = done + (done - self.now);
+                if self.obs_on {
+                    self.obs_event(ObsEventKind::WakeTimeout { link: l.0 as u32 });
+                }
             }
         }
         self.schedule(done, Event::WakeDone(l));
@@ -753,6 +851,9 @@ impl Engine {
 
     fn on_chain_wake(&mut self, l: LinkId) {
         if self.links[l.0].is_off() {
+            if self.obs_on {
+                self.obs_event(ObsEventKind::ChainWake { link: l.0 as u32 });
+            }
             self.wake_link(l);
         }
     }
@@ -768,6 +869,9 @@ impl Engine {
 
     fn on_wake_done(&mut self, l: LinkId) {
         self.links[l.0].finish_wake(self.now);
+        if self.obs_on {
+            self.obs_event(ObsEventKind::WakeDone { link: l.0 as u32 });
+        }
         let now = self.now;
         self.schedule(now, Event::LinkTryStart(l));
         self.arm_turnoff(l);
@@ -818,6 +922,9 @@ impl Engine {
             }
         }
         self.links[l.0].turn_off(self.now);
+        if self.obs_on {
+            self.obs_event(ObsEventKind::TurnOff { link: l.0 as u32 });
+        }
         // Turning off may unblock an upstream response link's turn-off;
         // its own re-check event will observe the new state.
     }
@@ -848,6 +955,18 @@ impl Engine {
             },
             None => mode,
         };
+        // Trace only real transitions: re-selecting the current mode is
+        // the common case and would drown the trace in no-ops.
+        if self.obs_on
+            && (mode.bw != self.links[link.0].bw_mode()
+                || mode.roo != self.links[link.0].roo_threshold())
+        {
+            self.obs_event(ObsEventKind::Mode {
+                link: link.0 as u32,
+                bw: mode.bw.label(),
+                roo: mode.roo.map(|t| t.label()),
+            });
+        }
         let pending_at = self.links[link.0].request_bw_mode(mode.bw, self.now);
         if let Some(at) = pending_at {
             self.schedule(at, Event::ModeApply(link));
@@ -860,6 +979,9 @@ impl Engine {
 
     fn force_full_power(&mut self, link: LinkId) {
         let full = self.cfg.mechanism.full_mode();
+        if self.obs_on {
+            self.obs_event(ObsEventKind::ForcedFull { link: link.0 as u32 });
+        }
         self.links[link.0].cancel_pending_bw();
         self.apply_decision(link, full);
     }
@@ -873,6 +995,16 @@ impl Engine {
     }
 
     fn on_epoch_end(&mut self) {
+        // Sample *before* `epoch_end` dispatches and resets the per-epoch
+        // monitor state: the budgets, FLO estimates and histograms read
+        // here are the ones that governed the closing epoch.
+        if self.obs_on {
+            self.obs_sample_epoch();
+            if self.cfg.policy == PolicyKind::NetworkAware {
+                let rounds = self.cfg.isp_iterations as u32;
+                self.obs_event(ObsEventKind::Isp { rounds });
+            }
+        }
         let decisions = self.controller.epoch_end(self.now);
         for d in decisions {
             self.apply_decision(d.link, d.mode);
@@ -883,10 +1015,99 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Observability sampling
+    // ------------------------------------------------------------------
+
+    /// Closes the accumulating observation epoch at `self.now`: prices the
+    /// residency gained since the last boundary through the same linear
+    /// power model `finalize` uses (so per-epoch energies telescope to the
+    /// run totals), snapshots the controller's per-link budgets and FLO
+    /// estimates, and hands the sample to the recorder. Every read here is
+    /// pure — sampling cannot change simulation results.
+    fn obs_sample_epoch(&mut self) {
+        let Some(mut st) = self.obs_epoch.take() else { return };
+        let now = self.now;
+        let mut energy = EnergyBreakdown::default();
+        let mut links = Vec::with_capacity(self.links.len());
+        for (i, link) in self.links.iter().enumerate() {
+            let snap = link.residency_snapshot(now);
+            let delta: Vec<SimDuration> =
+                snap.iter().zip(&st.residency[i]).map(|(a, b)| *a - *b).collect();
+            energy += self.power_model.link_energy(&delta);
+            let (mut idle, mut active, mut retrans) =
+                (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+            for m in 0..N_BW_MODES {
+                let bw = BwMode::from_index(m);
+                idle += delta[state_on_idle(bw)];
+                active += delta[state_on_active(bw)];
+                retrans += delta[state_retrans(bw)];
+            }
+            let l = LinkId(i);
+            links.push(LinkSample {
+                link: i as u32,
+                bw: link.bw_mode().label(),
+                roo: link.roo_threshold().map(|t| t.label()),
+                off_ps: delta[STATE_OFF].as_ps(),
+                waking_ps: delta[STATE_WAKING].as_ps(),
+                idle_ps: idle.as_ps(),
+                active_ps: active.as_ps(),
+                retrans_ps: retrans.as_ps(),
+                queue_depth: link.queue_len() as u32,
+                wakes: link.wake_count() - st.wakes[i],
+                retries: link.retransmissions() - st.retries[i],
+                budget_ps: saturate_latency(self.controller.budget(l)),
+                flo_ps: saturate_latency(self.controller.flo_estimate(l)),
+            });
+            st.residency[i] = snap;
+            st.wakes[i] = link.wake_count();
+            st.retries[i] = link.retransmissions();
+        }
+        for m in self.topo.modules() {
+            let row = m.0 * self.n_vaults..(m.0 + 1) * self.n_vaults;
+            let accesses: u64 =
+                self.vaults[row].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
+            energy += self.power_model.module_energy(
+                self.topo.radix(m),
+                st.start,
+                now,
+                accesses - st.accesses[m.0],
+                self.flits_routed[m.0] - st.flits[m.0],
+            );
+            st.accesses[m.0] = accesses;
+            st.flits[m.0] = self.flits_routed[m.0];
+        }
+        let sample = EpochSample {
+            epoch: st.index,
+            start_ps: st.start.as_ps(),
+            end_ps: now.as_ps(),
+            energy_j: energy.categories(),
+            pool_ps: saturate_latency(self.controller.rescue_pool()),
+            violations: self.controller.violations(),
+            isp_rounds: if self.cfg.policy == PolicyKind::NetworkAware {
+                self.cfg.isp_iterations as u32
+            } else {
+                0
+            },
+            links,
+        };
+        st.index += 1;
+        st.start = now;
+        self.obs_epoch = Some(st);
+        self.obs.record_epoch(sample);
+    }
+
+    // ------------------------------------------------------------------
     // Finalization
     // ------------------------------------------------------------------
 
-    fn finalize(self) -> RunReport {
+    fn finalize(mut self) -> RunReport {
+        // Close the trailing partial epoch (skipped when the evaluation
+        // period is an exact multiple of the epoch: the final EpochEnd
+        // event already sampled at `end`).
+        if self.obs_on && self.obs_epoch.as_ref().is_some_and(|st| self.now > st.start) {
+            self.obs_sample_epoch();
+        }
+        let obs_section = if self.obs_on { self.obs.finish() } else { None };
         let mut audit = self.audit;
         let window = self.end - SimTime::ZERO;
         let mut energy = EnergyBreakdown::default();
@@ -1008,6 +1229,7 @@ impl Engine {
             faults: fault_summary,
             links: telemetry,
             trace: self.trace.events().to_vec(),
+            obs: obs_section,
         };
         if audit.enabled(AuditLevel::Cheap) {
             // Double-entry energy conservation: reprice the per-link

@@ -2,6 +2,7 @@
 
 use memnet_net::mech::{BwMode, N_BW_MODES};
 use memnet_net::{LinkId, TopologyKind};
+use memnet_obs::ObsSection;
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
 use memnet_simcore::{AuditReport, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -31,11 +32,17 @@ impl PowerSummary {
     }
 
     /// Per-category average watts per module, Figure 5 order with
-    /// retransmission I/O appended last.
+    /// retransmission I/O appended last. A degenerate report with zero
+    /// modules reads as all-zero, matching [`Self::watts_per_hmc`]
+    /// (previously this path divided by `max(1)` and silently reported
+    /// network-total watts as "per HMC").
     pub fn watts_per_hmc_by_category(&self) -> [f64; 7] {
+        if self.n_hmcs == 0 {
+            return [0.0; 7];
+        }
         let mut cats = self.energy.watts_by_category(self.window);
         for c in &mut cats {
-            *c /= self.n_hmcs.max(1) as f64;
+            *c /= self.n_hmcs as f64;
         }
         cats
     }
@@ -149,6 +156,10 @@ pub struct RunReport {
     pub links: Vec<LinkTelemetry>,
     /// Captured packet trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Time-series observability section (`None` unless `cfg.obs` enabled
+    /// sampling or tracing — disabled runs serialize this as `null` and
+    /// stay bit-identical to builds without the subsystem).
+    pub obs: Option<ObsSection>,
 }
 
 /// Relative change `1 − ours/baseline`, guarded against degenerate
@@ -265,6 +276,7 @@ mod tests {
             faults: FaultSummary::default(),
             links: Vec::new(),
             trace: Vec::new(),
+            obs: None,
         }
     }
 
@@ -374,6 +386,23 @@ mod tests {
         // No replays → zero expectation (the audit check is vacuous but
         // still runs on fault-free runs).
         assert_eq!(report(1.0, 100.0).expected_retrans_io_energy(&model), 0.0);
+    }
+
+    #[test]
+    fn zero_hmcs_never_divide_to_non_finite() {
+        // Regression guard for the per-HMC averaging paths: a degenerate
+        // report with zero modules must read as zero watts, not NaN/∞
+        // (energy.watts_per_hmc guards n_hmcs == 0 explicitly and the
+        // category path divides by max(1)). Both must agree.
+        let mut r = report(1.0, 100.0);
+        r.power.n_hmcs = 0;
+        assert_eq!(r.power.watts_per_hmc(), 0.0);
+        assert_eq!(r.power.watts_per_hmc_by_category(), [0.0; 7]);
+        // A zero-length window is the other degenerate denominator.
+        r.power.window = SimDuration::ZERO;
+        assert_eq!(r.power.watts(), 0.0);
+        assert_eq!(r.power.watts_per_hmc(), 0.0);
+        assert_eq!(r.power.watts_per_hmc_by_category(), [0.0; 7]);
     }
 
     #[test]

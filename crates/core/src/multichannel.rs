@@ -21,11 +21,32 @@
 //! # Ok::<(), memnet_core::ConfigError>(())
 //! ```
 
+use memnet_simcore::SplitMix64;
 use serde::Serialize;
 
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
 use crate::runner::sweep;
+
+/// Stream salt separating channel seed derivation from every other
+/// consumer of the base seed (fault streams use their own salt; the
+/// frontend consumes the per-channel seed directly).
+pub const CHANNEL_STREAM_SALT: u64 = 0xC4A2_11E1;
+
+/// Derives channel `ch`'s run seed from the sweep's base seed.
+///
+/// The seeds are drawn through SplitMix64's output mixer rather than by
+/// offsetting the raw state. The previous derivation,
+/// `base + GOLDEN_GAMMA * (ch + 1)`, placed every channel on the *same*
+/// state orbit — SplitMix64 advances its state by exactly `GOLDEN_GAMMA`
+/// per draw, so channel `k + 1`'s generator replayed channel `k`'s output
+/// stream shifted by one draw, silently correlating "independent"
+/// channels. Mixed draws land on unrelated orbits, and the double fork
+/// keeps them disjoint from the per-link fault streams
+/// ([`memnet_faults::FAULT_STREAM_SALT`]) forked from each channel seed.
+pub fn channel_seed(base: u64, ch: usize) -> u64 {
+    SplitMix64::new(base).fork(CHANNEL_STREAM_SALT).fork(ch as u64 + 1).next_u64()
+}
 
 /// Aggregate of `k` independent channel simulations.
 #[derive(Debug, Clone, Serialize)]
@@ -57,7 +78,7 @@ pub fn run_channels(cfg: SimConfig, channels: usize, threads: usize) -> MultiCha
         // rate by k: stretch the target channel utilization accordingly.
         c.workload.channel_utilization =
             (cfg.workload.channel_utilization / channels as f64).max(0.001);
-        c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ch as u64 + 1));
+        c.seed = channel_seed(cfg.seed, ch);
         configs.push(c);
     }
     let reports = sweep(configs, threads);
@@ -118,5 +139,76 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_panics() {
         run_channels(tiny(), 0, 1);
+    }
+
+    /// First `n` outputs of a fresh generator seeded with `seed`.
+    fn outputs(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn channel_streams_are_not_shifted_copies_of_each_other() {
+        // Regression: the old derivation (base + GAMMA * (ch + 1)) put all
+        // channels on one state orbit, so channel k + 1's output stream
+        // was channel k's shifted by one draw. Check no channel's window
+        // of outputs appears anywhere in a longer window of any other's.
+        for base in [0u64, 1, 0xC0FFEE, u64::MAX] {
+            let streams: Vec<Vec<u64>> =
+                (0..6).map(|ch| outputs(channel_seed(base, ch), 64)).collect();
+            for (a, sa) in streams.iter().enumerate() {
+                for (b, sb) in streams.iter().enumerate() {
+                    if a == b {
+                        continue;
+                    }
+                    for offset in 0..48 {
+                        assert_ne!(
+                            &sa[..16],
+                            &sb[offset..offset + 16],
+                            "base {base:#x}: channel {a} replays channel {b} shifted by {offset}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_seeds_never_collide_with_fault_streams() {
+        // Every RNG stream a multi-channel faulty run touches must be
+        // pairwise distinct: the frontend stream of each channel (seeded
+        // with the channel seed directly) and every per-link fault stream
+        // (forked from the channel seed through FAULT_STREAM_SALT, as
+        // FaultModel::new does). Streams are private state, so identity is
+        // checked through a 4-output prefix — identical prefixes of a
+        // mixed generator mean an identical stream for all practical
+        // purposes, while 300-odd independent streams collide with
+        // probability ~2^-248.
+        use std::collections::HashSet;
+        let mut prefixes: HashSet<[u64; 4]> = HashSet::new();
+        let mut n = 0;
+        for base in [0u64, 7, 0xC0FFEE] {
+            for ch in 0..4 {
+                let seed = channel_seed(base, ch);
+                let mut frontend = SplitMix64::new(seed);
+                let prefix = std::array::from_fn(|_| frontend.next_u64());
+                assert!(
+                    prefixes.insert(prefix),
+                    "frontend stream duplicated (base {base:#x} ch {ch})"
+                );
+                n += 1;
+                let root = SplitMix64::new(seed).fork(memnet_faults::FAULT_STREAM_SALT);
+                for link in 0..16u64 {
+                    let mut fault = root.fork(link);
+                    let prefix = std::array::from_fn(|_| fault.next_u64());
+                    assert!(
+                        prefixes.insert(prefix),
+                        "fault stream duplicated (base {base:#x} ch {ch} link {link})"
+                    );
+                    n += 1;
+                }
+            }
+        }
+        assert_eq!(prefixes.len(), n);
     }
 }

@@ -60,6 +60,52 @@ pub fn fault_section(report: &RunReport) -> String {
     )
 }
 
+/// Renders the observability section of a report: per-epoch sample
+/// bookkeeping plus a network-wide residency summary aggregated over the
+/// retained samples. Callers print it only when the run carried an `obs`
+/// section (`--obs` / `--trace`); returns an empty string otherwise.
+pub fn obs_section(report: &RunReport) -> String {
+    let Some(obs) = &report.obs else {
+        return String::new();
+    };
+    let mut out = format!(
+        "  obs: {} epoch sample(s) retained ({} dropped), {} event(s) seen, {} written{}\n",
+        obs.epochs.len(),
+        obs.samples_dropped,
+        obs.events_seen,
+        obs.events_written,
+        if obs.truncated { ", trace truncated" } else { "" },
+    );
+    if !obs.epochs.is_empty() {
+        let mut ps = [0u64; 5];
+        let (mut wakes, mut retries) = (0u64, 0u64);
+        for s in &obs.epochs {
+            for l in &s.links {
+                ps[0] += l.off_ps;
+                ps[1] += l.waking_ps;
+                ps[2] += l.idle_ps;
+                ps[3] += l.active_ps;
+                ps[4] += l.retrans_ps;
+                wakes += l.wakes;
+                retries += l.retries;
+            }
+        }
+        let total: u64 = ps.iter().sum();
+        let pct = |v: u64| if total == 0 { 0.0 } else { 100.0 * v as f64 / total as f64 };
+        out.push_str(&format!(
+            "       link residency: off {:.1}%  waking {:.1}%  idle {:.1}%  active {:.1}%  retrans {:.2}%  ({} wakes, {} retries)\n",
+            pct(ps[0]),
+            pct(ps[1]),
+            pct(ps[2]),
+            pct(ps[3]),
+            pct(ps[4]),
+            wakes,
+            retries,
+        ));
+    }
+    out
+}
+
 /// Renders a one-line summary suitable for sweep tables.
 pub fn summary_line(report: &RunReport) -> String {
     format!(

@@ -42,7 +42,9 @@ use serde::{Deserialize, Serialize};
 /// Stream salt separating fault randomness from every other consumer of the
 /// run seed (the workload frontend forks its streams directly from the seed,
 /// so fault draws can never perturb the generated request sequence).
-const FAULT_STREAM_SALT: u64 = 0xFA01_7CC5;
+/// Public so seed-derivation code elsewhere (e.g. multi-channel runs) can
+/// prove its streams never collide with the per-link fault streams.
+pub const FAULT_STREAM_SALT: u64 = 0xFA01_7CC5;
 
 /// Default retransmission cap: after this many corrupted attempts the packet
 /// is delivered anyway (mirrors a real controller escalating past link retry).

@@ -217,6 +217,20 @@ impl BwMode {
     pub fn is_full_bandwidth(self) -> bool {
         matches!(self, BwMode::Vwl(VwlWidth::W16) | BwMode::Dvfs(DvfsLevel::P100))
     }
+
+    /// A short stable label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BwMode::Vwl(VwlWidth::W16) => "vwl16",
+            BwMode::Vwl(VwlWidth::W8) => "vwl8",
+            BwMode::Vwl(VwlWidth::W4) => "vwl4",
+            BwMode::Vwl(VwlWidth::W1) => "vwl1",
+            BwMode::Dvfs(DvfsLevel::P100) => "dvfs100",
+            BwMode::Dvfs(DvfsLevel::P80) => "dvfs80",
+            BwMode::Dvfs(DvfsLevel::P50) => "dvfs50",
+            BwMode::Dvfs(DvfsLevel::P14) => "dvfs14",
+        }
+    }
 }
 
 /// ROO idleness thresholds: the link turns off after this much idle time.
@@ -257,6 +271,16 @@ impl RooThreshold {
             RooThreshold::T128 => 1,
             RooThreshold::T512 => 2,
             RooThreshold::T2048 => 3,
+        }
+    }
+
+    /// A short stable label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RooThreshold::T32 => "t32",
+            RooThreshold::T128 => "t128",
+            RooThreshold::T512 => "t512",
+            RooThreshold::T2048 => "t2048",
         }
     }
 }

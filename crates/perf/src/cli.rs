@@ -3,7 +3,8 @@
 //! against a baseline.
 //!
 //! ```text
-//! perf [--quick] [--out FILE] [--check BASELINE] [--bless FILE] [--tolerance PCT]
+//! perf [--quick] [--out FILE] [--check BASELINE] [--bless FILE]
+//!      [--tolerance PCT] [--obs-gate PCT]
 //! ```
 //!
 //! * `--quick` — smaller op counts (~1 s); what CI runs.
@@ -13,8 +14,12 @@
 //! * `--bless FILE` — also write the fresh report to FILE (the re-bless
 //!   flow for an intentional perf change).
 //! * `--tolerance P` — gate threshold in percent (default 20).
+//! * `--obs-gate P` — exit 1 when the observability recorder costs more
+//!   than P percent events/sec (`end_to_end_obs_on` vs `_off`).
 
 use std::process::ExitCode;
+
+use memnet_simcore::{memnet_log, memnet_warn};
 
 use crate::{find_regressions, run_suite, BenchReport};
 
@@ -24,10 +29,17 @@ struct Args {
     check: Option<String>,
     bless: Option<String>,
     tolerance: f64,
+    obs_gate: Option<f64>,
+}
+
+fn usage() -> &'static str {
+    "usage: perf [--quick] [--out FILE] [--check BASELINE] [--bless FILE] \
+     [--tolerance PCT] [--obs-gate PCT]"
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { quick: false, out: None, check: None, bless: None, tolerance: 20.0 };
+    let mut args =
+        Args { quick: false, out: None, check: None, bless: None, tolerance: 20.0, obs_gate: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -41,10 +53,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--tolerance wants a number (percent)".to_owned())?;
             }
+            "--obs-gate" => {
+                args.obs_gate = Some(
+                    value("--obs-gate")?
+                        .parse()
+                        .map_err(|_| "--obs-gate wants a number (percent)".to_owned())?,
+                );
+            }
             "--help" | "-h" => {
-                return Err("usage: perf [--quick] [--out FILE] [--check BASELINE] \
-                            [--bless FILE] [--tolerance PCT]"
-                    .to_owned());
+                println!("{}", usage());
+                std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
@@ -58,35 +76,42 @@ pub fn run() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
-            eprintln!("{msg}");
+            memnet_warn!("[perf] {msg}");
             return ExitCode::from(2);
         }
     };
 
-    eprintln!("[perf] running suite ({} mode)...", if args.quick { "quick" } else { "full" });
+    memnet_log!("[perf] running suite ({} mode)...", if args.quick { "quick" } else { "full" });
     let report = run_suite(args.quick);
     for b in &report.benches {
         let eps = b.events_per_sec.map(|e| format!(", {:.0} events/s", e)).unwrap_or_default();
-        eprintln!(
+        memnet_log!(
             "[perf]   {:<24} {:>10} ops  {:>9.1} ms  {:>9.1} ns/op{eps}",
-            b.name, b.iters, b.wall_ms, b.per_iter_ns
+            b.name,
+            b.iters,
+            b.wall_ms,
+            b.per_iter_ns
         );
     }
-    eprintln!("[perf] peak RSS {} KiB, git {}", report.peak_rss_kb, report.git_sha);
+    let rss = report
+        .peak_rss_kb
+        .map(|kb| format!("{kb} KiB"))
+        .unwrap_or_else(|| "unavailable".to_owned());
+    memnet_log!("[perf] peak RSS {rss}, git {}", report.git_sha);
 
     let out = args.out.clone().unwrap_or_else(|| report.filename());
     if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
-        eprintln!("[perf] cannot write {out}: {e}");
+        memnet_warn!("[perf] cannot write {out}: {e}");
         return ExitCode::from(2);
     }
-    eprintln!("[perf] wrote {out}");
+    memnet_log!("[perf] wrote {out}");
 
     if let Some(path) = &args.bless {
         if let Err(e) = std::fs::write(path, report.to_json() + "\n") {
-            eprintln!("[perf] cannot write baseline {path}: {e}");
+            memnet_warn!("[perf] cannot write baseline {path}: {e}");
             return ExitCode::from(2);
         }
-        eprintln!("[perf] blessed baseline {path}");
+        memnet_log!("[perf] blessed baseline {path}");
     }
 
     if let Some(path) = &args.check {
@@ -96,24 +121,24 @@ pub fn run() -> ExitCode {
         {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("[perf] cannot load baseline {path}: {e}");
+                memnet_warn!("[perf] cannot load baseline {path}: {e}");
                 return ExitCode::from(2);
             }
         };
         match find_regressions(&baseline, &report, args.tolerance / 100.0) {
             Err(e) => {
-                eprintln!("[perf] {e}");
+                memnet_warn!("[perf] {e}");
                 return ExitCode::from(2);
             }
             Ok(regs) if regs.is_empty() => {
-                eprintln!(
+                memnet_log!(
                     "[perf] gate passed: no bench regressed more than {:.0}% vs {path}",
                     args.tolerance
                 );
             }
             Ok(regs) => {
                 for r in &regs {
-                    eprintln!(
+                    memnet_warn!(
                         "[perf] REGRESSION {}: {:.0} events/s vs baseline {:.0} ({:.1}% slower)",
                         r.name,
                         r.current,
@@ -121,11 +146,37 @@ pub fn run() -> ExitCode {
                         r.slowdown() * 100.0
                     );
                 }
-                eprintln!(
+                memnet_warn!(
                     "[perf] gate failed; if this slowdown is intentional, re-bless with \
                      `cargo run --release --bin perf -- --quick --bless {path}`"
                 );
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(gate_pct) = args.obs_gate {
+        let eps = |name: &str| {
+            report.benches.iter().find(|b| b.name == name).and_then(|b| b.events_per_sec)
+        };
+        match (eps("end_to_end_obs_off"), eps("end_to_end_obs_on")) {
+            (Some(off), Some(on)) if off > 0.0 => {
+                let overhead_pct = (1.0 - on / off) * 100.0;
+                if overhead_pct > gate_pct {
+                    memnet_warn!(
+                        "[perf] obs gate failed: recorder costs {overhead_pct:.2}% events/s \
+                         ({on:.0} on vs {off:.0} off), limit {gate_pct}%"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                memnet_log!(
+                    "[perf] obs gate passed: recorder costs {overhead_pct:.2}% events/s \
+                     (limit {gate_pct}%)"
+                );
+            }
+            _ => {
+                memnet_warn!("[perf] obs gate needs the end_to_end_obs_off/_on bench pair");
+                return ExitCode::from(2);
             }
         }
     }

@@ -99,6 +99,18 @@ pub fn end_to_end(eval_us: u64, seed: u64) -> RunReport {
     base_config(eval_us, seed).run()
 }
 
+/// [`end_to_end`] with the observability recorder explicitly on or off.
+/// The off variant is the suite's control for the on variant: both run
+/// identical configurations, so the events/sec delta between them is the
+/// cost of per-epoch time-series sampling (`--obs-gate` enforces a bound
+/// on it).
+pub fn end_to_end_obs(eval_us: u64, seed: u64, enabled: bool) -> RunReport {
+    let mut cfg = base_config(eval_us, seed);
+    cfg.obs.enabled = enabled;
+    cfg.obs.ring_capacity = 64;
+    cfg.run()
+}
+
 fn base_config(eval_us: u64, seed: u64) -> SimConfig {
     let mut cfg = SimConfig::builder()
         .workload("mixD")
@@ -124,6 +136,17 @@ mod tests {
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.completed_reads, b.completed_reads);
         assert!(a.events_processed > 0);
+    }
+
+    #[test]
+    fn obs_recorder_does_not_perturb_the_simulation() {
+        let off = end_to_end_obs(120, 7, false);
+        let on = end_to_end_obs(120, 7, true);
+        assert_eq!(off.events_processed, on.events_processed);
+        assert_eq!(off.completed_reads, on.completed_reads);
+        assert_eq!(off.power.watts().to_bits(), on.power.watts().to_bits());
+        assert!(off.obs.is_none());
+        assert!(on.obs.as_ref().is_some_and(|o| !o.epochs.is_empty()));
     }
 
     #[test]

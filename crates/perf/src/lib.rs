@@ -107,8 +107,11 @@ pub struct BenchReport {
     pub git_sha: String,
     /// Whether the suite ran in `--quick` mode (smaller op counts).
     pub quick: bool,
-    /// Peak resident set size in KiB (`VmHWM`; 0 where unavailable).
-    pub peak_rss_kb: u64,
+    /// Peak resident set size in KiB (`VmHWM`), or `null` where procfs
+    /// does not expose it (non-Linux hosts, restricted containers). A
+    /// missing measurement must read as missing, not as an impossible
+    /// 0 KiB peak.
+    pub peak_rss_kb: Option<u64>,
     /// Per-bench measurements, in suite order.
     pub benches: Vec<BenchResult>,
 }
@@ -204,16 +207,27 @@ pub fn git_sha() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`), or 0
-/// where procfs is unavailable.
-pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|kb| kb.parse().ok())
-        .unwrap_or(0)
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`), or
+/// `None` where procfs is unavailable or does not carry the field. Warns
+/// once per process on the first failed read so reports silently carrying
+/// `null` still leave a trail in the log.
+pub fn peak_rss_kb() -> Option<u64> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let parsed = std::fs::read_to_string("/proc/self/status").ok().and_then(|status| {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("VmHWM:"))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|kb| kb.parse().ok())
+    });
+    if parsed.is_none() {
+        WARNED.call_once(|| {
+            memnet_simcore::memnet_warn!(
+                "[perf] peak RSS unavailable (/proc/self/status has no readable VmHWM); reporting null"
+            );
+        });
+    }
+    parsed
 }
 
 /// Times `ops` inner operations of `f`, attributing allocation deltas
@@ -235,6 +249,33 @@ fn timed<R>(name: &str, ops: u64, mut f: impl FnMut() -> R) -> BenchResult {
     }
 }
 
+/// Times an end-to-end simulation bench: runs `f` `repeats` times, keeps
+/// the fastest run (damping one-off costs and scheduler noise) and
+/// derives events/sec from the report's `events_processed`.
+fn end_to_end_bench(
+    name: &str,
+    repeats: u32,
+    mut f: impl FnMut() -> memnet_core::RunReport,
+) -> BenchResult {
+    let mut best: Option<BenchResult> = None;
+    for _ in 0..repeats.max(1) {
+        let mut events = 0u64;
+        let mut result = timed(name, 1, || {
+            let report = f();
+            events = report.events_processed;
+            report.completed_reads
+        });
+        result.iters = events;
+        result.per_iter_ns = result.wall_ms * 1e6 / events.max(1) as f64;
+        result.ops_per_sec = events as f64 / (result.wall_ms / 1e3);
+        result.events_per_sec = Some(result.ops_per_sec);
+        if best.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
 /// Runs the full suite and assembles the report. `quick` shrinks the op
 /// counts for CI (~1 s total) without changing the bench set.
 pub fn run_suite(quick: bool) -> BenchReport {
@@ -254,17 +295,20 @@ pub fn run_suite(quick: bool) -> BenchReport {
     benches.push(timed("policy_epoch_ams_isp", n, || kernels::policy_epochs(n)));
 
     let eval_us = if quick { 50 } else { 400 };
-    let mut events = 0u64;
-    let mut result = timed("end_to_end_small", 1, || {
-        let report = kernels::end_to_end(eval_us, 7);
-        events = report.events_processed;
-        report.completed_reads
-    });
-    result.iters = events;
-    result.per_iter_ns = result.wall_ms * 1e6 / events.max(1) as f64;
-    result.ops_per_sec = events as f64 / (result.wall_ms / 1e3);
-    result.events_per_sec = Some(result.ops_per_sec);
-    benches.push(result);
+    benches.push(end_to_end_bench("end_to_end_small", 1, || kernels::end_to_end(eval_us, 7)));
+
+    // Observability overhead pair: the same end-to-end run with the
+    // recorder off and on, long enough (>= 200 us) to cross several epoch
+    // boundaries so the per-epoch sampler is actually on the measured
+    // path. Best-of-N damps scheduler noise; `--obs-gate` compares the
+    // two events/sec figures.
+    let obs_eval_us = if quick { 200 } else { 400 };
+    benches.push(end_to_end_bench("end_to_end_obs_off", 3, || {
+        kernels::end_to_end_obs(obs_eval_us, 7, false)
+    }));
+    benches.push(end_to_end_bench("end_to_end_obs_on", 3, || {
+        kernels::end_to_end_obs(obs_eval_us, 7, true)
+    }));
 
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -284,7 +328,7 @@ mod tests {
             schema_version: BENCH_SCHEMA_VERSION,
             git_sha: "deadbee".to_owned(),
             quick: true,
-            peak_rss_kb: 1,
+            peak_rss_kb: Some(1),
             benches: vec![BenchResult {
                 name: "end_to_end_small".to_owned(),
                 iters: 100,

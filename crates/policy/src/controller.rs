@@ -450,6 +450,20 @@ impl PowerController {
         bw_part + roo_part
     }
 
+    /// The FLO estimate for `link`'s currently selected mode, over the
+    /// epoch currently being accumulated — a pure read exposed for
+    /// observability sampling. Non-adaptive policies (full power, static
+    /// selection) have no meaningful FLO and report zero. Call before
+    /// [`Self::epoch_end`] closes the epoch and resets the monitors.
+    pub fn flo_estimate(&self, link: LinkId) -> LatencyPs {
+        match self.cfg.kind {
+            PolicyKind::FullPower | PolicyKind::StaticSelection => 0,
+            PolicyKind::NetworkUnaware | PolicyKind::NetworkAware => {
+                self.flo(link, self.links[link.0].selected)
+            }
+        }
+    }
+
     /// Expected power of `mode` on `link` as a fraction of full link
     /// power, using the idle histogram's off-time estimate.
     fn expected_power(&self, link: LinkId, mode: LinkPowerMode) -> f64 {

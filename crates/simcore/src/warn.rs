@@ -20,3 +20,23 @@ macro_rules! memnet_warn {
         eprintln!("[memnet:warn] {}", format_args!($($arg)*))
     };
 }
+
+/// Prints an informational progress line to stderr with the `[memnet]`
+/// prefix.
+///
+/// The companion to [`memnet_warn!`] for non-warning chatter (progress,
+/// bookkeeping, file-written notices) that should stay off stdout —
+/// stdout is reserved for machine-readable output — without masquerading
+/// as a warning. Routing every stderr write through one of these two
+/// macros keeps the streams greppable and lets a lint test enforce that
+/// no bare `eprintln!` sneaks into library code.
+///
+/// ```
+/// memnet_simcore::memnet_log!("[cache] wrote {} entries", 3);
+/// ```
+#[macro_export]
+macro_rules! memnet_log {
+    ($($arg:tt)*) => {
+        eprintln!("[memnet] {}", format_args!($($arg)*))
+    };
+}

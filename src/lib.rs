@@ -16,6 +16,8 @@
 //! - [`net`] — packets, topologies, routing, link model
 //! - [`faults`] — fault injection: CRC errors, degraded lanes, hard
 //!   failures and the link-retry/route-around resilience model
+//! - [`obs`] — time-series observability: per-epoch metric sampling,
+//!   JSONL event traces and the trace summarizer
 //! - [`power`] — the HMC power model and energy accounting
 //! - [`policy`] — power-control mechanisms and management policies
 //! - [`workload`] — the 14 paper workloads as synthetic generators
@@ -48,6 +50,7 @@ pub use memnet_core as core;
 pub use memnet_dram as dram;
 pub use memnet_faults as faults;
 pub use memnet_net as net;
+pub use memnet_obs as obs;
 pub use memnet_policy as policy;
 pub use memnet_power as power;
 pub use memnet_simcore as simcore;

@@ -6,12 +6,23 @@
 //!        [--scale small|big] [--policy fp|unaware|aware|static]
 //!        [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo]
 //!        [--alpha PCT] [--eval-us N] [--seed N] [--channels K]
-//!        [--faults SPEC] [--trace-csv FILE] [--json] [--compare]
+//!        [--faults SPEC] [--trace-csv FILE] [--obs] [--trace FILE]
+//!        [--trace-every N] [--trace-max N] [--json] [--compare]
+//! memnet trace FILE [--csv OUT]
 //! ```
 //!
 //! `--faults` takes a scenario spec like `ber=1e-6,burst=mild,fail=3`
 //! (see `memnet::faults::FaultConfig::parse`); when omitted, the
 //! `MEMNET_FAULTS` environment variable supplies the scenario.
+//!
+//! `--obs` retains per-epoch time-series samples in the report; `--trace`
+//! additionally streams schema-versioned JSONL events to a file
+//! (decimated by `--trace-every`, capped at `--trace-max`). The
+//! `MEMNET_TRACE`, `MEMNET_TRACE_EVERY` and `MEMNET_TRACE_MAX`
+//! environment variables supply defaults for the three flags. The
+//! `memnet trace` subcommand validates a trace file and prints its
+//! per-link residency table; `--csv` also writes the epoch time series
+//! as CSV for plotting.
 
 use std::process::ExitCode;
 
@@ -19,8 +30,9 @@ use memnet::core::multichannel::run_channels;
 use memnet::core::{report_text, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
 use memnet::faults::FaultConfig;
 use memnet::net::TopologyKind;
+use memnet::obs::{summary, ObsConfig};
 use memnet::policy::Mechanism;
-use memnet_simcore::SimDuration;
+use memnet_simcore::{memnet_log, memnet_warn, SimDuration};
 
 struct Args {
     workload: String,
@@ -34,6 +46,7 @@ struct Args {
     channels: usize,
     faults: FaultConfig,
     trace_csv: Option<String>,
+    obs: ObsConfig,
     json: bool,
     compare: bool,
 }
@@ -43,9 +56,16 @@ fn usage() -> &'static str {
      \x20             [--scale small|big] [--policy fp|unaware|aware|static]\n\
      \x20             [--mechanism fp|vwl|roo|vwl+roo|dvfs|dvfs+roo] [--alpha PCT]\n\
      \x20             [--eval-us N] [--seed N] [--channels K] [--faults SPEC]\n\
-     \x20             [--trace-csv FILE] [--json] [--compare] [--list-workloads]\n\
+     \x20             [--trace-csv FILE] [--obs] [--trace FILE] [--trace-every N]\n\
+     \x20             [--trace-max N] [--json] [--compare] [--list-workloads]\n\
+     \x20      memnet trace FILE [--csv OUT]\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
-     \x20                (defaults to the MEMNET_FAULTS environment variable)"
+     \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
+     \x20 --obs:         keep per-epoch time-series samples in the report\n\
+     \x20 --trace FILE:  stream JSONL events to FILE (default MEMNET_TRACE;\n\
+     \x20                decimation/cap default MEMNET_TRACE_EVERY/_MAX)\n\
+     \x20 trace FILE:    validate a JSONL trace and print its residency table;\n\
+     \x20                --csv OUT also writes the epoch time series as CSV"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         channels: 1,
         faults: FaultConfig::from_env(),
         trace_csv: None,
+        obs: ObsConfig::from_env(),
         json: false,
         compare: false,
     };
@@ -124,6 +145,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad fault scenario: {e}"))?
             }
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
+            "--obs" => args.obs.enabled = true,
+            "--trace" => args.obs.trace_path = Some(value("--trace")?),
+            "--trace-every" => {
+                args.obs.trace_every =
+                    value("--trace-every")?.parse().map_err(|e| format!("bad trace-every: {e}"))?
+            }
+            "--trace-max" => {
+                args.obs.trace_max =
+                    value("--trace-max")?.parse().map_err(|e| format!("bad trace-max: {e}"))?
+            }
             "--json" => args.json = true,
             "--compare" => args.compare = true,
             "--list-workloads" => {
@@ -159,11 +190,89 @@ fn build(args: &Args) -> Result<SimConfig, String> {
         .eval_period(SimDuration::from_us(args.eval_us))
         .seed(args.seed)
         .faults(args.faults.clone())
+        .obs(args.obs.clone())
         .trace_limit(if args.trace_csv.is_some() { 1_000_000 } else { 0 });
     builder.build().map_err(|e| e.to_string())
 }
 
+/// `memnet trace FILE [--csv OUT]`: validate a JSONL trace and print its
+/// summary and per-link residency table.
+fn trace_command(rest: Vec<String>) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => match it.next() {
+                Some(out) => csv = Some(out),
+                None => {
+                    eprintln!("error: --csv requires a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unknown trace argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: trace needs a FILE\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = match summary::parse_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid trace {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{file}: schema v{}, {} / {} / {}, {} links",
+        s.version, s.workload, s.policy, s.mechanism, s.n_links
+    );
+    println!(
+        "{} epoch sample(s); {} event(s) seen, {} written{}",
+        s.samples.len(),
+        s.events_seen,
+        s.events_written,
+        if s.truncated { " (truncated)" } else { "" }
+    );
+    let counted: Vec<String> =
+        s.events_by_kind.iter().filter(|(_, n)| *n > 0).map(|(k, n)| format!("{k}={n}")).collect();
+    if !counted.is_empty() {
+        println!("events: {}", counted.join(" "));
+    }
+    if !s.samples.is_empty() {
+        print!("{}", summary::residency_table(&s.samples));
+    }
+    if let Some(out) = csv {
+        if let Err(e) = std::fs::write(&out, summary::epoch_csv(&s.samples)) {
+            eprintln!("error writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        memnet_log!("wrote {} epoch row(s) to {out}", s.samples.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    if raw.next().as_deref() == Some("trace") {
+        return trace_command(raw.collect());
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -180,6 +289,13 @@ fn main() -> ExitCode {
     };
 
     if args.channels > 1 {
+        let mut cfg = cfg;
+        if cfg.obs.is_active() {
+            // Channels clone the config: a shared trace file would be
+            // clobbered k times and per-channel rings never aggregate.
+            memnet_warn!("[obs] --obs/--trace apply to single-channel runs only; ignoring");
+            cfg.obs = ObsConfig::off();
+        }
         let r = run_channels(cfg, args.channels, 1);
         if args.json {
             println!("{}", serde_json_lite(&r.total_watts, r.total_accesses_per_us));
@@ -197,6 +313,11 @@ fn main() -> ExitCode {
     }
 
     if args.compare {
+        let mut cfg = cfg;
+        if cfg.obs.is_active() {
+            memnet_warn!("[obs] --obs/--trace apply to single runs, not --compare; ignoring");
+            cfg.obs = ObsConfig::off();
+        }
         let mut reports = Vec::new();
         let mut fp = cfg.clone();
         fp.policy = PolicyKind::FullPower;
@@ -226,10 +347,10 @@ fn main() -> ExitCode {
             trace.record(*e);
         }
         if let Err(e) = std::fs::write(path, trace.to_csv()) {
-            eprintln!("error writing {path}: {e}");
+            memnet_warn!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {} trace events to {path}", report.trace.len());
+        memnet_log!("wrote {} trace events to {path}", report.trace.len());
     }
     if args.json {
         match serde_json_report(&report) {
@@ -244,6 +365,7 @@ fn main() -> ExitCode {
         if !args.faults.is_none() {
             print!("{}", report_text::fault_section(&report));
         }
+        print!("{}", report_text::obs_section(&report));
         println!("{}", report_text::summary_line(&report));
     }
     ExitCode::SUCCESS

@@ -149,6 +149,76 @@ fn sweep_is_deterministic_across_thread_counts() {
     }
 }
 
+/// The observability recorder must be a pure observer: an obs-enabled run
+/// with its `obs` section stripped serializes byte-identically to the
+/// obs-off run, and injecting an explicit `NullRecorder` is
+/// indistinguishable from the default construction path.
+#[test]
+fn obs_recorder_never_perturbs_results() {
+    let cfg = |enabled: bool| {
+        let mut obs = memnet::obs::ObsConfig::off();
+        obs.enabled = enabled;
+        base("mixD")
+            .policy(PolicyKind::NetworkAware)
+            .mechanism(Mechanism::VwlRoo)
+            .eval_period(SimDuration::from_us(150))
+            .obs(obs)
+            .build()
+            .unwrap()
+    };
+    let off = cfg(false).run();
+    let mut on = cfg(true).run();
+    assert!(off.obs.is_none());
+    assert!(on.obs.take().is_some_and(|o| !o.epochs.is_empty()));
+    assert_eq!(
+        serde::json::to_string(&off),
+        serde::json::to_string(&on),
+        "enabling the recorder must not perturb a single bit outside the obs section"
+    );
+
+    let explicit_null = memnet::core::Engine::new(cfg(false))
+        .with_recorder(Box::new(memnet::obs::NullRecorder))
+        .run();
+    assert_eq!(
+        serde::json::to_string(&off),
+        serde::json::to_string(&explicit_null),
+        "an injected NullRecorder must match the default construction path"
+    );
+}
+
+/// Thread-count invariance must survive obs being on: per-run recorders
+/// share no state, so sweeps with time-series sampling enabled serialize
+/// byte-identically at `threads = 1` and `threads = 4`.
+#[test]
+fn obs_sweep_is_deterministic_across_thread_counts() {
+    let configs = || {
+        ["mixD", "mixB", "lu.D", "cg.D"]
+            .map(|w| {
+                let mut obs = memnet::obs::ObsConfig::off();
+                obs.enabled = true;
+                base(w)
+                    .policy(PolicyKind::NetworkAware)
+                    .mechanism(Mechanism::VwlRoo)
+                    .eval_period(SimDuration::from_us(150))
+                    .obs(obs)
+                    .build()
+                    .unwrap()
+            })
+            .to_vec()
+    };
+    let serial = memnet::core::sweep(configs(), 1);
+    let parallel = memnet::core::sweep(configs(), 4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert!(s.obs.as_ref().is_some_and(|o| !o.epochs.is_empty()), "{}: no samples", s.workload);
+        assert_eq!(
+            serde::json::to_string(s),
+            serde::json::to_string(p),
+            "obs-enabled sweep differs between threads=1 and threads=4 for {}",
+            s.workload
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

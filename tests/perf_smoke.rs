@@ -35,14 +35,17 @@ fn suite_covers_every_component_and_gates_end_to_end() {
         "fault_model_draw",
         "policy_epoch_ams_isp",
         "end_to_end_small",
+        "end_to_end_obs_off",
+        "end_to_end_obs_on",
     ] {
         assert!(names.contains(&expected), "missing bench {expected:?} in {names:?}");
     }
-    // Exactly the end-to-end bench carries the gated metric.
+    // Exactly the end-to-end benches carry the gated metric (the obs
+    // pair additionally feeds the --obs-gate overhead comparison).
     for b in &report.benches {
         assert_eq!(
             b.events_per_sec.is_some(),
-            b.name == "end_to_end_small",
+            b.name.starts_with("end_to_end"),
             "events_per_sec on the wrong bench: {}",
             b.name
         );

@@ -1,0 +1,59 @@
+//! Lint test: library code never writes to stderr with a bare
+//! `eprintln!`. Every stderr line goes through `memnet_simcore`'s
+//! `memnet_warn!` (problems) or `memnet_log!` (progress) so the output
+//! stays uniformly greppable — `[memnet:warn]` finds every warning in a
+//! CI log regardless of which subsystem emitted it.
+//!
+//! Scope is `crates/*/src`: the thin `memnet` binary (`src/main.rs`) may
+//! still print fatal usage errors directly, and test code is free to
+//! print whatever it likes.
+
+use std::path::{Path, PathBuf};
+
+/// The one file allowed to contain `eprintln!`: the macro definitions
+/// themselves.
+const ALLOWED: &str = "crates/simcore/src/warn.rs";
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_bare_eprintln_in_library_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let crates = root.join("crates");
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(&crates).expect("crates/ exists") {
+        let src = entry.expect("readable crates/ entry").path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(sources.len() > 10, "source scan found only {} files", sources.len());
+
+    let mut offenders = Vec::new();
+    for path in sources {
+        let rel = path.strip_prefix(root).unwrap().to_string_lossy().replace('\\', "/");
+        if rel == ALLOWED {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable source file");
+        for (i, line) in text.lines().enumerate() {
+            if line.contains("eprintln!") {
+                offenders.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare eprintln! in library code — route through memnet_warn!/memnet_log!:\n{}",
+        offenders.join("\n")
+    );
+}
