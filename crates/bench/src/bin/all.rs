@@ -21,6 +21,7 @@ fn main() {
         ("Figure 18", figures::fig18(&mut m, &settings)),
         ("Section VII-A", figures::sec7a(&mut m, &settings)),
         ("Fault sweep", figures::faults_sweep(&mut m, &settings)),
+        ("Stress suite", figures::stress(&mut m, &settings)),
     ];
     for (title, body) in sections {
         println!("==================== {title} ====================");

@@ -1,0 +1,8 @@
+//! Regenerates the adversarial stress-suite data series.
+use memnet_bench::{Matrix, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let mut matrix = Matrix::new();
+    print!("{}", memnet_bench::figures::stress(&mut matrix, &settings));
+}

@@ -37,8 +37,10 @@ use serde::{json, Deserialize, Serialize};
 /// 3 = `RunReport` gained the `faults` section (plus per-link
 /// retransmission telemetry) and the fingerprint a `faults=` field;
 /// 4 = `RunReport` gained the `events_processed` counter;
-/// 5 = `RunReport` gained the optional `obs` time-series section.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// 5 = `RunReport` gained the optional `obs` time-series section;
+/// 6 = the fingerprint gained the `src=` traffic-source field (request-
+/// trace digests distinguish replayed results).
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -884,3 +884,48 @@ pub fn faults_sweep(matrix: &mut Matrix, settings: &Settings) -> String {
     }
     out
 }
+
+/// Adversarial stress suite (beyond the paper): every `adv.*` stress
+/// workload against the unmanaged baseline and both managed policies
+/// running VWL+ROO, the mechanism combination the stress patterns attack
+/// (wake chains, rescue-pool drain, epoch-aligned duty flips). Regressions
+/// in how a policy survives hostile traffic show up as golden-snapshot
+/// diffs here.
+pub fn stress(matrix: &mut Matrix, settings: &Settings) -> String {
+    use memnet_workload::stress;
+    let cases = [
+        ("full power", PolicyKind::FullPower, Mechanism::FullPower),
+        ("unaware V+R", PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        ("aware V+R", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ];
+    let keys: Vec<Key> = cases
+        .iter()
+        .flat_map(|&(_, policy, mech)| {
+            stress::names().into_iter().map(move |w| {
+                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05)
+            })
+        })
+        .collect();
+    matrix.ensure(&keys, settings);
+    let mut out = String::from(
+        "Adversarial stress suite (ternary tree, small networks, alpha = 5%)\n\
+         workload       case          W/HMC  acc/us  read lat(ns)  violations\n",
+    );
+    for w in stress::names() {
+        for &(label, policy, mech) in &cases {
+            let k =
+                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05);
+            let r = matrix.get(&k);
+            out.push_str(&format!(
+                "{:<14} {:<12} {:6.2}  {:6.1}  {:12.1}  {:10}\n",
+                w,
+                label,
+                r.power.watts_per_hmc(),
+                r.accesses_per_us,
+                r.mean_read_latency_ns,
+                r.violations,
+            ));
+        }
+    }
+    out
+}

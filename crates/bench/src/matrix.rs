@@ -35,6 +35,12 @@ pub struct Key {
     ///
     /// [`FaultConfig::spec`]: memnet_faults::FaultConfig::spec
     pub faults: String,
+    /// Traffic-source identity beyond the workload name: empty for
+    /// synthetic/stress generators (whose streams are functions of
+    /// workload + seed alone), or `trace:<digest>` for a replayed request
+    /// trace. Replay keys exist so fingerprints account for trace content;
+    /// they cannot be simulated by the matrix (replay runs are CLI-driven).
+    pub source: String,
 }
 
 impl Key {
@@ -57,6 +63,7 @@ impl Key {
             roo_wakeup_ns: 14,
             mapping: AddressMapping::Contiguous,
             faults: String::new(),
+            source: String::new(),
         }
     }
 
@@ -65,6 +72,15 @@ impl Key {
     /// [`memnet_faults::FaultConfig::spec`].
     pub fn with_faults(&self, spec: &str) -> Key {
         Key { faults: spec.to_string(), ..self.clone() }
+    }
+
+    /// This key with a replayed-trace identity attached: the trace digest
+    /// (from [`RequestTrace::digest_hex`]) distinguishes cached results
+    /// driven by different trace contents under the same workload name.
+    ///
+    /// [`RequestTrace::digest_hex`]: memnet_workload::RequestTrace::digest_hex
+    pub fn with_replay(&self, digest_hex: &str) -> Key {
+        Key { source: format!("trace:{digest_hex}"), ..self.clone() }
     }
 
     /// The full-power baseline key matching this configuration. α and the
@@ -96,7 +112,7 @@ impl Key {
     /// simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
-            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}",
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
             settings.seed,
@@ -109,10 +125,15 @@ impl Key {
             self.roo_wakeup_ns,
             self.mapping,
             self.faults,
+            self.source,
         )
     }
 
     fn to_config(&self, settings: &Settings) -> SimConfig {
+        assert!(
+            self.source.is_empty(),
+            "replay keys cannot be simulated by the matrix (replay runs are CLI-driven): {self:?}"
+        );
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
         let faults =
             memnet_faults::FaultConfig::parse(&self.faults).expect("matrix fault specs are valid");
@@ -331,6 +352,30 @@ mod tests {
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.simulated, 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_keys_change_the_fingerprint_and_refuse_to_simulate() {
+        let k = tiny_key("mixD");
+        let r = k.with_replay("d2995bd26ec2efe1");
+        assert_ne!(k.fingerprint(&tiny_settings()), r.fingerprint(&tiny_settings()));
+        assert!(r.fingerprint(&tiny_settings()).contains("src=trace:d2995bd26ec2efe1"));
+        // Different trace contents → different cache identities.
+        assert_ne!(
+            r.fingerprint(&tiny_settings()),
+            k.with_replay("0000000000000000").fingerprint(&tiny_settings())
+        );
+        let err = std::panic::catch_unwind(|| r.to_config(&tiny_settings()));
+        assert!(err.is_err(), "replay keys must not simulate via the matrix");
+    }
+
+    #[test]
+    fn stress_workloads_are_simulable_matrix_keys() {
+        let mut m = Matrix::new();
+        let k = tiny_key("adv.flip");
+        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings());
+        assert_eq!(stats.simulated, 1);
+        assert!(m.get(&k).accesses_per_us > 0.0, "stress run produced traffic");
     }
 
     #[test]

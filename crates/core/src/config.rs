@@ -10,11 +10,15 @@ use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_obs::ObsConfig;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
-use memnet_simcore::{AuditLevel, SimDuration};
-use memnet_workload::{catalog, WorkloadSpec};
+use memnet_simcore::{AuditLevel, SimDuration, SplitMix64};
+use memnet_workload::{
+    catalog, stress, RequestGenerator, RequestTrace, StressEnv, StressGenerator, StressSpec,
+    TraceCursor, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Engine;
+use crate::frontend::TrafficSource;
 use crate::metrics::RunReport;
 
 /// Which network-size study a run belongs to.
@@ -62,6 +66,23 @@ pub enum AddressMapping {
     PageInterleaved,
 }
 
+/// Which source feeds the engine front-end its request stream.
+///
+/// Resolved by the builder: catalog names yield [`TrafficSpec::Synthetic`],
+/// `adv.*` stress names yield [`TrafficSpec::Stress`], and
+/// [`SimConfigBuilder::replay`] yields [`TrafficSpec::Replay`]. All three
+/// share the `MemoryRequest` injection path, so reports, audits and
+/// caching behave identically.
+#[derive(Debug, Clone)]
+pub enum TrafficSpec {
+    /// The calibrated two-state generator for [`SimConfig::workload`].
+    Synthetic,
+    /// An adversarial stress generator.
+    Stress(StressSpec),
+    /// Replay of a recorded request trace.
+    Replay(Arc<RequestTrace>),
+}
+
 /// Error from [`SimConfigBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -79,7 +100,14 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            ConfigError::UnknownWorkload(w) => {
+                write!(
+                    f,
+                    "unknown workload {w:?}; valid names: {}, and stress workloads: {}",
+                    catalog::names().join(", "),
+                    stress::names().join(", ")
+                )
+            }
             ConfigError::BadAlpha(m) => write!(f, "invalid alpha: {m}"),
             ConfigError::BadEvalPeriod => f.write_str("evaluation period must be positive"),
             ConfigError::BadFaults(m) => write!(f, "invalid fault scenario: {m}"),
@@ -143,6 +171,9 @@ pub struct SimConfig {
     /// tracing (see [`memnet_obs`]). Off by default; a disabled config
     /// produces bit-identical reports to a build without the subsystem.
     pub obs: ObsConfig,
+    /// Where the request stream comes from (synthetic generator, stress
+    /// generator, or trace replay).
+    pub source: TrafficSpec,
 }
 
 impl SimConfig {
@@ -178,6 +209,68 @@ impl SimConfig {
     pub fn run(self) -> RunReport {
         Engine::new(self).run()
     }
+
+    /// Instantiates the front-end traffic source this configuration
+    /// describes. Seeding matches the pre-trace-layer engine exactly, so
+    /// synthetic runs are bit-identical across this refactor.
+    pub fn traffic_source(&self) -> TrafficSource {
+        match &self.source {
+            TrafficSpec::Synthetic => TrafficSource::Synthetic(RequestGenerator::new(
+                self.workload.clone(),
+                SplitMix64::new(self.seed),
+            )),
+            TrafficSpec::Stress(spec) => {
+                let env = StressEnv {
+                    epoch: self.epoch,
+                    n_modules: self.n_hmcs(),
+                    chunk_lines: self.chunk_lines(),
+                };
+                TrafficSource::Stress(StressGenerator::new(
+                    spec.clone(),
+                    env,
+                    SplitMix64::new(self.seed),
+                ))
+            }
+            TrafficSpec::Replay(trace) => TrafficSource::Replay(TraceCursor::new(trace.clone())),
+        }
+    }
+
+    /// Records this configuration's request stream to a trace covering the
+    /// evaluation period.
+    ///
+    /// The closed-loop front-end consumes requests *by schedule order*, at
+    /// most one past the horizon: stalls only push injections later, never
+    /// earlier, so every request it can ever pull has
+    /// `ready_at <= eval_period` — plus the first one beyond it (which
+    /// resolves to a `WaitUntil` past the end of the run). Recording
+    /// exactly that prefix makes replay bit-identical to the live run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source is itself a replay, or if the trace
+    /// would exceed `max` requests before covering the horizon.
+    pub fn record_trace(&self, max: usize) -> Result<RequestTrace, String> {
+        if matches!(self.source, TrafficSpec::Replay(_)) {
+            return Err("cannot record a trace from a replay run".to_owned());
+        }
+        let mut source = self.traffic_source();
+        let horizon = memnet_simcore::SimTime::ZERO + self.eval_period;
+        let mut records = Vec::new();
+        loop {
+            if records.len() >= max {
+                return Err(format!(
+                    "trace would exceed {max} requests before covering the evaluation period; \
+                     shorten --eval or raise the cap"
+                ));
+            }
+            let req = source.next_request().expect("generator sources are infinite");
+            let done = req.ready_at > horizon;
+            records.push(req);
+            if done {
+                return Ok(RequestTrace::new(self.workload.name.to_owned(), self.seed, records));
+            }
+        }
+    }
 }
 
 /// Builder for [`SimConfig`] with paper defaults.
@@ -204,6 +297,7 @@ pub struct SimConfigBuilder {
     audit: AuditLevel,
     faults: FaultConfig,
     obs: ObsConfig,
+    replay: Option<Arc<RequestTrace>>,
 }
 
 impl SimConfigBuilder {
@@ -232,6 +326,7 @@ impl SimConfigBuilder {
             audit: AuditLevel::from_env(),
             faults: FaultConfig::none(),
             obs: ObsConfig::off(),
+            replay: None,
         }
     }
 
@@ -356,14 +451,41 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Replays a recorded request trace instead of running a generator.
+    /// The workload is forced to the one named in the trace header (its
+    /// footprint sizes the network), overriding [`Self::workload`]; the
+    /// seed still defaults independently, so pass the trace's seed for a
+    /// bit-identical rerun.
+    pub fn replay(mut self, trace: Arc<RequestTrace>) -> Self {
+        self.replay = Some(trace);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] naming the invalid field.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
-        let workload = catalog::by_name(&self.workload)
-            .ok_or_else(|| ConfigError::UnknownWorkload(self.workload.clone()))?;
+        // A replay forces the workload named in its header (the footprint
+        // sizes the network identically to the recorded run); otherwise
+        // the name resolves through the paper catalog first, then the
+        // adversarial stress catalog.
+        let requested = match &self.replay {
+            Some(trace) => trace.workload.clone(),
+            None => self.workload.clone(),
+        };
+        let (workload, source) = if let Some(spec) = catalog::by_name(&requested) {
+            (spec, TrafficSpec::Synthetic)
+        } else if let Some(stress_spec) = stress::by_name(&requested) {
+            (stress_spec.base.clone(), TrafficSpec::Stress(stress_spec))
+        } else {
+            return Err(ConfigError::UnknownWorkload(requested));
+        };
+        let source = match self.replay {
+            Some(trace) => TrafficSpec::Replay(trace),
+            None => source,
+        };
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
             return Err(ConfigError::BadAlpha(format!(
                 "alpha must be in (0, 1), got {}",
@@ -413,6 +535,7 @@ impl SimConfigBuilder {
             audit: self.audit,
             faults: Arc::new(self.faults),
             obs: self.obs,
+            source,
         })
     }
 }
@@ -447,6 +570,59 @@ mod tests {
     fn unknown_workload_is_rejected() {
         let err = SimConfig::builder().workload("nope").build().unwrap_err();
         assert!(matches!(err, ConfigError::UnknownWorkload(_)));
+        // The message lists the valid names from both catalogs.
+        let msg = err.to_string();
+        assert!(msg.contains("mixB"), "catalog names listed: {msg}");
+        assert!(msg.contains("adv.wakestorm"), "stress names listed: {msg}");
+    }
+
+    #[test]
+    fn stress_workloads_resolve_through_the_stress_catalog() {
+        let cfg = SimConfig::builder().workload("adv.wakestorm").build().unwrap();
+        assert_eq!(cfg.workload.name, "adv.wakestorm");
+        assert_eq!(cfg.n_hmcs(), 4); // 16 GB over 4 GB chunks
+        assert!(matches!(cfg.source, TrafficSpec::Stress(_)));
+        assert!(matches!(cfg.traffic_source(), crate::frontend::TrafficSource::Stress(_)));
+    }
+
+    #[test]
+    fn replay_forces_the_trace_workload_and_source() {
+        let recorded = SimConfig::builder()
+            .workload("mixD")
+            .eval_period(SimDuration::from_us(5))
+            .build()
+            .unwrap()
+            .record_trace(1_000_000)
+            .unwrap();
+        assert_eq!(recorded.workload, "mixD");
+        assert!(!recorded.is_empty());
+        // All but the final (horizon-crossing) record lie inside the
+        // evaluation period.
+        let horizon = SimDuration::from_us(5);
+        let inside = recorded
+            .records()
+            .iter()
+            .filter(|r| r.ready_at.saturating_since(memnet_simcore::SimTime::ZERO) <= horizon)
+            .count();
+        assert_eq!(inside, recorded.len() - 1);
+
+        // Building with .replay() overrides the requested workload.
+        let cfg = SimConfig::builder()
+            .workload("mixB")
+            .replay(Arc::new(recorded))
+            .eval_period(SimDuration::from_us(5))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workload.name, "mixD");
+        assert!(matches!(cfg.source, TrafficSpec::Replay(_)));
+        // Replay runs cannot themselves be recorded.
+        assert!(cfg.record_trace(10).is_err());
+    }
+
+    #[test]
+    fn record_trace_respects_the_cap() {
+        let cfg = SimConfig::builder().build().unwrap(); // 1 ms horizon
+        assert!(cfg.record_trace(10).is_err(), "10 requests cannot cover 1 ms");
     }
 
     #[test]

@@ -44,9 +44,7 @@ use memnet_obs::{
 use memnet_policy::{PolicyKind, PowerController, ViolationAction};
 use memnet_power::{EnergyBreakdown, HmcPowerModel};
 use memnet_simcore::audit::approx_eq_rel;
-use memnet_simcore::{
-    AuditLevel, Auditor, EventQueue, FastHashState, SimDuration, SimTime, SplitMix64,
-};
+use memnet_simcore::{AuditLevel, Auditor, EventQueue, FastHashState, SimDuration, SimTime};
 
 use crate::config::{AddressMapping, SimConfig};
 use crate::frontend::{Frontend, InjectStep};
@@ -249,12 +247,8 @@ impl Engine {
         let vaults = (0..n * n_vaults).map(|_| Vault::new(&cfg.dram, start)).collect();
         let vault_hold = (0..n * n_vaults).map(|_| VecDeque::new()).collect();
         let vault_tick_at = vec![SimTime::MAX; n * n_vaults];
-        let frontend = Frontend::new(
-            cfg.workload.clone(),
-            SplitMix64::new(cfg.seed),
-            cfg.max_outstanding_reads,
-            cfg.write_buffer,
-        );
+        let frontend =
+            Frontend::new(cfg.traffic_source(), cfg.max_outstanding_reads, cfg.write_buffer);
         // Flatten the per-destination routes into a next-hop table so the
         // forwarding path is one indexed load instead of a route scan.
         let sentinel = ModuleId(usize::MAX);
@@ -571,6 +565,9 @@ impl Engine {
                     return;
                 }
                 InjectStep::ReadWindowFull | InjectStep::WriteBufferFull => return,
+                // A finite (replay) source ran out: no further injections
+                // this run. In-flight traffic still drains normally.
+                InjectStep::Exhausted => return,
             }
         }
     }

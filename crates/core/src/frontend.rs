@@ -10,8 +10,39 @@
 //! less work completed, the paper's performance metric.
 
 use memnet_simcore::stats::OnlineStats;
-use memnet_simcore::{SimDuration, SimTime, SplitMix64};
-use memnet_workload::{MemoryRequest, RequestGenerator, WorkloadSpec};
+use memnet_simcore::{SimDuration, SimTime};
+use memnet_workload::{MemoryRequest, RequestGenerator, StressGenerator, TraceCursor};
+
+/// Where the front-end's request stream comes from.
+///
+/// All three sources share the [`MemoryRequest`] path, so everything
+/// downstream of injection — routing, power management, reports, audits,
+/// caching — is identical regardless of the source. A closed enum (not a
+/// trait object) keeps `Frontend` `Debug + Clone`, which the engine and
+/// the sweep runner rely on.
+#[derive(Debug, Clone)]
+pub enum TrafficSource {
+    /// The calibrated two-state catalog generator.
+    Synthetic(RequestGenerator),
+    /// An adversarial stress generator (see [`memnet_workload::stress`]).
+    Stress(StressGenerator),
+    /// Replay of a recorded request trace; finite — the source reports
+    /// exhaustion when the trace runs out.
+    Replay(TraceCursor),
+}
+
+impl TrafficSource {
+    /// Produces the next request in schedule order, or `None` once a
+    /// finite source (trace replay) is exhausted. Generator-backed
+    /// sources never return `None`.
+    pub fn next_request(&mut self) -> Option<MemoryRequest> {
+        match self {
+            TrafficSource::Synthetic(g) => Some(g.next_request()),
+            TrafficSource::Stress(g) => Some(g.next_request()),
+            TrafficSource::Replay(c) => c.next_request(),
+        }
+    }
+}
 
 /// What the front-end wants to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,12 +55,16 @@ pub enum InjectStep {
     ReadWindowFull,
     /// The write buffer is full; re-poll when a write retires.
     WriteBufferFull,
+    /// A finite source (trace replay) has no further requests; the
+    /// injector stays idle for the rest of the run.
+    Exhausted,
 }
 
 /// Closed-loop request injector.
 #[derive(Debug, Clone)]
 pub struct Frontend {
-    generator: RequestGenerator,
+    source: TrafficSource,
+    exhausted: bool,
     max_reads: usize,
     max_writes: usize,
     outstanding_reads: usize,
@@ -48,10 +83,11 @@ pub struct Frontend {
 }
 
 impl Frontend {
-    /// Creates a front-end for `spec` with the given windows.
-    pub fn new(spec: WorkloadSpec, seed: SplitMix64, max_reads: usize, max_writes: usize) -> Self {
+    /// Creates a front-end drawing from `source` with the given windows.
+    pub fn new(source: TrafficSource, max_reads: usize, max_writes: usize) -> Self {
         Frontend {
-            generator: RequestGenerator::new(spec, seed),
+            source,
+            exhausted: false,
             max_reads,
             max_writes,
             outstanding_reads: 0,
@@ -70,8 +106,11 @@ impl Frontend {
     }
 
     fn refill(&mut self) {
-        if self.pending.is_none() {
-            let req = self.generator.next_request();
+        if self.pending.is_none() && !self.exhausted {
+            let Some(req) = self.source.next_request() else {
+                self.exhausted = true;
+                return;
+            };
             let gap = req.ready_at.saturating_since(self.prev_schedule);
             self.prev_schedule = req.ready_at;
             // Gaps are relative to the previous injection: memory stalls
@@ -84,7 +123,9 @@ impl Frontend {
     /// Polls the injector at `now`.
     pub fn step(&mut self, now: SimTime) -> InjectStep {
         self.refill();
-        let (req, ready) = self.pending.expect("refilled above");
+        let Some((req, ready)) = self.pending else {
+            return InjectStep::Exhausted;
+        };
         if ready > now {
             return InjectStep::WaitUntil(ready);
         }
@@ -203,10 +244,13 @@ impl Frontend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memnet_workload::catalog;
+    use memnet_simcore::SplitMix64;
+    use memnet_workload::{catalog, RequestTrace};
+    use std::sync::Arc;
 
     fn frontend() -> Frontend {
-        Frontend::new(catalog::by_name("mixB").unwrap(), SplitMix64::new(1), 4, 8)
+        let gen = RequestGenerator::new(catalog::by_name("mixB").unwrap(), SplitMix64::new(1));
+        Frontend::new(TrafficSource::Synthetic(gen), 4, 8)
     }
 
     #[test]
@@ -240,6 +284,7 @@ mod tests {
                 InjectStep::WaitUntil(t) => now = t,
                 InjectStep::ReadWindowFull => break,
                 InjectStep::WriteBufferFull => break,
+                InjectStep::Exhausted => panic!("synthetic sources never exhaust"),
             }
         }
         assert!(injected >= 4);
@@ -323,5 +368,29 @@ mod tests {
     fn spurious_completion_panics() {
         let mut f = frontend();
         f.complete_read(SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn replay_source_exhausts_cleanly() {
+        // Two requests recorded; after both inject, the front-end reports
+        // Exhausted forever instead of asking for more traffic.
+        let reqs = vec![
+            MemoryRequest { ready_at: SimTime::from_ps(100), line_addr: 1, is_read: true },
+            MemoryRequest { ready_at: SimTime::from_ps(300), line_addr: 2, is_read: false },
+        ];
+        let trace = Arc::new(RequestTrace::new("mixB".to_owned(), 1, reqs));
+        let mut f = Frontend::new(TrafficSource::Replay(TraceCursor::new(trace)), 4, 8);
+        let mut now = SimTime::ZERO;
+        let mut injected = 0;
+        loop {
+            match f.step(now) {
+                InjectStep::Inject(_) => injected += 1,
+                InjectStep::WaitUntil(t) => now = t,
+                InjectStep::Exhausted => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(injected, 2);
+        assert_eq!(f.step(now + SimDuration::from_us(1)), InjectStep::Exhausted);
     }
 }

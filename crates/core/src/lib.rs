@@ -45,8 +45,11 @@ pub mod report_text;
 pub mod runner;
 pub mod trace;
 
-pub use config::{AddressMapping, ConfigError, NetworkScale, SimConfig, SimConfigBuilder};
+pub use config::{
+    AddressMapping, ConfigError, NetworkScale, SimConfig, SimConfigBuilder, TrafficSpec,
+};
 pub use engine::Engine;
+pub use frontend::{InjectStep, TrafficSource};
 pub use memnet_policy::PolicyKind;
 pub use metrics::{LinkTelemetry, PowerSummary, RunReport};
 pub use runner::{run_pair, sweep};

@@ -73,7 +73,16 @@ impl AddressCdf {
             return 0.0;
         }
         if u >= 1.0 {
-            return self.footprint_gb;
+            // The top of the CDF may be a run of flat (cold) segments
+            // that never receive mass; returning the raw footprint here
+            // would place u == 1.0 *past* the last line of the footprint
+            // (`total_lines()` exactly, before clamping). All remaining
+            // mass sits at the start of the trailing flat run.
+            let mut i = self.points.len() - 1;
+            while i > 0 && self.points[i].1 <= self.points[i - 1].1 {
+                i -= 1;
+            }
+            return self.points[i].0;
         }
         let idx = self.points.windows(2).position(|w| u <= w[1].1).expect("u within [0,1]");
         let (x0, y0) = self.points[idx];
@@ -142,6 +151,23 @@ mod tests {
         assert_eq!(cdf.fraction_at(20.0), 1.0);
         assert_eq!(cdf.quantile(0.0), 0.0);
         assert_eq!(cdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn flat_top_quantile_stays_at_the_last_mass() {
+        // A CDF whose top is cold: all mass lives in the first 2 GB, the
+        // remaining 8 GB are never touched. u == 1.0 must map into the
+        // hot region, not to the footprint edge (which would be
+        // total_lines before clamping).
+        let mut s = spec();
+        s.cdf_points = &[(0.0, 0.0), (2.0, 1.0), (10.0, 1.0)];
+        let cdf = AddressCdf::from_spec(&s);
+        assert_eq!(cdf.quantile(1.0), 2.0);
+        let lines_per_gb = (1u64 << 30) / 64;
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..10_000 {
+            assert!(cdf.sample_line(&mut rng) <= 2 * lines_per_gb);
+        }
     }
 
     #[test]

@@ -63,12 +63,20 @@ impl RequestGenerator {
         // boosted by 1/on_fraction.
         let on_ia = spec.mean_interarrival().as_ps() as f64 * spec.on_fraction;
         let mut time_rng = seed.fork(1);
-        let burst = time_rng.next_exp(spec.burst_mean.as_ps() as f64);
+        // An always-on workload has no OFF periods at all: one unbounded
+        // burst, and the quiet-gap machinery (whose mean would be zero)
+        // never runs.
+        let burst_ends = if spec.on_fraction >= 1.0 {
+            SimTime::MAX
+        } else {
+            let burst = time_rng.next_exp(spec.burst_mean.as_ps() as f64);
+            SimTime::ZERO + SimDuration::from_ps(burst as u64)
+        };
         RequestGenerator {
             addr_rng: seed.fork(0),
             kind_rng: seed.fork(2),
             clock: SimTime::ZERO,
-            burst_ends: SimTime::ZERO + SimDuration::from_ps(burst as u64),
+            burst_ends,
             on_interarrival_mean: on_ia,
             time_rng,
             cdf,
@@ -162,6 +170,20 @@ mod tests {
         let a = generate("mixD", 100, 1);
         let b = generate("mixD", 100, 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn always_on_workload_has_no_quiet_gaps() {
+        // on_fraction == 1.0 must mean literally no OFF periods: the
+        // stream is a plain exponential process, so gaps beyond ~25× the
+        // mean (P ≈ e⁻²⁵ per draw) would betray inserted quiet periods.
+        let mut spec = catalog::by_name("mixB").unwrap();
+        spec.on_fraction = 1.0;
+        let mean_ia = spec.mean_interarrival();
+        let mut g = RequestGenerator::new(spec, SplitMix64::new(21));
+        let reqs: Vec<MemoryRequest> = (0..50_000).map(|_| g.next_request()).collect();
+        let worst = reqs.windows(2).map(|w| (w[1].ready_at - w[0].ready_at).as_ps()).max().unwrap();
+        assert!(worst < mean_ia.as_ps() * 25, "quiet gap of {worst} ps in an always-on stream");
     }
 
     #[test]

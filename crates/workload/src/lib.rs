@@ -40,7 +40,11 @@ pub mod catalog;
 pub mod cdf;
 pub mod gen;
 pub mod spec;
+pub mod stress;
+pub mod trace;
 
 pub use cdf::AddressCdf;
 pub use gen::{MemoryRequest, RequestGenerator};
 pub use spec::{WorkloadClass, WorkloadSpec};
+pub use stress::{StressEnv, StressGenerator, StressPattern, StressSpec};
+pub use trace::{RequestTrace, TraceCursor};

@@ -84,7 +84,11 @@ impl WorkloadSpec {
             return Err(format!("{}: read fraction out of (0,1]", self.name));
         }
         if !(0.0 < self.on_fraction && self.on_fraction <= 1.0) {
-            return Err(format!("{}: on fraction out of (0,1]", self.name));
+            return Err(format!(
+                "{}: on fraction must be in (0, 1] (0 would mean an infinite-rate burst \
+                 process), got {}",
+                self.name, self.on_fraction
+            ));
         }
         if self.burst_mean.is_zero() {
             return Err(format!("{}: burst mean must be positive", self.name));

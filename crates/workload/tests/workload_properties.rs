@@ -1,11 +1,15 @@
 //! Property tests over the workload catalog and generators.
 
-use memnet_simcore::{SimTime, SplitMix64};
-use memnet_workload::{catalog, AddressCdf, RequestGenerator};
+use memnet_simcore::{SimDuration, SimTime, SplitMix64};
+use memnet_workload::{catalog, stress, AddressCdf, RequestGenerator, StressEnv, StressGenerator};
 use proptest::prelude::*;
 
 fn workload_index() -> impl Strategy<Value = usize> {
     0usize..catalog::all().len()
+}
+
+fn stress_index() -> impl Strategy<Value = usize> {
+    0usize..stress::all().len()
 }
 
 proptest! {
@@ -45,6 +49,52 @@ proptest! {
             let a = g1.next_request();
             let b = g2.next_request();
             prop_assert_eq!(a, b);
+            prop_assert!(a.line_addr < lines);
+            prop_assert!(a.ready_at >= prev);
+            prev = a.ready_at;
+        }
+    }
+
+    #[test]
+    fn quantile_never_reaches_past_the_footprint(idx in workload_index(), u in 0.0f64..=1.0) {
+        // Even u == 1.0 must map strictly inside the footprint once
+        // converted to a line address: on flat-topped CDFs the quantile
+        // retreats to the last segment carrying mass, and sample_line
+        // clamps the footprint edge itself.
+        let spec = catalog::all().remove(idx);
+        let cdf = AddressCdf::from_spec(&spec);
+        prop_assert!(cdf.quantile(u) <= spec.footprint_gb as f64);
+        let lines_per_gb = (1u64 << 30) / 64;
+        let line = (cdf.quantile(u) * lines_per_gb as f64) as u64;
+        prop_assert!(line.min(spec.total_lines() - 1) < spec.total_lines());
+    }
+
+    #[test]
+    fn sampled_lines_stay_in_range_for_every_catalog_spec(idx in workload_index(), seed in any::<u64>()) {
+        let spec = catalog::all().remove(idx);
+        let lines = spec.total_lines();
+        let cdf = AddressCdf::from_spec(&spec);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..500 {
+            prop_assert!(cdf.sample_line(&mut rng) < lines);
+        }
+    }
+
+    #[test]
+    fn stress_generators_are_deterministic_and_in_range(idx in stress_index(), seed in any::<u64>()) {
+        let spec = stress::all().remove(idx);
+        let lines = spec.base.total_lines();
+        let env = StressEnv {
+            epoch: SimDuration::from_us(100),
+            n_modules: 8,
+            chunk_lines: lines / 8 + 1,
+        };
+        let mut g1 = StressGenerator::new(spec.clone(), env, SplitMix64::new(seed));
+        let mut g2 = StressGenerator::new(spec, env, SplitMix64::new(seed));
+        let mut prev = SimTime::ZERO;
+        for _ in 0..200 {
+            let a = g1.next_request();
+            prop_assert_eq!(a, g2.next_request());
             prop_assert!(a.line_addr < lines);
             prop_assert!(a.ready_at >= prev);
             prev = a.ready_at;

@@ -23,8 +23,16 @@
 //! `memnet trace` subcommand validates a trace file and prints its
 //! per-link residency table; `--csv` also writes the epoch time series
 //! as CSV for plotting.
+//!
+//! `memnet record FILE` dumps the configured workload's request stream
+//! (covering the evaluation period) to a schema-versioned JSONL trace;
+//! `memnet replay FILE` drives the engine from such a trace instead of
+//! the synthetic generator. A replay with the trace's own seed (the
+//! default when `--seed` is omitted) is bit-identical to the recorded
+//! run.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use memnet::core::multichannel::run_channels;
 use memnet::core::{report_text, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
@@ -32,6 +40,7 @@ use memnet::faults::FaultConfig;
 use memnet::net::TopologyKind;
 use memnet::obs::{summary, ObsConfig};
 use memnet::policy::Mechanism;
+use memnet::workload::RequestTrace;
 use memnet_simcore::{memnet_log, memnet_warn, SimDuration};
 
 struct Args {
@@ -42,7 +51,9 @@ struct Args {
     mechanism: Mechanism,
     alpha: f64,
     eval_us: u64,
-    seed: u64,
+    /// None = unset on the command line: the default is 0xC0FFEE for live
+    /// runs but the recorded seed for replays.
+    seed: Option<u64>,
     channels: usize,
     faults: FaultConfig,
     trace_csv: Option<String>,
@@ -59,16 +70,22 @@ fn usage() -> &'static str {
      \x20             [--trace-csv FILE] [--obs] [--trace FILE] [--trace-every N]\n\
      \x20             [--trace-max N] [--json] [--compare] [--list-workloads]\n\
      \x20      memnet trace FILE [--csv OUT]\n\
+     \x20      memnet record FILE [run flags]\n\
+     \x20      memnet replay FILE [run flags]\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
      \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
      \x20 --obs:         keep per-epoch time-series samples in the report\n\
      \x20 --trace FILE:  stream JSONL events to FILE (default MEMNET_TRACE;\n\
      \x20                decimation/cap default MEMNET_TRACE_EVERY/_MAX)\n\
      \x20 trace FILE:    validate a JSONL trace and print its residency table;\n\
-     \x20                --csv OUT also writes the epoch time series as CSV"
+     \x20                --csv OUT also writes the epoch time series as CSV\n\
+     \x20 record FILE:   dump the configured workload's request stream (covering\n\
+     \x20                --eval-us) to a schema-versioned JSONL request trace\n\
+     \x20 replay FILE:   drive the engine from a recorded request trace; seed\n\
+     \x20                defaults to the trace's (bit-identical rerun)"
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         workload: "mixB".into(),
         topology: TopologyKind::TernaryTree,
@@ -77,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
         mechanism: Mechanism::FullPower,
         alpha: 5.0,
         eval_us: 1_000,
-        seed: 0xC0FFEE,
+        seed: None,
         channels: 1,
         faults: FaultConfig::from_env(),
         trace_csv: None,
@@ -85,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         compare: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
@@ -134,7 +151,7 @@ fn parse_args() -> Result<Args, String> {
                     value("--eval-us")?.parse().map_err(|e| format!("bad eval-us: {e}"))?
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
+                args.seed = Some(value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?)
             }
             "--channels" => {
                 args.channels =
@@ -167,6 +184,15 @@ fn parse_args() -> Result<Args, String> {
                         w.class
                     );
                 }
+                for s in memnet::workload::stress::all() {
+                    println!(
+                        "{:<6} {:>3} GB  chan util {:>4.0}%  Stress({:?})",
+                        s.base.name,
+                        s.base.footprint_gb,
+                        100.0 * s.base.channel_utilization,
+                        s.pattern
+                    );
+                }
                 std::process::exit(0);
             }
             "--help" | "-h" => {
@@ -179,8 +205,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn build(args: &Args) -> Result<SimConfig, String> {
-    let builder: SimConfigBuilder = SimConfig::builder()
+fn build(args: &Args, replay: Option<Arc<RequestTrace>>) -> Result<SimConfig, String> {
+    // Live runs default to the builder's seed; replays default to the
+    // recorded seed so the rerun is bit-identical.
+    let seed = args.seed.unwrap_or(match &replay {
+        Some(trace) => trace.seed,
+        None => 0xC0FFEE,
+    });
+    let mut builder: SimConfigBuilder = SimConfig::builder()
         .workload(&args.workload)
         .topology(args.topology)
         .scale(args.scale)
@@ -188,11 +220,72 @@ fn build(args: &Args) -> Result<SimConfig, String> {
         .mechanism(args.mechanism)
         .alpha(args.alpha / 100.0)
         .eval_period(SimDuration::from_us(args.eval_us))
-        .seed(args.seed)
+        .seed(seed)
         .faults(args.faults.clone())
         .obs(args.obs.clone())
         .trace_limit(if args.trace_csv.is_some() { 1_000_000 } else { 0 });
+    if let Some(trace) = replay {
+        builder = builder.replay(trace);
+    }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Splits a subcommand's argument vector into its positional FILE and the
+/// remaining run flags.
+fn take_file(cmd: &str, rest: Vec<String>) -> Result<(String, Vec<String>), String> {
+    let mut file = None;
+    let mut flags = Vec::new();
+    for arg in rest {
+        if file.is_none() && !arg.starts_with('-') {
+            file = Some(arg);
+        } else {
+            flags.push(arg);
+        }
+    }
+    file.map(|f| (f, flags)).ok_or_else(|| format!("{cmd} needs a FILE\n{}", usage()))
+}
+
+/// `memnet record FILE [run flags]`: dump the configured workload's
+/// request stream to a JSONL request trace covering the evaluation period.
+fn record_command(rest: Vec<String>) -> Result<(), String> {
+    let (file, flags) = take_file("record", rest)?;
+    let args = parse_args(flags)?;
+    if args.channels > 1 {
+        return Err("record is single-channel (channels reseed per channel)".to_owned());
+    }
+    let cfg = build(&args, None)?;
+    // ~56 B/record: the cap bounds the file near 500 MB even if asked to
+    // record a very long evaluation period.
+    let trace = cfg.record_trace(10_000_000)?;
+    std::fs::write(&file, trace.to_jsonl()).map_err(|e| format!("writing {file}: {e}"))?;
+    memnet_log!(
+        "recorded {} request(s) of {} (digest {}) to {file}",
+        trace.len(),
+        trace.workload,
+        trace.digest_hex()
+    );
+    Ok(())
+}
+
+/// `memnet replay FILE [run flags]`: drive the engine from a recorded
+/// request trace instead of the synthetic generator.
+fn replay_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    let (file, flags) = take_file("replay", rest)?;
+    let args = parse_args(flags)?;
+    if args.channels > 1 {
+        return Err("replay is single-channel (channels reseed per channel)".to_owned());
+    }
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let trace =
+        RequestTrace::parse_jsonl(&text).map_err(|e| format!("invalid trace {file}: {e}"))?;
+    memnet_log!(
+        "replaying {} request(s) of {} (digest {}) from {file}",
+        trace.len(),
+        trace.workload,
+        trace.digest_hex()
+    );
+    let cfg = build(&args, Some(Arc::new(trace)))?;
+    Ok(run_and_report(&args, cfg))
 }
 
 /// `memnet trace FILE [--csv OUT]`: validate a JSONL trace and print its
@@ -269,25 +362,49 @@ fn trace_command(rest: Vec<String>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let mut raw = std::env::args().skip(1);
-    if raw.next().as_deref() == Some("trace") {
-        return trace_command(raw.collect());
+    let mut raw = std::env::args().skip(1).peekable();
+    match raw.peek().map(String::as_str) {
+        Some("trace") => return trace_command(raw.skip(1).collect()),
+        Some("record") => {
+            return match record_command(raw.skip(1).collect()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("replay") => {
+            return match replay_command(raw.skip(1).collect()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {}
     }
-    let args = match parse_args() {
+    let args = match parse_args(raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let cfg = match build(&args) {
+    let cfg = match build(&args, None) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
+    run_and_report(&args, cfg)
+}
 
+/// Runs one configuration (single, multichannel or `--compare`) and prints
+/// its report. Shared by the main path and `memnet replay`.
+fn run_and_report(args: &Args, cfg: SimConfig) -> ExitCode {
     if args.channels > 1 {
         let mut cfg = cfg;
         if cfg.obs.is_active() {

@@ -1,0 +1,88 @@
+//! CLI-level tests: argument handling, the unknown-workload error path,
+//! and the `record`/`replay` subcommand round trip, driven through the
+//! real `memnet` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn memnet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .args(args)
+        // Keep CLI behavior independent of ambient configuration.
+        .env_remove("MEMNET_FAULTS")
+        .env_remove("MEMNET_TRACE")
+        .env_remove("MEMNET_AUDIT")
+        .output()
+        .expect("memnet binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("memnet-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn unknown_workload_lists_valid_names() {
+    let out = memnet(&["--workload", "nope"]);
+    assert!(!out.status.success(), "unknown workload must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown workload \"nope\""), "names the culprit: {err}");
+    // The error enumerates both catalogs so the user can pick a real one.
+    assert!(err.contains("mixB") && err.contains("ua.D"), "catalog names listed: {err}");
+    assert!(err.contains("adv.wakestorm"), "stress names listed: {err}");
+}
+
+#[test]
+fn record_then_replay_reproduces_the_live_report() {
+    let trace = tmp("roundtrip.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    let run_flags = ["--workload", "mixD", "--eval-us", "50", "--seed", "7"];
+
+    let rec = memnet(&[&["record", trace_s], &run_flags[..]].concat());
+    assert!(rec.status.success(), "record failed: {}", String::from_utf8_lossy(&rec.stderr));
+
+    // Replay inherits workload and seed from the trace header.
+    let replayed = memnet(&["replay", trace_s, "--eval-us", "50", "--json"]);
+    assert!(
+        replayed.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&replayed.stderr)
+    );
+    let live = memnet(&[&run_flags[..], &["--json"]].concat());
+    assert!(live.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&replayed.stdout),
+        String::from_utf8_lossy(&live.stdout),
+        "replay JSON differs from the live run"
+    );
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn replay_rejects_corrupt_traces_and_multichannel() {
+    let trace = tmp("corrupt.jsonl");
+    std::fs::write(&trace, "{\"schema\":\"bogus\"}\n").unwrap();
+    let out = memnet(&["replay", trace.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt trace must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+    let _ = std::fs::remove_file(&trace);
+
+    let out = memnet(&["replay", "/nonexistent.jsonl", "--channels", "2"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("single-channel"),
+        "multichannel replay must be refused before touching the file"
+    );
+}
+
+#[test]
+fn stress_workloads_run_from_the_cli() {
+    let out = memnet(&["--workload", "adv.flip", "--eval-us", "50", "--json"]);
+    assert!(out.status.success(), "stress run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"workload\":\"adv.flip\""), "report names the workload: {stdout}");
+
+    let listed = memnet(&["--list-workloads"]);
+    assert!(listed.status.success());
+    let names = String::from_utf8_lossy(&listed.stdout);
+    assert!(names.contains("adv.wakestorm"), "--list-workloads shows stress specs: {names}");
+}

@@ -104,6 +104,8 @@ fn figure_text_matches_golden_snapshots() {
     check_golden("fig05", &figures::fig05(&mut matrix, &settings));
     check_golden("fig06", &figures::fig06(&mut matrix, &settings));
     check_golden("fig09", &figures::fig09(&mut matrix, &settings));
+    // Adversarial stress suite: policy behavior under hostile traffic.
+    check_golden("stress", &figures::stress(&mut matrix, &settings));
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Adversarial stress fixtures: every `adv.*` workload is engineered to
+//! attack one power-management mechanism (controller phase estimates, ROO
+//! wake chains, the AMS rescue pool, epoch-aligned duty cycles). Each
+//! fixture must survive a fully audited run under the policies it
+//! targets, and stay deterministic across sweep thread counts.
+
+use memnet::core::{PolicyKind, SimConfig, SimConfigBuilder};
+use memnet::policy::Mechanism;
+use memnet::workload::stress;
+use memnet_simcore::{AuditLevel, SimDuration};
+
+fn base(workload: &str) -> SimConfigBuilder {
+    SimConfig::builder()
+        .workload(workload)
+        .eval_period(SimDuration::from_us(200))
+        .seed(5)
+        .audit(AuditLevel::Full)
+}
+
+#[test]
+fn every_stress_fixture_runs_clean_under_full_audit() {
+    // Two epochs' worth of every pattern against both managed policies
+    // running the mechanisms the patterns attack, plus the unmanaged
+    // baseline: 12 fully audited runs.
+    let cases = [
+        (PolicyKind::FullPower, Mechanism::FullPower),
+        (PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ];
+    for name in stress::names() {
+        for &(policy, mech) in &cases {
+            let r = base(name).policy(policy).mechanism(mech).build().unwrap().run();
+            assert!(r.audit.checks_run > 0, "{name} {policy:?}/{mech:?} ran zero checks");
+            assert!(
+                r.audit.is_clean(),
+                "{name} {policy:?}/{mech:?} audit violations: {:?}",
+                r.audit.violations
+            );
+            assert!(r.injected_accesses > 0, "{name} {policy:?}/{mech:?} generated no traffic");
+        }
+    }
+}
+
+#[test]
+fn wakestorm_attacks_powered_off_links() {
+    // The whole point of the storm is to catch every ROO link asleep: an
+    // aware VWL+ROO run must spend most of its time with links off yet
+    // still serve every sweep (requests complete, audits stay green).
+    let r = base("adv.wakestorm")
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::VwlRoo)
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+    // Sparse storm traffic: links are powered down most of the run.
+    assert!(
+        r.power.idle_io_fraction() > 0.05,
+        "idle I/O {:.3} — storms never let links power down",
+        r.power.idle_io_fraction()
+    );
+    assert!(r.completed_reads > 0, "no storm request completed");
+    // Wake-chain latency is the attack's signature: mean read latency
+    // must exceed the fault-free full-power latency of the same pattern.
+    let fp = base("adv.wakestorm").build().unwrap().run();
+    assert!(
+        r.mean_read_latency_ns > fp.mean_read_latency_ns,
+        "storm latency {:.1} ns not above full-power {:.1} ns",
+        r.mean_read_latency_ns,
+        fp.mean_read_latency_ns
+    );
+}
+
+#[test]
+fn stress_runs_are_thread_count_invariant() {
+    // Metamorphic: sweeping the fixtures at 1 vs 4 threads must be
+    // byte-identical — adversarial schedules must not introduce any
+    // order dependence.
+    let configs: Vec<SimConfig> = stress::names()
+        .into_iter()
+        .map(|name| {
+            base(name)
+                .policy(PolicyKind::NetworkAware)
+                .mechanism(Mechanism::VwlRoo)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let serial = memnet::core::sweep(configs.clone(), 1);
+    let parallel = memnet::core::sweep(configs, 4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serde::json::to_string(s),
+            serde::json::to_string(p),
+            "{} diverged between thread counts",
+            s.workload
+        );
+    }
+}
+
+#[test]
+fn duty_flip_produces_epoch_aligned_idle() {
+    // The flipper is silent every odd management epoch; with ROO that
+    // idle must translate into real power savings vs full power.
+    let fp = base("adv.flip").build().unwrap().run();
+    let roo = base("adv.flip")
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::VwlRoo)
+        .build()
+        .unwrap()
+        .run();
+    assert!(roo.audit.is_clean(), "{:?}", roo.audit.violations);
+    assert!(
+        roo.power.watts() < fp.power.watts(),
+        "ROO {:.2} W not below full power {:.2} W on a half-idle workload",
+        roo.power.watts(),
+        fp.power.watts()
+    );
+}

@@ -1,0 +1,135 @@
+//! Record→replay round-trip fidelity: a replayed trace must drive the
+//! engine to a byte-identical `RunReport` vs the live generator run it
+//! was recorded from — the property that makes traces a trustworthy
+//! substitute for the synthetic workloads.
+
+use std::sync::Arc;
+
+use memnet::core::{PolicyKind, SimConfig, SimConfigBuilder};
+use memnet::faults::FaultConfig;
+use memnet::obs::ObsConfig;
+use memnet::policy::Mechanism;
+use memnet::workload::RequestTrace;
+use memnet_simcore::SimDuration;
+
+const SEED: u64 = 11;
+
+fn base(workload: &str) -> SimConfigBuilder {
+    SimConfig::builder()
+        .workload(workload)
+        .eval_period(SimDuration::from_us(50))
+        .seed(SEED)
+        .policy(PolicyKind::NetworkAware)
+        .mechanism(Mechanism::VwlRoo)
+}
+
+/// Records `workload`'s request stream with the harness settings.
+fn record(workload: &str) -> Arc<RequestTrace> {
+    let trace = base(workload).build().unwrap().record_trace(1_000_000).unwrap();
+    Arc::new(trace)
+}
+
+#[test]
+fn replay_is_bit_identical_with_faults_and_obs_enabled() {
+    // The nastiest single-run comparison: soft link errors (retries and
+    // retransmission energy) plus per-epoch time-series retention, both
+    // of which would expose any RNG or scheduling divergence between the
+    // generator path and the replay path.
+    let mut obs = ObsConfig::off();
+    obs.enabled = true;
+    let faults = FaultConfig::parse("ber=1e-6").unwrap();
+
+    let live = base("mixD").faults(faults.clone()).obs(obs.clone()).build().unwrap().run();
+
+    // Round-trip through the JSONL serialization on the way, so the disk
+    // format itself is part of what's being proven faithful.
+    let jsonl = record("mixD").to_jsonl();
+    let parsed = RequestTrace::parse_jsonl(&jsonl).expect("serialized trace parses back");
+    let replayed =
+        base("mixD").replay(Arc::new(parsed)).faults(faults).obs(obs).build().unwrap().run();
+
+    assert_eq!(
+        serde::json::to_string(&live),
+        serde::json::to_string(&replayed),
+        "replayed report differs from the live run"
+    );
+}
+
+#[test]
+fn replay_is_thread_count_invariant() {
+    // Replay configs swept at 1 vs 4 threads must agree with each other
+    // and with the live runs, across several policies at once.
+    let cases = [
+        (PolicyKind::FullPower, Mechanism::FullPower),
+        (PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ];
+    let trace = record("mixB");
+    let live: Vec<SimConfig> =
+        cases.iter().map(|&(p, m)| base("mixB").policy(p).mechanism(m).build().unwrap()).collect();
+    let replay: Vec<SimConfig> = cases
+        .iter()
+        .map(|&(p, m)| base("mixB").policy(p).mechanism(m).replay(trace.clone()).build().unwrap())
+        .collect();
+    let live = memnet::core::sweep(live, 1);
+    let replay_serial = memnet::core::sweep(replay.clone(), 1);
+    let replay_parallel = memnet::core::sweep(replay, 4);
+    for ((l, s), p) in live.iter().zip(&replay_serial).zip(&replay_parallel) {
+        assert_eq!(
+            serde::json::to_string(l),
+            serde::json::to_string(s),
+            "serial replay diverged from live ({}/{})",
+            l.policy,
+            l.mechanism
+        );
+        assert_eq!(
+            serde::json::to_string(s),
+            serde::json::to_string(p),
+            "replay diverged between threads=1 and threads=4 ({}/{})",
+            l.policy,
+            l.mechanism
+        );
+    }
+}
+
+#[test]
+fn stress_workloads_record_and_replay_bit_identically() {
+    // The trace layer is source-agnostic: adversarial generators round-
+    // trip exactly like catalog ones.
+    let trace = record("adv.wakestorm");
+    assert_eq!(trace.workload, "adv.wakestorm");
+    let live = base("adv.wakestorm").build().unwrap().run();
+    let replayed = base("adv.wakestorm").replay(trace).build().unwrap().run();
+    assert_eq!(serde::json::to_string(&live), serde::json::to_string(&replayed));
+}
+
+#[test]
+fn truncated_trace_exhausts_cleanly() {
+    // A trace that runs out mid-run must starve the front-end quietly:
+    // the run completes, audits stay green, and no more requests inject
+    // than the trace held.
+    let full = record("mixD");
+    let half: Vec<_> = full.records()[..full.len() / 2].to_vec();
+    let n = half.len() as u64;
+    let truncated = Arc::new(RequestTrace::new("mixD".to_owned(), SEED, half));
+    let r = base("mixD")
+        .replay(truncated)
+        .audit(memnet_simcore::AuditLevel::Full)
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.injected_accesses <= n, "{} injected from a {n}-request trace", r.injected_accesses);
+    assert!(r.injected_accesses > 0, "truncated replay injected nothing");
+    assert_eq!(r.completed_reads + r.retired_writes, r.injected_accesses, "traffic drained");
+}
+
+#[test]
+fn replay_digest_guards_against_content_drift() {
+    // Same workload name + seed but different content must produce a
+    // different digest — the field the bench cache folds into `src=`.
+    let a = record("mixD");
+    let mut records = a.records().to_vec();
+    records[0].line_addr ^= 1;
+    let b = RequestTrace::new("mixD".to_owned(), SEED, records);
+    assert_ne!(a.digest_hex(), b.digest_hex());
+}
