@@ -22,6 +22,7 @@ fn main() {
         ("Section VII-A", figures::sec7a(&mut m, &settings)),
         ("Fault sweep", figures::faults_sweep(&mut m, &settings)),
         ("Stress suite", figures::stress(&mut m, &settings)),
+        ("Model differential", figures::model_diff(&mut m, &settings)),
     ];
     for (title, body) in sections {
         println!("==================== {title} ====================");

@@ -1,0 +1,8 @@
+//! Regenerates the analytical-vs-IDD model differential report.
+use memnet_bench::{Matrix, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let mut matrix = Matrix::new();
+    print!("{}", memnet_bench::figures::model_diff(&mut matrix, &settings));
+}

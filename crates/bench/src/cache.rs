@@ -39,8 +39,10 @@ use serde::{json, Deserialize, Serialize};
 /// 4 = `RunReport` gained the `events_processed` counter;
 /// 5 = `RunReport` gained the optional `obs` time-series section;
 /// 6 = the fingerprint gained the `src=` traffic-source field (request-
-/// trace digests distinguish replayed results).
-pub const CACHE_SCHEMA_VERSION: u32 = 6;
+/// trace digests distinguish replayed results);
+/// 7 = the fingerprint gained the `energy=` backend field (analytical
+/// and IDD pricings of one configuration are distinct results).
+pub const CACHE_SCHEMA_VERSION: u32 = 7;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -929,3 +929,56 @@ pub fn stress(matrix: &mut Matrix, settings: &Settings) -> String {
     }
     out
 }
+
+/// Model-vs-model differential (beyond the paper): the same
+/// configurations priced by both energy backends — the analytical
+/// peak-split model and the IDD current table — with every mode-table
+/// watt, energy category and total diffed against a 5 % threshold. The
+/// two models are independently parameterized, so agreement within a few
+/// percent here is genuine cross-validation, and a miscalibrated entry
+/// on either side shows up as a flagged row (and a golden-snapshot diff).
+pub fn model_diff(matrix: &mut Matrix, settings: &Settings) -> String {
+    use memnet_core::report_text;
+    use memnet_power::{EnergyBackendKind, HmcPowerModel, IddModel};
+    const THRESHOLD: f64 = 0.05;
+    let cases = [
+        ("mixB", PolicyKind::FullPower, Mechanism::FullPower),
+        ("mixD", PolicyKind::NetworkUnaware, Mechanism::Dvfs),
+        ("mixD", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ];
+    let keys: Vec<Key> = cases
+        .iter()
+        .flat_map(|&(w, policy, mech)| {
+            let k =
+                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05);
+            [k.with_backend(EnergyBackendKind::Idd), k]
+        })
+        .collect();
+    matrix.ensure(&keys, settings);
+    let analytical = HmcPowerModel::paper();
+    let idd = IddModel::hmc_gen2();
+    let mut out = String::from(
+        "Model differential: analytical (paper) vs IDD current table, 5% threshold\n\n\
+         Mode-table watts per unidirectional link\n",
+    );
+    let (table, _) = report_text::model_diff_table(
+        "analytical",
+        "idd",
+        &report_text::model_diff_watts_rows(&analytical, &idd),
+        THRESHOLD,
+    );
+    out.push_str(&table);
+    for &(w, policy, mech) in &cases {
+        let k = Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05);
+        let ra = matrix.get(&k);
+        let rb = matrix.get(&k.with_backend(EnergyBackendKind::Idd));
+        out.push_str(&format!(
+            "\n{} / {} / {} (ternary tree, small)\n",
+            w, ra.policy, ra.mechanism
+        ));
+        let rows = report_text::model_diff_energy_rows(ra, rb);
+        let (table, _) = report_text::model_diff_table("analytical", "idd", &rows, THRESHOLD);
+        out.push_str(&table);
+    }
+    out
+}

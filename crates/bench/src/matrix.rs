@@ -7,6 +7,7 @@ use memnet_core::{AddressMapping, NetworkScale, PolicyKind, RunReport, SimConfig
 use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_policy::Mechanism;
+use memnet_power::EnergyBackendKind;
 
 use crate::cache::{DiskCache, CACHE_SCHEMA_VERSION};
 use crate::settings::Settings;
@@ -41,6 +42,11 @@ pub struct Key {
     /// trace. Replay keys exist so fingerprints account for trace content;
     /// they cannot be simulated by the matrix (replay runs are CLI-driven).
     pub source: String,
+    /// Which energy backend priced the run. In the key (rather than
+    /// [`Settings`]) so one matrix can hold both backends' results for
+    /// the same configuration side by side — the model differential
+    /// figure depends on that.
+    pub energy: EnergyBackendKind,
 }
 
 impl Key {
@@ -64,7 +70,14 @@ impl Key {
             mapping: AddressMapping::Contiguous,
             faults: String::new(),
             source: String::new(),
+            energy: EnergyBackendKind::Analytical,
         }
+    }
+
+    /// This key priced by a different energy backend (the model
+    /// differential's sweep dimension).
+    pub fn with_backend(&self, energy: EnergyBackendKind) -> Key {
+        Key { energy, ..self.clone() }
     }
 
     /// This key with a fault scenario attached (the `faults` sweep
@@ -112,7 +125,7 @@ impl Key {
     /// simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
-            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}",
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}|energy={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
             settings.seed,
@@ -126,6 +139,7 @@ impl Key {
             self.mapping,
             self.faults,
             self.source,
+            self.energy.label(),
         )
     }
 
@@ -149,6 +163,7 @@ impl Key {
             .faults(faults)
             .eval_period(settings.eval_period)
             .seed(settings.seed)
+            .energy_backend(self.energy)
             .build()
             .expect("matrix keys are valid configurations")
     }
@@ -376,6 +391,22 @@ mod tests {
         let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings());
         assert_eq!(stats.simulated, 1);
         assert!(m.get(&k).accesses_per_us > 0.0, "stress run produced traffic");
+    }
+
+    #[test]
+    fn energy_backend_is_part_of_the_cache_identity() {
+        let k = tiny_key("mixD");
+        let idd = k.with_backend(EnergyBackendKind::Idd);
+        assert_ne!(k.fingerprint(&tiny_settings()), idd.fingerprint(&tiny_settings()));
+        assert!(idd.fingerprint(&tiny_settings()).ends_with("|energy=idd"));
+        let mut m = Matrix::new();
+        let stats = m.ensure(&[k.clone(), idd.clone()], &tiny_settings());
+        assert_eq!(stats.simulated, 2, "the two backends are distinct configurations");
+        // Backends reprice identical activity: every non-energy metric
+        // agrees exactly, only the joules differ.
+        assert_eq!(m.get(&k).completed_reads, m.get(&idd).completed_reads);
+        assert_eq!(m.get(&k).events_processed, m.get(&idd).events_processed);
+        assert_ne!(m.get(&k).power.energy.total(), m.get(&idd).power.energy.total());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
 use memnet_obs::ObsConfig;
 use memnet_policy::{Mechanism, PolicyConfig, PolicyKind};
+use memnet_power::EnergyBackendKind;
 use memnet_simcore::{AuditLevel, SimDuration, SplitMix64};
 use memnet_workload::{
     catalog, stress, RequestGenerator, RequestTrace, StressEnv, StressGenerator, StressSpec,
@@ -174,6 +175,11 @@ pub struct SimConfig {
     /// Where the request stream comes from (synthetic generator, stress
     /// generator, or trace replay).
     pub source: TrafficSpec,
+    /// Which energy backend prices metered activity into joules
+    /// (analytical paper model by default). Pricing never feeds back into
+    /// simulation behavior, so the backend changes only the energy
+    /// sections of the report.
+    pub energy_backend: EnergyBackendKind,
 }
 
 impl SimConfig {
@@ -298,6 +304,7 @@ pub struct SimConfigBuilder {
     faults: FaultConfig,
     obs: ObsConfig,
     replay: Option<Arc<RequestTrace>>,
+    energy_backend: EnergyBackendKind,
 }
 
 impl SimConfigBuilder {
@@ -327,6 +334,7 @@ impl SimConfigBuilder {
             faults: FaultConfig::none(),
             obs: ObsConfig::off(),
             replay: None,
+            energy_backend: EnergyBackendKind::Analytical,
         }
     }
 
@@ -451,6 +459,16 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the energy backend pricing this run. Like [`Self::faults`],
+    /// the builder deliberately does *not* read `MEMNET_ENERGY_BACKEND`
+    /// itself (cached results must be a function of explicit configuration
+    /// only); the CLI applies [`EnergyBackendKind::from_env`] at its own
+    /// layer and bench keys carry the backend in their fingerprint.
+    pub fn energy_backend(mut self, kind: EnergyBackendKind) -> Self {
+        self.energy_backend = kind;
+        self
+    }
+
     /// Replays a recorded request trace instead of running a generator.
     /// The workload is forced to the one named in the trace header (its
     /// footprint sizes the network), overriding [`Self::workload`]; the
@@ -536,6 +554,7 @@ impl SimConfigBuilder {
             faults: Arc::new(self.faults),
             obs: self.obs,
             source,
+            energy_backend: self.energy_backend,
         })
     }
 }

@@ -42,7 +42,7 @@ use memnet_obs::{
     TimeSeriesRecorder, TraceMeta,
 };
 use memnet_policy::{PolicyKind, PowerController, ViolationAction};
-use memnet_power::{EnergyBreakdown, HmcPowerModel};
+use memnet_power::{EnergyBackend, EnergyBreakdown, ModuleActivity};
 use memnet_simcore::audit::approx_eq_rel;
 use memnet_simcore::{AuditLevel, Auditor, EventQueue, FastHashState, SimDuration, SimTime};
 
@@ -113,7 +113,10 @@ pub struct Engine {
 
     controller: PowerController,
     frontend: Frontend,
-    power_model: HmcPowerModel,
+    /// Prices metered activity into joules. Pricing is read-only with
+    /// respect to simulation state, so swapping backends can never change
+    /// anything but the energy sections of the report.
+    backend: Box<dyn EnergyBackend>,
 
     /// Active fault model; `None` in fault-free runs so no fault RNG
     /// stream is ever advanced and results stay bit-identical to the
@@ -186,8 +189,10 @@ struct ObsEpochState {
     wakes: Vec<u64>,
     /// Retransmission count per link at `start`.
     retries: Vec<u64>,
-    /// Vault accesses issued per module at `start`.
-    accesses: Vec<u64>,
+    /// Vault read accesses issued per module at `start`.
+    reads: Vec<u64>,
+    /// Vault write accesses issued per module at `start`.
+    writes: Vec<u64>,
     /// Flits routed per module at `start`.
     flits: Vec<u64>,
 }
@@ -283,7 +288,7 @@ impl Engine {
             issued_scratch: Vec::with_capacity(32),
             controller,
             frontend,
-            power_model: HmcPowerModel::paper(),
+            backend: cfg.energy_backend.build(),
             faults,
             retry_attempts: vec![0; topo.n_links()],
             reachable,
@@ -322,6 +327,15 @@ impl Engine {
         self
     }
 
+    /// Replaces the energy backend with a custom instance — a calibrated
+    /// or deliberately perturbed [`memnet_power::IddModel`], say.
+    /// `Engine::new` already installs the canonical backend for
+    /// `cfg.energy_backend`.
+    pub fn with_backend(mut self, backend: Box<dyn EnergyBackend>) -> Engine {
+        self.backend = backend;
+        self
+    }
+
     /// Runs the simulation to the end of the evaluation period and
     /// produces the report.
     pub fn run(mut self) -> RunReport {
@@ -353,7 +367,8 @@ impl Engine {
                 residency: self.links.iter().map(|l| l.residency_snapshot(start)).collect(),
                 wakes: self.links.iter().map(|l| l.wake_count()).collect(),
                 retries: self.links.iter().map(|l| l.retransmissions()).collect(),
-                accesses: vec![0; n],
+                reads: vec![0; n],
+                writes: vec![0; n],
                 flits: vec![0; n],
             }));
         }
@@ -1030,7 +1045,7 @@ impl Engine {
             let snap = link.residency_snapshot(now);
             let delta: Vec<SimDuration> =
                 snap.iter().zip(&st.residency[i]).map(|(a, b)| *a - *b).collect();
-            energy += self.power_model.link_energy(&delta);
+            energy += self.backend.link_energy(&delta);
             let (mut idle, mut active, mut retrans) =
                 (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
             for m in 0..N_BW_MODES {
@@ -1061,16 +1076,20 @@ impl Engine {
         }
         for m in self.topo.modules() {
             let row = m.0 * self.n_vaults..(m.0 + 1) * self.n_vaults;
-            let accesses: u64 =
-                self.vaults[row].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
-            energy += self.power_model.module_energy(
+            let reads: u64 = self.vaults[row.clone()].iter().map(|v| v.reads_issued()).sum();
+            let writes: u64 = self.vaults[row].iter().map(|v| v.writes_issued()).sum();
+            energy += self.backend.module_energy(
                 self.topo.radix(m),
                 st.start,
                 now,
-                accesses - st.accesses[m.0],
-                self.flits_routed[m.0] - st.flits[m.0],
+                &ModuleActivity {
+                    dram_reads: reads - st.reads[m.0],
+                    dram_writes: writes - st.writes[m.0],
+                    flits_routed: self.flits_routed[m.0] - st.flits[m.0],
+                },
             );
-            st.accesses[m.0] = accesses;
+            st.reads[m.0] = reads;
+            st.writes[m.0] = writes;
             st.flits[m.0] = self.flits_routed[m.0];
         }
         let sample = EpochSample {
@@ -1148,7 +1167,7 @@ impl Engine {
                     },
                 );
             }
-            energy += self.power_model.link_energy(&snap);
+            energy += self.backend.link_energy(&snap);
             let mut mode_time = [SimDuration::ZERO; memnet_net::mech::N_BW_MODES];
             for (i, mt) in mode_time.iter_mut().enumerate() {
                 *mt = snap[2 + 2 * i] + snap[3 + 2 * i];
@@ -1171,14 +1190,17 @@ impl Engine {
         }
         for m in self.topo.modules() {
             let row = m.0 * self.n_vaults..(m.0 + 1) * self.n_vaults;
-            let accesses: u64 =
-                self.vaults[row].iter().map(|v| v.reads_issued() + v.writes_issued()).sum();
-            energy += self.power_model.module_energy(
+            let reads: u64 = self.vaults[row.clone()].iter().map(|v| v.reads_issued()).sum();
+            let writes: u64 = self.vaults[row].iter().map(|v| v.writes_issued()).sum();
+            energy += self.backend.module_energy(
                 self.topo.radix(m),
                 SimTime::ZERO,
                 self.end,
-                accesses,
-                self.flits_routed[m.0],
+                &ModuleActivity {
+                    dram_reads: reads,
+                    dram_writes: writes,
+                    flits_routed: self.flits_routed[m.0],
+                },
             );
         }
 
@@ -1233,7 +1255,7 @@ impl Engine {
             // telemetry independently and diff against the accumulated
             // breakdown. The epsilon only absorbs float-summation-order
             // noise — a real bookkeeping bug is orders of magnitude wider.
-            let expected = report.expected_io_energy(&self.power_model);
+            let expected = report.expected_io_energy(self.backend.as_ref());
             let actual = report.power.energy.io_total();
             audit.check(
                 AuditLevel::Cheap,
@@ -1253,7 +1275,7 @@ impl Engine {
             audit.check_conservation(
                 AuditLevel::Cheap,
                 "retrans-energy-conservation",
-                report.expected_retrans_io_energy(&self.power_model),
+                report.expected_retrans_io_energy(self.backend.as_ref()),
                 report.power.energy.retrans_io,
                 1e-9,
             );

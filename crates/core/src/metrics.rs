@@ -3,7 +3,7 @@
 use memnet_net::mech::{BwMode, N_BW_MODES};
 use memnet_net::{LinkId, TopologyKind};
 use memnet_obs::ObsSection;
-use memnet_power::{EnergyBreakdown, HmcPowerModel};
+use memnet_power::{EnergyBackend, EnergyBreakdown};
 use memnet_simcore::{AuditReport, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -201,17 +201,18 @@ impl RunReport {
     /// the engine's accumulated [`EnergyBreakdown::io_total`] — a
     /// double-entry check that catches energy-bookkeeping bugs on either
     /// side. (Idle and active residency in a mode burn the same I/O
-    /// power, so the merged `mode_time` suffices.)
-    pub fn expected_io_energy(&self, model: &HmcPowerModel) -> f64 {
-        let w = model.io_watts_per_unilink();
+    /// power, so the merged `mode_time` suffices.) Takes the backend as a
+    /// trait object so every energy model — analytical or IDD — is held
+    /// to the same conservation law.
+    pub fn expected_io_energy(&self, backend: &dyn EnergyBackend) -> f64 {
         self.links
             .iter()
             .map(|t| {
-                let mut joules = w * model.link_off_fraction * t.off_time.as_secs()
-                    + w * t.waking_time.as_secs();
+                let mut joules = backend.link_off_watts() * t.off_time.as_secs()
+                    + backend.link_waking_watts() * t.waking_time.as_secs();
                 for (i, mt) in t.mode_time.iter().enumerate() {
-                    let pf = BwMode::from_index(i).power_fraction();
-                    joules += w * pf * (mt.as_secs() + t.retrans_time[i].as_secs());
+                    joules += backend.link_mode_watts(BwMode::from_index(i))
+                        * (mt.as_secs() + t.retrans_time[i].as_secs());
                 }
                 joules
             })
@@ -223,15 +224,14 @@ impl RunReport {
     /// power). The audit layer diffs this against the engine's
     /// [`EnergyBreakdown::retrans_io`] ledger — the double-entry
     /// conservation check for the fault subsystem's new energy category.
-    pub fn expected_retrans_io_energy(&self, model: &HmcPowerModel) -> f64 {
-        let w = model.io_watts_per_unilink();
+    pub fn expected_retrans_io_energy(&self, backend: &dyn EnergyBackend) -> f64 {
         self.links
             .iter()
             .map(|t| {
                 t.retrans_time
                     .iter()
                     .enumerate()
-                    .map(|(i, rt)| w * BwMode::from_index(i).power_fraction() * rt.as_secs())
+                    .map(|(i, rt)| backend.link_mode_watts(BwMode::from_index(i)) * rt.as_secs())
                     .sum::<f64>()
             })
             .sum()
@@ -241,6 +241,7 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memnet_power::HmcPowerModel;
 
     fn report(watts_scale: f64, throughput: f64) -> RunReport {
         let energy = EnergyBreakdown {

@@ -2,7 +2,8 @@
 //! charts for terminals, used by the examples and experiment binaries.
 
 use crate::metrics::RunReport;
-use memnet_power::EnergyBreakdown;
+use memnet_net::mech::BwMode;
+use memnet_power::{EnergyBackend, EnergyBreakdown};
 
 /// Renders a horizontal bar of `width` cells filled proportionally to
 /// `value / max` with eighth-block resolution.
@@ -104,6 +105,134 @@ pub fn obs_section(report: &RunReport) -> String {
         ));
     }
     out
+}
+
+/// One compared quantity in a model-vs-model differential: the same
+/// physical number priced by a reference backend and a candidate backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDiffRow {
+    /// What is being compared (e.g. `link watts (vwl16)`).
+    pub label: String,
+    /// The reference backend's answer.
+    pub reference: f64,
+    /// The candidate backend's answer.
+    pub candidate: f64,
+}
+
+impl ModelDiffRow {
+    /// Absolute relative divergence of the candidate from the reference.
+    /// Two exact zeros agree (0.0); a nonzero candidate against a zero
+    /// reference diverges infinitely.
+    pub fn divergence(&self) -> f64 {
+        if self.reference == 0.0 {
+            if self.candidate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            ((self.candidate - self.reference) / self.reference).abs()
+        }
+    }
+}
+
+/// Builds the static mode-table rows of a model differential: each link
+/// accounting state's watts as priced by both backends. These compare the
+/// models themselves, independent of any run.
+pub fn model_diff_watts_rows(
+    reference: &dyn EnergyBackend,
+    candidate: &dyn EnergyBackend,
+) -> Vec<ModelDiffRow> {
+    let mut rows = vec![
+        ModelDiffRow {
+            label: "link watts (off)".to_string(),
+            reference: reference.link_off_watts(),
+            candidate: candidate.link_off_watts(),
+        },
+        ModelDiffRow {
+            label: "link watts (waking)".to_string(),
+            reference: reference.link_waking_watts(),
+            candidate: candidate.link_waking_watts(),
+        },
+    ];
+    for mode in BwMode::ALL {
+        rows.push(ModelDiffRow {
+            label: format!("link watts ({})", mode.label()),
+            reference: reference.link_mode_watts(mode),
+            candidate: candidate.link_mode_watts(mode),
+        });
+    }
+    rows
+}
+
+/// Builds the per-run rows of a model differential: each energy category
+/// plus the total, from two reports of the *same configuration* priced by
+/// different backends. The runs must come from identical configurations
+/// (only the backend differing) or the comparison is meaningless —
+/// backends cannot change simulation behavior, so identical configs meter
+/// identical activity.
+pub fn model_diff_energy_rows(reference: &RunReport, candidate: &RunReport) -> Vec<ModelDiffRow> {
+    let ra = reference.power.energy.categories();
+    let rb = candidate.power.energy.categories();
+    let mut rows: Vec<ModelDiffRow> = EnergyBreakdown::CATEGORY_LABELS
+        .iter()
+        .zip(ra.iter().zip(rb.iter()))
+        .map(|(label, (&a, &b))| ModelDiffRow {
+            label: format!("energy ({label})"),
+            reference: a,
+            candidate: b,
+        })
+        .collect();
+    rows.push(ModelDiffRow {
+        label: "energy (total)".to_string(),
+        reference: reference.power.energy.total(),
+        candidate: candidate.power.energy.total(),
+    });
+    rows
+}
+
+/// Renders a model differential as an aligned table, flagging every row
+/// whose divergence exceeds `threshold` (a fraction, e.g. 0.05 for 5 %).
+/// Returns the text and the number of flagged rows.
+pub fn model_diff_table(
+    reference_name: &str,
+    candidate_name: &str,
+    rows: &[ModelDiffRow],
+    threshold: f64,
+) -> (String, usize) {
+    let mut out = format!(
+        "  {:<26} {:>14} {:>14} {:>9}\n",
+        "quantity", reference_name, candidate_name, "diff"
+    );
+    let mut flagged = 0;
+    for row in rows {
+        let diverges = row.divergence() > threshold;
+        if diverges {
+            flagged += 1;
+        }
+        let signed_pct = if row.reference == 0.0 && row.candidate == 0.0 {
+            0.0
+        } else if row.reference == 0.0 {
+            f64::INFINITY
+        } else {
+            100.0 * (row.candidate - row.reference) / row.reference
+        };
+        out.push_str(&format!(
+            "  {:<26} {:>14.6e} {:>14.6e} {:>8.2}%{}\n",
+            row.label,
+            row.reference,
+            row.candidate,
+            signed_pct,
+            if diverges { "  <-- DIVERGES" } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  {} of {} quantities diverge beyond the ±{:.1}% threshold\n",
+        flagged,
+        rows.len(),
+        100.0 * threshold,
+    ));
+    (out, flagged)
 }
 
 /// Renders a one-line summary suitable for sweep tables.
@@ -208,6 +337,45 @@ mod tests {
         assert!(text.contains("35 flits replayed"));
         assert!(text.contains("2.500 uJ"));
         assert!(text.contains("2 unreachable"));
+    }
+
+    #[test]
+    fn model_diff_rows_cover_every_state_and_category() {
+        use memnet_power::{HmcPowerModel, IddModel};
+        let a = HmcPowerModel::paper();
+        let b = IddModel::hmc_gen2();
+        let watts = model_diff_watts_rows(&a, &b);
+        assert_eq!(watts.len(), 2 + memnet_net::mech::N_BW_MODES);
+        let r = tiny_report();
+        let energy = model_diff_energy_rows(&r, &r);
+        assert_eq!(energy.len(), EnergyBreakdown::CATEGORY_LABELS.len() + 1);
+        // Identical reports never diverge from themselves.
+        assert!(energy.iter().all(|row| row.divergence() == 0.0));
+    }
+
+    #[test]
+    fn divergence_guards_zero_references() {
+        let both_zero = ModelDiffRow { label: "z".into(), reference: 0.0, candidate: 0.0 };
+        assert_eq!(both_zero.divergence(), 0.0);
+        let from_zero = ModelDiffRow { label: "z".into(), reference: 0.0, candidate: 1.0 };
+        assert_eq!(from_zero.divergence(), f64::INFINITY);
+        let ten_pct = ModelDiffRow { label: "t".into(), reference: 2.0, candidate: 1.8 };
+        assert!((ten_pct.divergence() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_diff_table_flags_and_counts() {
+        let rows = vec![
+            ModelDiffRow { label: "fine".into(), reference: 1.0, candidate: 1.02 },
+            ModelDiffRow { label: "broken".into(), reference: 1.0, candidate: 1.5 },
+        ];
+        let (text, flagged) = model_diff_table("analytical", "idd", &rows, 0.05);
+        assert_eq!(flagged, 1);
+        assert!(text.contains("<-- DIVERGES"));
+        assert!(text.contains("1 of 2 quantities diverge"));
+        let (clean, none) = model_diff_table("analytical", "idd", &rows, 0.60);
+        assert_eq!(none, 0);
+        assert!(!clean.contains("DIVERGES"));
     }
 
     #[test]

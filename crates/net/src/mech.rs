@@ -118,6 +118,18 @@ impl BwMode {
     /// Full-bandwidth DVFS mode.
     pub const FULL_DVFS: BwMode = BwMode::Dvfs(DvfsLevel::P100);
 
+    /// Every bandwidth mode, in [`BwMode::index`] order.
+    pub const ALL: [BwMode; N_BW_MODES] = [
+        BwMode::Vwl(VwlWidth::W16),
+        BwMode::Vwl(VwlWidth::W8),
+        BwMode::Vwl(VwlWidth::W4),
+        BwMode::Vwl(VwlWidth::W1),
+        BwMode::Dvfs(DvfsLevel::P100),
+        BwMode::Dvfs(DvfsLevel::P80),
+        BwMode::Dvfs(DvfsLevel::P50),
+        BwMode::Dvfs(DvfsLevel::P14),
+    ];
+
     /// A stable dense index in `0..N_BW_MODES` for accounting tables.
     pub fn index(self) -> usize {
         match self {

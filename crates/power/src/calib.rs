@@ -1,0 +1,260 @@
+//! Measurement-driven calibration of the IDD link mode table.
+//!
+//! Input is a CSV of bench power measurements, one row per sample:
+//!
+//! ```csv
+//! # timestamp_s,mode,watts
+//! 0.000,off,0.0061
+//! 0.010,vwl16,0.581
+//! 0.020,dvfs50,0.207
+//! ```
+//!
+//! `mode` is a link accounting state: `off`, `waking`, or a bandwidth
+//! mode label (`vwl16|vwl8|vwl4|vwl1|dvfs100|dvfs80|dvfs50|dvfs14`).
+//! Timestamps must be non-decreasing (a shuffled log usually means the
+//! samples were mislabeled too), watts finite and non-negative.
+//!
+//! [`fit`] least-squares-adjusts the three link current parameters of an
+//! [`IddModel`] so its mode table reproduces the measured watts: all
+//! on-mode rows constrain `io_on_current` (each mode's power is the full
+//! current scaled by its known power fraction, so one shared current is
+//! fit across every mode), off rows constrain `io_off_current`, waking
+//! rows `io_wake_current`. Each group has a closed-form solution
+//! `I = Σ cᵢwᵢ / Σ cᵢ²` with `cᵢ = vddq · power_fraction(modeᵢ)`; for
+//! noiseless data the fit recovers the generating current exactly up to
+//! floating-point rounding (the round-trip test holds 1e-9 relative).
+
+use memnet_net::mech::BwMode;
+
+use crate::backend::IddModel;
+
+/// What a measurement row constrains: a link accounting state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibTarget {
+    /// Off-state residual power.
+    Off,
+    /// Wake-transition power.
+    Waking,
+    /// On-state power in a bandwidth mode (idle or active — identical in
+    /// this model).
+    Mode(BwMode),
+}
+
+impl CalibTarget {
+    /// Parses a mode label (`off`, `waking`, or a [`BwMode::label`]).
+    pub fn parse(s: &str) -> Option<CalibTarget> {
+        match s {
+            "off" => Some(CalibTarget::Off),
+            "waking" => Some(CalibTarget::Waking),
+            _ => BwMode::ALL.into_iter().find(|m| m.label() == s).map(CalibTarget::Mode),
+        }
+    }
+
+    /// The label [`CalibTarget::parse`] accepts for this target.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalibTarget::Off => "off",
+            CalibTarget::Waking => "waking",
+            CalibTarget::Mode(m) => m.label(),
+        }
+    }
+}
+
+/// One parsed measurement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Sample timestamp, seconds (non-decreasing across the file).
+    pub timestamp_s: f64,
+    /// Which link state the sample observed.
+    pub target: CalibTarget,
+    /// Measured link power, watts.
+    pub watts: f64,
+}
+
+/// Parses a measurement CSV. `#`-comments and blank lines are skipped; a
+/// literal `timestamp_s,mode,watts` header is allowed. Returns a
+/// human-readable error naming the first offending line; never panics.
+pub fn parse_csv(text: &str) -> Result<Vec<Measurement>, String> {
+    let mut rows = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "timestamp_s,mode,watts" {
+            continue;
+        }
+        let n = idx + 1;
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(format!(
+                "line {n}: expected 3 fields `timestamp_s,mode,watts`, got {}",
+                fields.len()
+            ));
+        }
+        let t: f64 =
+            fields[0].parse().map_err(|_| format!("line {n}: bad timestamp {:?}", fields[0]))?;
+        if !t.is_finite() {
+            return Err(format!("line {n}: timestamp {t} is not finite"));
+        }
+        if t < last_t {
+            return Err(format!(
+                "line {n}: timestamp {t} goes backwards (previous was {last_t}); \
+                 measurement logs must be time-ordered"
+            ));
+        }
+        last_t = t;
+        let target = CalibTarget::parse(fields[1]).ok_or_else(|| {
+            format!(
+                "line {n}: unknown mode {:?} (want off|waking|{})",
+                fields[1],
+                BwMode::ALL.map(|m| m.label()).join("|")
+            )
+        })?;
+        let watts: f64 =
+            fields[2].parse().map_err(|_| format!("line {n}: bad watts {:?}", fields[2]))?;
+        if !watts.is_finite() || watts < 0.0 {
+            return Err(format!("line {n}: watts {watts} must be finite and non-negative"));
+        }
+        rows.push(Measurement { timestamp_s: t, target, watts });
+    }
+    if rows.is_empty() {
+        return Err("no measurement rows (empty file?)".to_string());
+    }
+    Ok(rows)
+}
+
+/// Summary of one [`fit`]: row counts per current group and the residual
+/// of the calibrated model over all rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// On-mode rows (constraining `io_on_current`).
+    pub on_rows: usize,
+    /// Off rows (constraining `io_off_current`).
+    pub off_rows: usize,
+    /// Waking rows (constraining `io_wake_current`).
+    pub wake_rows: usize,
+    /// Root-mean-square watts residual of the calibrated model.
+    pub rms_watts: f64,
+}
+
+impl FitReport {
+    /// Total rows used by the fit.
+    pub fn rows(&self) -> usize {
+        self.on_rows + self.off_rows + self.wake_rows
+    }
+}
+
+/// Least-squares-fits the link currents of `base` to the measurements,
+/// returning the calibrated model and a fit summary. Groups with no rows
+/// keep the base model's current untouched.
+pub fn fit(base: &IddModel, rows: &[Measurement]) -> Result<(IddModel, FitReport), String> {
+    if rows.is_empty() {
+        return Err("cannot fit a calibration to zero measurements".to_string());
+    }
+    // Each group solves min_I Σ (c_i·I − w_i)² => I = Σ c_i·w_i / Σ c_i².
+    let mut num = [0.0f64; 3]; // on, off, waking
+    let mut den = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    for row in rows {
+        let (slot, c) = match row.target {
+            CalibTarget::Mode(m) => (0, base.vddq * m.power_fraction()),
+            CalibTarget::Off => (1, base.vddq),
+            CalibTarget::Waking => (2, base.vddq),
+        };
+        num[slot] += c * row.watts;
+        den[slot] += c * c;
+        counts[slot] += 1;
+    }
+    let mut fitted = base.clone();
+    if den[0] > 0.0 {
+        fitted.io_on_current = num[0] / den[0];
+    }
+    if den[1] > 0.0 {
+        fitted.io_off_current = num[1] / den[1];
+    }
+    if den[2] > 0.0 {
+        fitted.io_wake_current = num[2] / den[2];
+    }
+    let sq_err: f64 = rows
+        .iter()
+        .map(|row| {
+            let modeled = match row.target {
+                CalibTarget::Mode(m) => fitted.vddq * fitted.io_on_current * m.power_fraction(),
+                CalibTarget::Off => fitted.vddq * fitted.io_off_current,
+                CalibTarget::Waking => fitted.vddq * fitted.io_wake_current,
+            };
+            (modeled - row.watts).powi(2)
+        })
+        .sum();
+    let report = FitReport {
+        on_rows: counts[0],
+        off_rows: counts[1],
+        wake_rows: counts[2],
+        rms_watts: (sq_err / rows.len() as f64).sqrt(),
+    };
+    Ok((fitted, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_header_and_rows() {
+        let rows = parse_csv(
+            "# a comment\n\
+             timestamp_s,mode,watts\n\
+             \n\
+             0.0, off, 0.006\n\
+             0.5,vwl8,0.30\n\
+             0.5,waking,0.57\n",
+        )
+        .expect("valid CSV parses");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].target, CalibTarget::Off);
+        assert_eq!(rows[1].target.label(), "vwl8");
+        assert_eq!(rows[2].target, CalibTarget::Waking);
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        assert!(parse_csv("").unwrap_err().contains("no measurement rows"));
+        assert!(parse_csv("# only comments\n").unwrap_err().contains("no measurement rows"));
+        assert!(parse_csv("0.0,off\n").unwrap_err().contains("line 1"));
+        assert!(parse_csv("soup,off,0.1\n").unwrap_err().contains("bad timestamp"));
+        assert!(parse_csv("0.0,warp9,0.1\n").unwrap_err().contains("unknown mode"));
+        assert!(parse_csv("0.0,off,nope\n").unwrap_err().contains("bad watts"));
+        assert!(parse_csv("0.0,off,-1.0\n").unwrap_err().contains("non-negative"));
+        assert!(parse_csv("0.0,off,inf\n").unwrap_err().contains("finite"));
+        let err = parse_csv("1.0,off,0.1\n0.5,off,0.1\n").unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn noiseless_fit_recovers_the_generating_currents() {
+        let truth = IddModel { io_on_current: 0.51, io_off_current: 0.004, ..IddModel::hmc_gen2() };
+        let mut csv = String::from("timestamp_s,mode,watts\n");
+        let mut t = 0.0;
+        for m in BwMode::ALL {
+            csv.push_str(&format!(
+                "{t},{},{}\n",
+                m.label(),
+                truth.vddq * truth.io_on_current * m.power_fraction()
+            ));
+            t += 0.1;
+        }
+        csv.push_str(&format!("{t},off,{}\n", truth.vddq * truth.io_off_current));
+        let rows = parse_csv(&csv).unwrap();
+        let (fitted, report) = fit(&IddModel::hmc_gen2(), &rows).unwrap();
+        assert!((fitted.io_on_current - truth.io_on_current).abs() / truth.io_on_current < 1e-9);
+        assert!((fitted.io_off_current - truth.io_off_current).abs() / truth.io_off_current < 1e-9);
+        // No waking rows: the base value survives untouched.
+        assert_eq!(fitted.io_wake_current, IddModel::hmc_gen2().io_wake_current);
+        assert_eq!(report.on_rows, 8);
+        assert_eq!(report.off_rows, 1);
+        assert_eq!(report.wake_rows, 0);
+        assert!(report.rms_watts < 1e-12, "noiseless residual: {}", report.rms_watts);
+    }
+}

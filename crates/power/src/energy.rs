@@ -206,6 +206,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_window_yields_zeros_not_inf_or_nan() {
+        // Regression guard: a run (or epoch) of zero length must report
+        // zero watts, never J/0 = inf, and an all-zero breakdown over a
+        // zero window must not produce 0/0 = NaN.
+        let e = sample();
+        assert_eq!(e.watts(SimDuration::ZERO), 0.0);
+        assert_eq!(e.watts_per_hmc(SimDuration::ZERO, 5), 0.0);
+        assert_eq!(e.watts_by_category(SimDuration::ZERO), [0.0; 7]);
+        let empty = EnergyBreakdown::default();
+        assert_eq!(empty.watts(SimDuration::ZERO), 0.0);
+        assert_eq!(empty.watts_per_hmc(SimDuration::ZERO, 0), 0.0);
+        for w in empty.watts_by_category(SimDuration::ZERO) {
+            assert!(w == 0.0 && !w.is_nan());
+        }
+    }
+
+    #[test]
     fn watts_conversion() {
         let e = sample();
         // 10 J over 10 ms = 1000 W; over 5 HMCs = 200 W each.

@@ -20,9 +20,19 @@
 //! paper's Figure 5 (idle I/O, active I/O, logic leakage, logic dynamic,
 //! DRAM leakage, DRAM dynamic); [`HmcPowerModel`] converts link
 //! time-in-state residencies and module activity counts into those joules.
+//!
+//! Pricing is pluggable: the [`EnergyBackend`] trait abstracts the
+//! conversion from metered activity to joules, with two implementations —
+//! the paper's analytical model ([`HmcPowerModel`]) and an IDD-style
+//! current-based table ([`IddModel`]) — selectable per run via
+//! [`EnergyBackendKind`]. The [`calib`] module fits IDD link currents to
+//! a measurement CSV.
 
+pub mod backend;
+pub mod calib;
 pub mod energy;
 pub mod model;
 
+pub use backend::{EnergyBackend, EnergyBackendKind, IddModel, ModuleActivity};
 pub use energy::EnergyBreakdown;
 pub use model::HmcPowerModel;

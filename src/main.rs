@@ -30,16 +30,26 @@
 //! the synthetic generator. A replay with the trace's own seed (the
 //! default when `--seed` is omitted) is bit-identical to the recorded
 //! run.
+//!
+//! `--energy-backend analytical|idd` selects how the engine prices
+//! residencies and activity (default from `MEMNET_ENERGY_BACKEND`, else
+//! the analytical model); the choice never changes simulated behavior,
+//! only the energy accounting. `memnet calibrate MEASUREMENTS.csv` fits
+//! the IDD mode table to measured watts and emits a calibration JSON;
+//! `memnet diff-models` runs one configuration through both backends and
+//! exits non-zero if any mode-table watt, energy category or total
+//! diverges beyond `--threshold` percent.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use memnet::core::multichannel::run_channels;
-use memnet::core::{report_text, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
+use memnet::core::{report_text, Engine, NetworkScale, PolicyKind, SimConfig, SimConfigBuilder};
 use memnet::faults::FaultConfig;
 use memnet::net::TopologyKind;
 use memnet::obs::{summary, ObsConfig};
 use memnet::policy::Mechanism;
+use memnet::power::{calib, EnergyBackend, EnergyBackendKind, HmcPowerModel, IddModel};
 use memnet::workload::RequestTrace;
 use memnet_simcore::{memnet_log, memnet_warn, SimDuration};
 
@@ -58,6 +68,7 @@ struct Args {
     faults: FaultConfig,
     trace_csv: Option<String>,
     obs: ObsConfig,
+    energy_backend: EnergyBackendKind,
     json: bool,
     compare: bool,
 }
@@ -69,9 +80,12 @@ fn usage() -> &'static str {
      \x20             [--eval-us N] [--seed N] [--channels K] [--faults SPEC]\n\
      \x20             [--trace-csv FILE] [--obs] [--trace FILE] [--trace-every N]\n\
      \x20             [--trace-max N] [--json] [--compare] [--list-workloads]\n\
+     \x20             [--energy-backend analytical|idd]\n\
      \x20      memnet trace FILE [--csv OUT]\n\
      \x20      memnet record FILE [run flags]\n\
      \x20      memnet replay FILE [run flags]\n\
+     \x20      memnet calibrate FILE [--out FILE]\n\
+     \x20      memnet diff-models [run flags] [--threshold PCT] [--calibration FILE]\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
      \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
      \x20 --obs:         keep per-epoch time-series samples in the report\n\
@@ -82,7 +96,15 @@ fn usage() -> &'static str {
      \x20 record FILE:   dump the configured workload's request stream (covering\n\
      \x20                --eval-us) to a schema-versioned JSONL request trace\n\
      \x20 replay FILE:   drive the engine from a recorded request trace; seed\n\
-     \x20                defaults to the trace's (bit-identical rerun)"
+     \x20                defaults to the trace's (bit-identical rerun)\n\
+     \x20 --energy-backend: energy pricing model (default MEMNET_ENERGY_BACKEND,\n\
+     \x20                else analytical); never changes simulated behavior\n\
+     \x20 calibrate FILE: least-squares-fit the IDD mode table to a measurement\n\
+     \x20                CSV (timestamp_s,mode,watts) and emit calibration JSON\n\
+     \x20 diff-models:   run one configuration through both energy backends and\n\
+     \x20                exit non-zero if any quantity diverges beyond\n\
+     \x20                --threshold percent (default 5); --calibration FILE\n\
+     \x20                prices the IDD side with a calibrated model"
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -99,6 +121,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         faults: FaultConfig::from_env(),
         trace_csv: None,
         obs: ObsConfig::from_env(),
+        energy_backend: EnergyBackendKind::from_env(),
         json: false,
         compare: false,
     };
@@ -172,6 +195,11 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 args.obs.trace_max =
                     value("--trace-max")?.parse().map_err(|e| format!("bad trace-max: {e}"))?
             }
+            "--energy-backend" => {
+                let v = value("--energy-backend")?;
+                args.energy_backend = EnergyBackendKind::parse(&v)
+                    .ok_or_else(|| format!("unknown energy backend {v:?} (analytical|idd)"))?
+            }
             "--json" => args.json = true,
             "--compare" => args.compare = true,
             "--list-workloads" => {
@@ -223,6 +251,7 @@ fn build(args: &Args, replay: Option<Arc<RequestTrace>>) -> Result<SimConfig, St
         .seed(seed)
         .faults(args.faults.clone())
         .obs(args.obs.clone())
+        .energy_backend(args.energy_backend)
         .trace_limit(if args.trace_csv.is_some() { 1_000_000 } else { 0 });
     if let Some(trace) = replay {
         builder = builder.replay(trace);
@@ -286,6 +315,129 @@ fn replay_command(rest: Vec<String>) -> Result<ExitCode, String> {
     );
     let cfg = build(&args, Some(Arc::new(trace)))?;
     Ok(run_and_report(&args, cfg))
+}
+
+/// `memnet calibrate FILE [--out FILE]`: least-squares-fit the IDD mode
+/// table's link currents to a measurement CSV and emit the calibrated
+/// model as JSON (to `--out`, else stdout).
+fn calibrate_command(rest: Vec<String>) -> Result<(), String> {
+    let mut file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out requires a value")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => return Err(format!("unknown calibrate argument {other:?}\n{}", usage())),
+        }
+    }
+    let Some(file) = file else {
+        return Err(format!("calibrate needs a measurement CSV\n{}", usage()));
+    };
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let rows = calib::parse_csv(&text).map_err(|e| format!("invalid measurements {file}: {e}"))?;
+    let (fitted, report) = calib::fit(&IddModel::hmc_gen2(), &rows)?;
+    memnet_log!(
+        "calibrated on {} row(s) ({} on-mode, {} off, {} waking); rms residual {:.3e} W",
+        report.rows(),
+        report.on_rows,
+        report.off_rows,
+        report.wake_rows,
+        report.rms_watts
+    );
+    let json = serde::json::to_string(&fitted);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            memnet_log!("wrote calibration JSON to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `memnet diff-models [run flags] [--threshold PCT] [--calibration FILE]`:
+/// run one configuration through the analytical and IDD energy backends
+/// and report every mode-table watt and energy-category divergence,
+/// exiting non-zero if any exceeds the threshold.
+fn diff_models_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    let mut threshold_pct = 5.0f64;
+    let mut calibration: Option<String> = None;
+    let mut flags = Vec::new();
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = it
+                    .next()
+                    .ok_or("--threshold requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?
+            }
+            "--calibration" => {
+                calibration = Some(it.next().ok_or("--calibration requires a value")?)
+            }
+            _ => flags.push(arg),
+        }
+    }
+    if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
+        return Err(format!("bad threshold: {threshold_pct} (want a percentage >= 0)"));
+    }
+    let args = parse_args(flags)?;
+    if args.channels > 1 {
+        return Err("diff-models is single-channel".to_owned());
+    }
+    let threshold = threshold_pct / 100.0;
+    let idd = match &calibration {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde::json::from_str::<IddModel>(&text)
+                .map_err(|e| format!("invalid calibration {path}: {e}"))?
+        }
+        None => IddModel::hmc_gen2(),
+    };
+    let analytical = HmcPowerModel::paper();
+    let mut flagged = 0usize;
+
+    println!("Mode-table watts per unidirectional link");
+    let (table, n) = report_text::model_diff_table(
+        analytical.name(),
+        idd.name(),
+        &report_text::model_diff_watts_rows(&analytical, &idd),
+        threshold,
+    );
+    print!("{table}");
+    flagged += n;
+
+    let mut cfg = build(&args, None)?;
+    cfg.energy_backend = EnergyBackendKind::Analytical;
+    let ref_report = cfg.clone().run();
+    let cand_report = Engine::new(cfg).with_backend(Box::new(idd.clone())).run();
+    println!(
+        "\nRun energy over {} / {} / {} ({} us)",
+        ref_report.workload, ref_report.policy, ref_report.mechanism, args.eval_us
+    );
+    let (table, n) = report_text::model_diff_table(
+        analytical.name(),
+        idd.name(),
+        &report_text::model_diff_energy_rows(&ref_report, &cand_report),
+        threshold,
+    );
+    print!("{table}");
+    flagged += n;
+
+    if flagged > 0 {
+        memnet_warn!(
+            "[diff-models] {flagged} quantity(ies) diverge beyond {threshold_pct}% between \
+             the two energy models"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `memnet trace FILE [--csv OUT]`: validate a JSONL trace and print its
@@ -376,6 +528,24 @@ fn main() -> ExitCode {
         }
         Some("replay") => {
             return match replay_command(raw.skip(1).collect()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("calibrate") => {
+            return match calibrate_command(raw.skip(1).collect()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff-models") => {
+            return match diff_models_command(raw.skip(1).collect()) {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -12,6 +12,7 @@ fn memnet(args: &[&str]) -> Output {
         .env_remove("MEMNET_FAULTS")
         .env_remove("MEMNET_TRACE")
         .env_remove("MEMNET_AUDIT")
+        .env_remove("MEMNET_ENERGY_BACKEND")
         .output()
         .expect("memnet binary runs")
 }
@@ -72,6 +73,104 @@ fn replay_rejects_corrupt_traces_and_multichannel() {
         String::from_utf8_lossy(&out.stderr).contains("single-channel"),
         "multichannel replay must be refused before touching the file"
     );
+}
+
+#[test]
+fn energy_backend_flag_changes_pricing_but_not_behavior() {
+    let base = ["--workload", "mixD", "--eval-us", "50", "--seed", "7", "--json"];
+    let analytical = memnet(&[&base[..], &["--energy-backend", "analytical"]].concat());
+    let idd = memnet(&[&base[..], &["--energy-backend", "idd"]].concat());
+    assert!(analytical.status.success() && idd.status.success());
+    let (a, b) =
+        (String::from_utf8_lossy(&analytical.stdout), String::from_utf8_lossy(&idd.stdout));
+    assert_ne!(a, b, "the two backends must price energy differently");
+    // Pricing never feeds back into simulation: the behavioral counters match.
+    let field = |s: &str, key: &str| {
+        s.split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .map(str::to_owned)
+            .unwrap_or_else(|| panic!("{key} missing in {s}"))
+    };
+    for key in ["completed_reads", "accesses_per_us", "violations", "mean_read_latency_ns"] {
+        assert_eq!(field(&a, key), field(&b, key), "{key} must not depend on the backend");
+    }
+
+    let bogus = memnet(&[&base[..], &["--energy-backend", "spice"]].concat());
+    assert!(!bogus.status.success());
+    assert!(String::from_utf8_lossy(&bogus.stderr).contains("unknown energy backend"));
+}
+
+#[test]
+fn diff_models_flags_divergence_and_accepts_calibration() {
+    let run = ["--workload", "mixD", "--eval-us", "50", "--seed", "7"];
+    // The stock IDD table sits within the default 5% band of the
+    // analytical model, so the default run passes...
+    let ok = memnet(&[&["diff-models"], &run[..]].concat());
+    assert!(ok.status.success(), "default diff failed: {}", String::from_utf8_lossy(&ok.stderr));
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("link watts (vwl16)") && stdout.contains("energy (total)"));
+
+    // ...an absurdly tight threshold flags the honest 2-3% gaps and exits
+    // non-zero...
+    let tight = memnet(&[&["diff-models", "--threshold", "0.5"], &run[..]].concat());
+    assert!(!tight.status.success(), "0.5% threshold must flag the stock models");
+    assert!(String::from_utf8_lossy(&tight.stdout).contains("<-- DIVERGES"));
+
+    // ...and a miscalibrated IDD table (10% hot on the on-state current)
+    // is caught at the default threshold.
+    let calib = tmp("hot.json");
+    let json = r#"{"vdd":1.2,"vddq":1.2,"vlogic":0.9,"idd2n":0.47,"idd0":0.07,
+        "idd4r":0.068,"idd4w":0.072,"t_activate":8e-9,"t_burst":8e-9,
+        "ilogic_idle":0.84,"q_flit":1.01e-10,"io_on_current":0.5225,
+        "io_off_current":0.005,"io_wake_current":0.475}"#
+        .replace(['\n', ' '], "");
+    std::fs::write(&calib, json).unwrap();
+    let hot =
+        memnet(&[&["diff-models", "--calibration", calib.to_str().unwrap()], &run[..]].concat());
+    assert!(!hot.status.success(), "10% miscalibration must exit non-zero");
+    assert!(String::from_utf8_lossy(&hot.stdout).contains("<-- DIVERGES"));
+    let _ = std::fs::remove_file(&calib);
+}
+
+#[test]
+fn calibrate_round_trips_through_diff_models() {
+    let csv = tmp("meas.csv");
+    std::fs::write(
+        &csv,
+        "timestamp_s,mode,watts\n\
+         0.0,off,0.0059\n1.0,waking,0.586\n2.0,vwl16,0.586\n3.0,dvfs50,0.2052\n",
+    )
+    .unwrap();
+    let out_json = tmp("calib.json");
+    let fit = memnet(&["calibrate", csv.to_str().unwrap(), "--out", out_json.to_str().unwrap()]);
+    assert!(fit.status.success(), "calibrate failed: {}", String::from_utf8_lossy(&fit.stderr));
+    assert!(String::from_utf8_lossy(&fit.stderr).contains("rms residual"));
+
+    // Measurements generated from the analytical watts pull the IDD link
+    // currents onto the analytical model, so the calibrated diff passes.
+    let diff = memnet(&[
+        "diff-models",
+        "--calibration",
+        out_json.to_str().unwrap(),
+        "--workload",
+        "mixD",
+        "--eval-us",
+        "50",
+    ]);
+    assert!(
+        diff.status.success(),
+        "calibrated diff failed: {}",
+        String::from_utf8_lossy(&diff.stdout)
+    );
+
+    // Malformed measurements are rejected with a line-numbered error.
+    std::fs::write(&csv, "timestamp_s,mode,watts\n5.0,vwl16,0.5\n1.0,vwl16,0.5\n").unwrap();
+    let bad = memnet(&["calibrate", csv.to_str().unwrap()]);
+    assert!(!bad.status.success(), "out-of-order timestamps must be rejected");
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("line 3"));
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&out_json);
 }
 
 #[test]

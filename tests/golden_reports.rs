@@ -106,6 +106,8 @@ fn figure_text_matches_golden_snapshots() {
     check_golden("fig09", &figures::fig09(&mut matrix, &settings));
     // Adversarial stress suite: policy behavior under hostile traffic.
     check_golden("stress", &figures::stress(&mut matrix, &settings));
+    // Dual-backend energy differential: analytical vs IDD pricing.
+    check_golden("model_diff", &figures::model_diff(&mut matrix, &settings));
 }
 
 #[test]
@@ -131,6 +133,22 @@ fn perturbed_config_fails_the_snapshot() {
         .unwrap_or_else(|_| panic!("missing golden snapshot {}; bless first", path.display()));
     let perturbed = Settings { seed: 4, ..golden_settings() };
     let actual = figures::fig05(&mut Matrix::new(), &perturbed);
+    let diff = line_diff(&expected, &actual).expect("a different seed must change the figure text");
+    assert!(diff.contains("line "), "diff must name the diverging lines: {diff}");
+}
+
+/// Same guard for the model-differential snapshot: its run-energy tables
+/// must track simulation results, not just the static mode tables.
+#[test]
+fn perturbed_config_fails_the_model_diff_snapshot() {
+    if blessing() {
+        return;
+    }
+    let path = golden_dir().join("model_diff.txt");
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden snapshot {}; bless first", path.display()));
+    let perturbed = Settings { seed: 4, ..golden_settings() };
+    let actual = figures::model_diff(&mut Matrix::new(), &perturbed);
     let diff = line_diff(&expected, &actual).expect("a different seed must change the figure text");
     assert!(diff.contains("line "), "diff must name the diverging lines: {diff}");
 }
