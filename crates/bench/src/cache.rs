@@ -41,8 +41,10 @@ use serde::{json, Deserialize, Serialize};
 /// 6 = the fingerprint gained the `src=` traffic-source field (request-
 /// trace digests distinguish replayed results);
 /// 7 = the fingerprint gained the `energy=` backend field (analytical
-/// and IDD pricings of one configuration are distinct results).
-pub const CACHE_SCHEMA_VERSION: u32 = 7;
+/// and IDD pricings of one configuration are distinct results);
+/// 8 = the fingerprint gained the `calib=` calibration-provenance field
+/// (results priced by different fitted IDD models are distinct).
+pub const CACHE_SCHEMA_VERSION: u32 = 8;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -42,6 +42,15 @@ pub struct Key {
     /// trace. Replay keys exist so fingerprints account for trace content;
     /// they cannot be simulated by the matrix (replay runs are CLI-driven).
     pub source: String,
+    /// Calibration provenance of the energy backend: empty when the stock
+    /// model prices the run, or `calib:<digest>` of the calibration JSON
+    /// when a fitted [`IddModel`] replaces it. Calibrated keys exist so
+    /// manifest fingerprints distinguish results priced by different
+    /// calibrations; they cannot be simulated by the matrix (the engine
+    /// backend is injected by the caller).
+    ///
+    /// [`IddModel`]: memnet_power::IddModel
+    pub calibration: String,
     /// Which energy backend priced the run. In the key (rather than
     /// [`Settings`]) so one matrix can hold both backends' results for
     /// the same configuration side by side — the model differential
@@ -70,6 +79,7 @@ impl Key {
             mapping: AddressMapping::Contiguous,
             faults: String::new(),
             source: String::new(),
+            calibration: String::new(),
             energy: EnergyBackendKind::Analytical,
         }
     }
@@ -94,6 +104,15 @@ impl Key {
     /// [`RequestTrace::digest_hex`]: memnet_workload::RequestTrace::digest_hex
     pub fn with_replay(&self, digest_hex: &str) -> Key {
         Key { source: format!("trace:{digest_hex}"), ..self.clone() }
+    }
+
+    /// This key priced by a calibrated energy model: the digest of the
+    /// calibration JSON distinguishes cached results priced by different
+    /// fitted [`IddModel`]s under the same backend kind.
+    ///
+    /// [`IddModel`]: memnet_power::IddModel
+    pub fn with_calibration(&self, digest_hex: &str) -> Key {
+        Key { calibration: format!("calib:{digest_hex}"), ..self.clone() }
     }
 
     /// The full-power baseline key matching this configuration. α and the
@@ -125,7 +144,7 @@ impl Key {
     /// simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
-            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}|energy={}",
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}|calib={}|energy={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
             settings.seed,
@@ -139,6 +158,7 @@ impl Key {
             self.mapping,
             self.faults,
             self.source,
+            self.calibration,
             self.energy.label(),
         )
     }
@@ -147,6 +167,11 @@ impl Key {
         assert!(
             self.source.is_empty(),
             "replay keys cannot be simulated by the matrix (replay runs are CLI-driven): {self:?}"
+        );
+        assert!(
+            self.calibration.is_empty(),
+            "calibrated keys cannot be simulated by the matrix (the backend is injected by the \
+             caller): {self:?}"
         );
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
         let faults =
@@ -382,6 +407,20 @@ mod tests {
         );
         let err = std::panic::catch_unwind(|| r.to_config(&tiny_settings()));
         assert!(err.is_err(), "replay keys must not simulate via the matrix");
+    }
+
+    #[test]
+    fn calibration_keys_change_the_fingerprint_and_refuse_to_simulate() {
+        let k = tiny_key("mixD").with_backend(EnergyBackendKind::Idd);
+        let c = k.with_calibration("00c0ffee00c0ffee");
+        assert_ne!(k.fingerprint(&tiny_settings()), c.fingerprint(&tiny_settings()));
+        assert!(c.fingerprint(&tiny_settings()).contains("calib=calib:00c0ffee00c0ffee"));
+        assert_ne!(
+            c.fingerprint(&tiny_settings()),
+            k.with_calibration("deadbeefdeadbeef").fingerprint(&tiny_settings())
+        );
+        let err = std::panic::catch_unwind(|| c.to_config(&tiny_settings()));
+        assert!(err.is_err(), "calibrated keys must not simulate via the matrix");
     }
 
     #[test]

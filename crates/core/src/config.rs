@@ -54,6 +54,15 @@ impl NetworkScale {
             NetworkScale::Big => "big",
         }
     }
+
+    /// Parses the CLI/manifest spellings (`small|big`).
+    pub fn parse(s: &str) -> Option<NetworkScale> {
+        match s {
+            "small" => Some(NetworkScale::Small),
+            "big" => Some(NetworkScale::Big),
+            _ => None,
+        }
+    }
 }
 
 /// How physical lines map onto modules.

@@ -48,6 +48,7 @@ use memnet_simcore::{AuditLevel, Auditor, EventQueue, FastHashState, SimDuration
 
 use crate::config::{AddressMapping, SimConfig};
 use crate::frontend::{Frontend, InjectStep};
+use crate::limits::{LimitedRun, RunLimits, RunProgress, StopReason};
 use crate::metrics::{FaultSummary, LinkTelemetry, PowerSummary, RunReport};
 use crate::trace::{Trace, TraceEvent, TracePoint};
 
@@ -338,7 +339,37 @@ impl Engine {
 
     /// Runs the simulation to the end of the evaluation period and
     /// produces the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_limited(RunLimits::none()).report
+    }
+
+    /// Runs the simulation under [`RunLimits`], stopping early when a
+    /// wall-clock deadline, event budget, simulated-time cap or external
+    /// cancellation fires. The report is finalized at the stop time, so
+    /// early stops still produce audit-clean, conservation-balanced
+    /// reports; an unlimited run is byte-identical to [`Engine::run`].
+    pub fn run_limited(mut self, mut limits: RunLimits) -> LimitedRun {
+        // A sim-time cap shorter than the evaluation period truncates the
+        // run window up front: the loop below then stops at exactly the
+        // same events a run configured with that period would process.
+        let mut truncated = false;
+        if let Some(cap) = limits.max_sim_time {
+            let cap_at = SimTime::ZERO + cap;
+            if cap_at < self.end {
+                self.end = cap_at;
+                truncated = true;
+            }
+        }
+        let event_budget = limits.max_events.unwrap_or(u64::MAX);
+        let deadline = limits.wall_time.map(|d| std::time::Instant::now() + d);
+        // Wall clock, cancel flag and progress are polled every 4096
+        // events: cheap enough to disappear from profiles, frequent
+        // enough that cancellation latency stays in the milliseconds.
+        let polled = deadline.is_some() || limits.cancel.is_some() || limits.progress_every > 0;
+        let mut next_progress =
+            if limits.progress_every > 0 { limits.progress_every } else { u64::MAX };
+        let mut stop = None;
+
         // Arm idleness timers for links that start with an ROO threshold.
         for i in 0..self.topo.n_links() {
             self.arm_turnoff(LinkId(i));
@@ -417,9 +448,46 @@ impl Engine {
                 }
             }
             self.handle(ev);
+            if self.events_processed >= event_budget {
+                stop = Some(StopReason::MaxEvents);
+                break;
+            }
+            if polled && self.events_processed & 0xFFF == 0 {
+                if let Some(flag) = &limits.cancel {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        stop = Some(StopReason::Cancelled);
+                        break;
+                    }
+                }
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    stop = Some(StopReason::WallTime);
+                    break;
+                }
+                if self.events_processed >= next_progress {
+                    if let Some(cb) = &mut limits.progress {
+                        cb(RunProgress { events: self.events_processed, now: self.now });
+                    }
+                    next_progress = next_progress.saturating_add(limits.progress_every);
+                }
+            }
         }
-        self.now = self.end;
-        self.finalize()
+        let stop = match stop {
+            // Early stop: the window ends at the last processed event so
+            // residency accounting stays exact.
+            Some(s) => {
+                self.end = self.now;
+                s
+            }
+            None => {
+                self.now = self.end;
+                if truncated {
+                    StopReason::MaxSimTime
+                } else {
+                    StopReason::Completed
+                }
+            }
+        };
+        LimitedRun { report: self.finalize(), stop }
     }
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
@@ -1364,6 +1432,87 @@ fn clamp_bw_to_lanes(bw: BwMode, lanes: Option<u8>) -> BwMode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn audited_cfg(eval_us: u64) -> SimConfig {
+        SimConfig::builder()
+            .workload("mixD")
+            .eval_period(SimDuration::from_us(eval_us))
+            .seed(7)
+            .audit(AuditLevel::Full)
+            .build()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn sim_time_cap_is_byte_identical_to_a_shorter_eval_period() {
+        let direct = audited_cfg(50).run();
+        let limits =
+            RunLimits { max_sim_time: Some(SimDuration::from_us(50)), ..RunLimits::none() };
+        let capped = Engine::new(audited_cfg(1_000)).run_limited(limits);
+        assert_eq!(capped.stop, StopReason::MaxSimTime);
+        assert_eq!(
+            serde::json::to_string(&capped.report),
+            serde::json::to_string(&direct),
+            "a sim-time-capped run must equal the directly configured shorter run"
+        );
+        // A cap at or past the evaluation period is not a truncation.
+        let limits =
+            RunLimits { max_sim_time: Some(SimDuration::from_us(50)), ..RunLimits::none() };
+        let uncapped = Engine::new(audited_cfg(50)).run_limited(limits);
+        assert_eq!(uncapped.stop, StopReason::Completed);
+    }
+
+    #[test]
+    fn event_budget_stops_exactly_and_stays_audit_clean() {
+        let out = Engine::new(audited_cfg(1_000))
+            .run_limited(RunLimits { max_events: Some(500), ..RunLimits::none() });
+        assert_eq!(out.stop, StopReason::MaxEvents);
+        assert_eq!(out.report.events_processed, 500, "the budget is exact");
+        assert!(out.report.audit.checks_run > 0);
+        assert!(
+            out.report.audit.violations.is_empty(),
+            "stopping at an event boundary keeps conservation audits clean: {:?}",
+            out.report.audit.violations
+        );
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_stops_at_the_first_poll() {
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let out = Engine::new(audited_cfg(1_000))
+            .run_limited(RunLimits { cancel: Some(flag), ..RunLimits::none() });
+        assert_eq!(out.stop, StopReason::Cancelled);
+        assert_eq!(out.report.events_processed, 4096, "polls run every 4096 events");
+        assert!(out.report.audit.violations.is_empty());
+    }
+
+    #[test]
+    fn zero_wall_budget_stops_early() {
+        let limits = RunLimits { wall_time: Some(std::time::Duration::ZERO), ..RunLimits::none() };
+        let out = Engine::new(audited_cfg(1_000)).run_limited(limits);
+        assert_eq!(out.stop, StopReason::WallTime);
+        assert_eq!(out.report.events_processed, 4096);
+    }
+
+    #[test]
+    fn progress_callback_sees_monotonic_samples() {
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = samples.clone();
+        let limits = RunLimits {
+            progress_every: 8192,
+            progress: Some(Box::new(move |p: RunProgress| sink.lock().unwrap().push(p))),
+            ..RunLimits::none()
+        };
+        let out = Engine::new(audited_cfg(200)).run_limited(limits);
+        assert_eq!(out.stop, StopReason::Completed);
+        let samples = samples.lock().unwrap();
+        assert!(!samples.is_empty(), "a 200 us run crosses the progress stride");
+        for pair in samples.windows(2) {
+            assert!(pair[1].events > pair[0].events);
+            assert!(pair[1].now >= pair[0].now);
+        }
+        assert!(samples.iter().all(|p| p.events <= out.report.events_processed));
+    }
 
     #[test]
     fn degraded_lanes_clamp_modes_but_never_raise_them() {

@@ -39,6 +39,7 @@
 pub mod config;
 pub mod engine;
 pub mod frontend;
+pub mod limits;
 pub mod metrics;
 pub mod multichannel;
 pub mod report_text;
@@ -50,6 +51,7 @@ pub use config::{
 };
 pub use engine::Engine;
 pub use frontend::{InjectStep, TrafficSource};
+pub use limits::{LimitedRun, RunLimits, RunProgress, StopReason};
 pub use memnet_policy::PolicyKind;
 pub use metrics::{LinkTelemetry, PowerSummary, RunReport};
 pub use runner::{run_pair, sweep};

@@ -1,0 +1,144 @@
+//! Cooperative run limits for the engine loop.
+//!
+//! A [`RunLimits`] bundles everything that can stop a simulation before
+//! its configured evaluation period ends: a wall-clock deadline, an event
+//! budget, a simulated-time cap, and an external cancellation flag. The
+//! engine polls the cheap integer budget on every event and the expensive
+//! checks (wall clock, atomic cancel flag, progress callback) once every
+//! 4096 events, so an unlimited run pays only two integer compares per
+//! event over the old loop.
+//!
+//! Stopping early is always clean: the engine finalizes at the last
+//! processed event time, so the report window matches the simulated span
+//! and the conservation audits still balance. A run truncated by
+//! `max_sim_time` is byte-identical to a run configured with that shorter
+//! evaluation period outright (the metamorphic test in `engine.rs` holds
+//! this).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use memnet_simcore::{SimDuration, SimTime};
+
+use crate::metrics::RunReport;
+
+/// Everything that can end a run before its evaluation period does.
+///
+/// All limits default to "off"; [`RunLimits::none`] is the unlimited run.
+#[derive(Default)]
+pub struct RunLimits {
+    /// Host wall-clock budget for the run loop.
+    pub wall_time: Option<Duration>,
+    /// Maximum number of simulation events to process.
+    pub max_events: Option<u64>,
+    /// Cap on simulated time (truncates the evaluation period if shorter).
+    pub max_sim_time: Option<SimDuration>,
+    /// External cancellation flag; the engine stops soon after it is set.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Emit a [`RunProgress`] roughly every this many events (0 = never).
+    pub progress_every: u64,
+    /// Progress sink, called from the run loop thread.
+    pub progress: Option<Box<dyn FnMut(RunProgress) + Send>>,
+}
+
+impl RunLimits {
+    /// No limits: the run completes its full evaluation period.
+    pub fn none() -> RunLimits {
+        RunLimits::default()
+    }
+}
+
+/// Why a limited run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The evaluation period finished normally.
+    Completed,
+    /// The wall-clock budget ran out.
+    WallTime,
+    /// The event budget ran out.
+    MaxEvents,
+    /// The simulated-time cap truncated the evaluation period.
+    MaxSimTime,
+    /// The external cancel flag was set.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Stable label for reports and event streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::WallTime => "wall-time",
+            StopReason::MaxEvents => "max-events",
+            StopReason::MaxSimTime => "max-sim-time",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for the limit-style stops (not completion, not cancellation).
+    pub fn is_limit(self) -> bool {
+        matches!(self, StopReason::WallTime | StopReason::MaxEvents | StopReason::MaxSimTime)
+    }
+
+    /// The exit-contract bucket: `completed`, `limit_exceeded` or
+    /// `cancelled` — the values manifest `expected_exit` assertions name.
+    pub fn exit_kind(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::Cancelled => "cancelled",
+            _ => "limit_exceeded",
+        }
+    }
+}
+
+/// A progress sample from inside the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Events processed so far.
+    pub events: u64,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// The outcome of [`crate::Engine::run_limited`]: the finalized report
+/// plus why the loop stopped.
+pub struct LimitedRun {
+    /// The finalized report (window ends at the stop time).
+    pub report: RunReport,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_reason_contract() {
+        assert_eq!(StopReason::Completed.label(), "completed");
+        assert_eq!(StopReason::WallTime.label(), "wall-time");
+        assert_eq!(StopReason::MaxEvents.label(), "max-events");
+        assert_eq!(StopReason::MaxSimTime.label(), "max-sim-time");
+        assert_eq!(StopReason::Cancelled.label(), "cancelled");
+        assert!(StopReason::WallTime.is_limit());
+        assert!(StopReason::MaxEvents.is_limit());
+        assert!(StopReason::MaxSimTime.is_limit());
+        assert!(!StopReason::Completed.is_limit());
+        assert!(!StopReason::Cancelled.is_limit());
+        assert_eq!(StopReason::Completed.exit_kind(), "completed");
+        assert_eq!(StopReason::MaxEvents.exit_kind(), "limit_exceeded");
+        assert_eq!(StopReason::Cancelled.exit_kind(), "cancelled");
+    }
+
+    #[test]
+    fn default_limits_are_off() {
+        let l = RunLimits::none();
+        assert!(l.wall_time.is_none());
+        assert!(l.max_events.is_none());
+        assert!(l.max_sim_time.is_none());
+        assert!(l.cancel.is_none());
+        assert_eq!(l.progress_every, 0);
+        assert!(l.progress.is_none());
+    }
+}

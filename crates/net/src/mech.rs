@@ -458,6 +458,20 @@ impl Mechanism {
             Mechanism::DvfsRoo => "DVFS+ROO",
         }
     }
+
+    /// Parses the CLI/manifest spellings (`fp`, `vwl`, `roo`, `vwl+roo`,
+    /// `dvfs`, `dvfs+roo`).
+    pub fn parse(s: &str) -> Option<Mechanism> {
+        match s {
+            "fp" => Some(Mechanism::FullPower),
+            "vwl" => Some(Mechanism::Vwl),
+            "roo" => Some(Mechanism::Roo),
+            "vwl+roo" => Some(Mechanism::VwlRoo),
+            "dvfs" => Some(Mechanism::Dvfs),
+            "dvfs+roo" => Some(Mechanism::DvfsRoo),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Mechanism {

@@ -128,6 +128,18 @@ impl TopologyKind {
             TopologyKind::DdrxLike => "DDRx-like",
         }
     }
+
+    /// Parses the CLI/manifest spellings (`daisychain|chain`,
+    /// `ternary|tree`, `star`, `ddrx|ddrx-like`).
+    pub fn parse(s: &str) -> Option<TopologyKind> {
+        match s {
+            "daisychain" | "chain" => Some(TopologyKind::DaisyChain),
+            "ternary" | "tree" => Some(TopologyKind::TernaryTree),
+            "star" => Some(TopologyKind::Star),
+            "ddrx" | "ddrx-like" => Some(TopologyKind::DdrxLike),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for TopologyKind {

@@ -44,6 +44,18 @@ impl PolicyKind {
             PolicyKind::StaticSelection => "static selection",
         }
     }
+
+    /// Parses the CLI/manifest spellings (`fp|full`, `unaware`, `aware`,
+    /// `static`).
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "fp" | "full" => Some(PolicyKind::FullPower),
+            "unaware" => Some(PolicyKind::NetworkUnaware),
+            "aware" => Some(PolicyKind::NetworkAware),
+            "static" => Some(PolicyKind::StaticSelection),
+            _ => None,
+        }
+    }
 }
 
 /// Tunable policy parameters (paper values as defaults via

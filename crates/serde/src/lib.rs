@@ -199,6 +199,43 @@ pub mod json {
         }
     }
 
+    /// A `Value` serializes back to the JSON it parsed from (modulo
+    /// whitespace): numbers re-emit their raw text, objects preserve
+    /// insertion order. This lets callers round-trip documents they only
+    /// partially understand.
+    impl crate::Serialize for Value {
+        fn serialize(&self, s: &mut crate::ser::Serializer) {
+            match self {
+                Value::Null => s.write_raw("null"),
+                Value::Bool(b) => s.write_raw(if *b { "true" } else { "false" }),
+                Value::Num(raw) => s.write_raw(raw),
+                Value::Str(v) => s.write_quoted(v),
+                Value::Arr(items) => {
+                    s.begin_array();
+                    for item in items {
+                        s.element();
+                        item.serialize(s);
+                    }
+                    s.end_array();
+                }
+                Value::Obj(pairs) => {
+                    s.begin_object();
+                    for (k, v) in pairs {
+                        s.key(k);
+                        v.serialize(s);
+                    }
+                    s.end_object();
+                }
+            }
+        }
+    }
+
+    impl crate::Deserialize for Value {
+        fn deserialize(v: &Value) -> Result<Self, Error> {
+            Ok(v.clone())
+        }
+    }
+
     /// Parses one JSON document.
     pub fn parse(text: &str) -> Result<Value, Error> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
@@ -652,6 +689,19 @@ mod tests {
         assert!(parse("[1 2]").is_err());
         assert!(parse("").is_err());
         assert!(parse("[1] junk").is_err());
+    }
+
+    #[test]
+    fn value_round_trips_as_canonical_text() {
+        let text = "{\"a\":[1,{\"b\":null}],\"c\":\"d\",\"e\":1.5e-3,\"f\":true}";
+        let v: Value = json::from_str(text).unwrap();
+        assert_eq!(json::to_string(&v), text, "whitespace-free text is a fixed point");
+        let spaced: Value = json::from_str(
+            " { \"a\" : [ 1 , { \"b\" : null } ] , \
+                                            \"c\" : \"d\" , \"e\" : 1.5e-3 , \"f\" : true } ",
+        )
+        .unwrap();
+        assert_eq!(json::to_string(&spaced), text, "re-serialization canonicalizes whitespace");
     }
 
     #[test]

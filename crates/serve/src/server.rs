@@ -1,0 +1,638 @@
+//! The `memnet serve` daemon: a std-only TCP batch simulation server.
+//!
+//! Clients speak newline-delimited JSON. Each request line is one op:
+//!
+//! - `{"op":"submit","manifest":{…}}` — submit a memnet-manifest v1
+//! - `{"op":"cancel","job":N}` — cancel a previously queued job
+//! - `{"op":"status"}` — queue depth, running count and counters
+//! - `{"op":"shutdown"}` — graceful drain (see below)
+//!
+//! The server answers with JSONL lifecycle events on the submitting
+//! connection: `rejected`, `queued` (with `coalesced`/`cached` flags),
+//! `started`, `progress`, then exactly one of `done`, `failed` or
+//! `cancelled` carrying the standardized [`ResultPayload`].
+//!
+//! ## Scheduling and dedup
+//!
+//! Jobs queue per client connection and a fixed pool of worker threads
+//! pulls them round-robin across clients, so one client's hundred
+//! manifests cannot starve another's one. Before any queueing, a
+//! submission is checked against
+//!
+//! 1. the persistent bench result cache (fingerprint hit → immediate
+//!    `done`, zero simulation), then
+//! 2. the in-flight table (an identical job queued or running → the new
+//!    submission *coalesces* onto it and receives its own events and its
+//!    own assertion verdicts when the one simulation finishes).
+//!
+//! Identical concurrent submissions therefore simulate exactly once.
+//!
+//! ## Graceful shutdown
+//!
+//! SIGINT/SIGTERM (via [`crate::signal`]) or a `shutdown` op flips one
+//! flag: the accept loop stops taking connections, new submissions on
+//! live connections are rejected with a "shutting down" error, workers
+//! drain the queue and finish in-flight jobs (delivering every result),
+//! and [`Server::run`] returns so the process can exit 0.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use memnet_bench::DiskCache;
+use memnet_core::StopReason;
+use serde::{json, Serialize};
+
+use crate::job::{self, CacheNote, ResultPayload};
+use crate::manifest::{Assertions, Manifest, ResolvedJob};
+use crate::signal;
+
+/// How the daemon is set up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:9377` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Persistent result cache directory (`None` disables the cache).
+    pub cache_dir: Option<PathBuf>,
+    /// Emit a `progress` event roughly every this many engine events
+    /// (0 disables progress events).
+    pub progress_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:9377".to_owned(),
+            workers: 2,
+            cache_dir: None,
+            progress_every: 1_000_000,
+        }
+    }
+}
+
+/// Monotonic counters, reported by the `status` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    /// Submissions accepted (queued, coalesced or cache-served).
+    pub submitted: u64,
+    /// Submissions rejected before touching a worker.
+    pub rejected: u64,
+    /// Submissions that coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Submissions served straight from the persistent cache.
+    pub cache_hits: u64,
+    /// Simulations actually executed.
+    pub simulated: u64,
+    /// Jobs that delivered a result (any exit).
+    pub completed: u64,
+    /// Jobs cancelled (queued or running).
+    pub cancelled: u64,
+}
+
+/// The writing half of one client connection. Workers and the scheduler
+/// share it; each event line is written atomically under the lock. A
+/// failed write poisons the connection (stream dropped) — later sends
+/// become silent no-ops, which is the right behavior for a client that
+/// hung up before its results were ready.
+struct ConnOut {
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl ConnOut {
+    fn send(&self, line: &str) {
+        use std::io::Write;
+        let mut guard = self.stream.lock().unwrap();
+        if let Some(stream) = guard.as_mut() {
+            let ok =
+                stream.write_all(line.as_bytes()).and_then(|()| stream.write_all(b"\n")).is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
+    }
+
+    fn hangup(&self) {
+        let mut guard = self.stream.lock().unwrap();
+        if let Some(stream) = guard.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// One subscriber to a job: where to send events, the job id the client
+/// knows, and the assertions *this* submission asked for (coalesced
+/// manifests may agree on the run but differ on assertions).
+struct Sub {
+    conn: Arc<ConnOut>,
+    job_id: u64,
+    assertions: Assertions,
+    coalesced: bool,
+}
+
+/// One unit of work: a resolved job plus everyone waiting on it.
+struct JobExec {
+    job: ResolvedJob,
+    cancel: Arc<AtomicBool>,
+    subs: Mutex<Vec<Sub>>,
+    started: AtomicBool,
+}
+
+/// Everything behind the scheduler lock.
+#[derive(Default)]
+struct Sched {
+    /// Per-client FIFO queues, serviced round-robin.
+    queues: Vec<(u64, VecDeque<Arc<JobExec>>)>,
+    /// Next queue index to service.
+    rr: usize,
+    /// Queued or running jobs by `job_key` (the dedup table).
+    inflight: HashMap<String, Arc<JobExec>>,
+    /// Every live job id, for `cancel`.
+    jobs: HashMap<u64, Arc<JobExec>>,
+    next_job: u64,
+    running: usize,
+    stats: Stats,
+}
+
+impl Sched {
+    fn queued_len(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    fn enqueue(&mut self, client: u64, exec: Arc<JobExec>) {
+        match self.queues.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, q)) => q.push_back(exec),
+            None => self.queues.push((client, VecDeque::from([exec]))),
+        }
+    }
+
+    /// Pops the next job round-robin across client queues.
+    fn pop_next(&mut self) -> Option<Arc<JobExec>> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        self.rr %= self.queues.len();
+        let exec = self.queues[self.rr].1.pop_front().expect("no empty queues are kept");
+        if self.queues[self.rr].1.is_empty() {
+            self.queues.remove(self.rr);
+            // The vec shifted left; `rr` now already points at the next
+            // client (or wraps at the top of the next call).
+        } else {
+            self.rr += 1;
+        }
+        Some(exec)
+    }
+
+    /// Drops an exec from whichever queue holds it (cancel of a queued
+    /// job whose last subscriber left).
+    fn unqueue(&mut self, exec: &Arc<JobExec>) {
+        for (_, q) in &mut self.queues {
+            if let Some(pos) = q.iter().position(|e| Arc::ptr_eq(e, exec)) {
+                q.remove(pos);
+                break;
+            }
+        }
+        self.queues.retain(|(_, q)| !q.is_empty());
+        self.rr = 0;
+    }
+}
+
+struct State {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Lock order: `sched` may be taken, then `cache` nested inside it.
+    /// Never the reverse.
+    cache: Option<Mutex<DiskCache>>,
+    progress_every: u64,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+    workers: usize,
+}
+
+/// JSON-quotes a string for hand-assembled event lines.
+fn js(s: &str) -> String {
+    json::to_string(&s)
+}
+
+fn event_rejected(err: &crate::ManifestError) -> String {
+    let line = match err.line {
+        Some(n) => n.to_string(),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"event\":\"rejected\",\"path\":{},\"line\":{line},\"error\":{}}}",
+        js(&err.path),
+        js(&err.msg)
+    )
+}
+
+fn event_result(kind: &str, job_id: u64, payload: &ResultPayload) -> String {
+    format!("{{\"event\":{},\"job\":{job_id},\"result\":{}}}", js(kind), json::to_string(payload))
+}
+
+impl Server {
+    /// Binds the listen socket (does not accept yet).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let addr =
+            cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::other(format!("unresolvable address {}", cfg.addr))
+            })?;
+        let listener = TcpListener::bind(addr)?;
+        let cache = match &cfg.cache_dir {
+            None => None,
+            Some(dir) => Some(Mutex::new(DiskCache::open(dir)?)),
+        };
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                sched: Mutex::new(Sched::default()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                cache,
+                progress_every: cfg.progress_every,
+            }),
+            workers: cfg.workers.max(1),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a shutdown request (op or signal) drains the queue,
+    /// then returns the final counters. Every accepted job's result is
+    /// delivered before this returns.
+    pub fn run(self) -> std::io::Result<Stats> {
+        self.listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<Arc<ConnOut>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut conn_threads = Vec::new();
+        let mut next_client = 0_u64;
+        loop {
+            if self.state.shutdown.load(Ordering::Relaxed) || signal::requested() {
+                self.state.shutdown.store(true, Ordering::Relaxed);
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let reader = stream.try_clone()?;
+                    let out = Arc::new(ConnOut { stream: Mutex::new(Some(stream)) });
+                    conns.lock().unwrap().push(Arc::clone(&out));
+                    let state = Arc::clone(&self.state);
+                    let client = next_client;
+                    next_client += 1;
+                    conn_threads.push(std::thread::spawn(move || {
+                        serve_connection(&state, client, reader, &out);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: workers exit once the queue is empty and nothing runs.
+        self.state.cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Every result is delivered; unblock any connection still reading.
+        for conn in conns.lock().unwrap().iter() {
+            conn.send("{\"event\":\"shutting-down\"}");
+            conn.hangup();
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        let stats = self.state.sched.lock().unwrap().stats;
+        Ok(stats)
+    }
+}
+
+/// Reads request lines off one connection until EOF.
+fn serve_connection(state: &Arc<State>, client: u64, reader: TcpStream, out: &Arc<ConnOut>) {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match json::parse(&line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                out.send(&format!(
+                    "{{\"event\":\"error\",\"error\":{}}}",
+                    js(&format!("bad request JSON: {}", e.0))
+                ));
+                continue;
+            }
+        };
+        let op = doc.get("op").ok().and_then(|v| v.as_str().ok()).unwrap_or("");
+        match op {
+            "submit" => match doc.get("manifest") {
+                Ok(manifest) => submit(state, client, out, manifest),
+                Err(_) => out.send(
+                    "{\"event\":\"error\",\"error\":\"submit needs a \\\"manifest\\\" object\"}",
+                ),
+            },
+            "cancel" => {
+                let job_id = doc.get("job").ok().and_then(|v| v.num::<u64>().ok());
+                match job_id {
+                    Some(id) => cancel(state, out, id),
+                    None => out.send(
+                        "{\"event\":\"error\",\"error\":\"cancel needs a numeric \\\"job\\\"\"}",
+                    ),
+                }
+            }
+            "status" => {
+                let sched = state.sched.lock().unwrap();
+                let line = format!(
+                    "{{\"event\":\"status\",\"queued\":{},\"running\":{},\"stats\":{}}}",
+                    sched.queued_len(),
+                    sched.running,
+                    json::to_string(&sched.stats)
+                );
+                drop(sched);
+                out.send(&line);
+            }
+            "shutdown" => {
+                state.shutdown.store(true, Ordering::Relaxed);
+                state.cv.notify_all();
+                out.send("{\"event\":\"shutting-down\"}");
+            }
+            other => out.send(&format!(
+                "{{\"event\":\"error\",\"error\":{}}}",
+                js(&format!("unknown op {other:?} (submit|cancel|status|shutdown)"))
+            )),
+        }
+    }
+}
+
+/// Handles one `submit` op, entirely on the connection thread: parse,
+/// resolve, then either reject, serve from cache, coalesce, or queue.
+/// No worker is occupied before a manifest has fully validated.
+fn submit(state: &Arc<State>, client: u64, out: &Arc<ConnOut>, manifest: &json::Value) {
+    let reject = |err: &crate::ManifestError| {
+        state.sched.lock().unwrap().stats.rejected += 1;
+        out.send(&event_rejected(err));
+    };
+    if state.shutdown.load(Ordering::Relaxed) {
+        reject(&crate::ManifestError {
+            path: "manifest".to_owned(),
+            line: None,
+            msg: "server is shutting down and refuses new submissions".to_owned(),
+        });
+        return;
+    }
+    // Round-trip through text: Manifest::parse owns all schema checking.
+    // (Line numbers in errors are only meaningful when the client keeps
+    // the original text, which `memnet submit` exploits by validating
+    // locally first.)
+    let text = json::to_string(manifest);
+    let manifest = match Manifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => return reject(&e),
+    };
+    let job = match manifest.resolve() {
+        Ok(job) => job,
+        Err(e) => return reject(&e),
+    };
+
+    // Lifecycle events (`queued`, possibly `started`) are sent while the
+    // scheduler lock is still held: a worker cannot pop the new job —
+    // and therefore cannot emit its own `started` — until the lock
+    // drops, which pins the documented queued→started→… order. Only the
+    // bulky cache-hit result payload is deferred past the lock.
+    let mut deferred: Option<String> = None;
+    {
+        let mut sched = state.sched.lock().unwrap();
+        if state.shutdown.load(Ordering::Relaxed) {
+            drop(sched);
+            return reject(&crate::ManifestError {
+                path: "manifest".to_owned(),
+                line: None,
+                msg: "server is shutting down and refuses new submissions".to_owned(),
+            });
+        }
+        sched.stats.submitted += 1;
+        let job_id = sched.next_job;
+        sched.next_job += 1;
+
+        if let Some(exec) = sched.inflight.get(&job.job_key).cloned() {
+            // Identical job already queued or running: coalesce.
+            sched.stats.coalesced += 1;
+            sched.jobs.insert(job_id, Arc::clone(&exec));
+            exec.subs.lock().unwrap().push(Sub {
+                conn: Arc::clone(out),
+                job_id,
+                assertions: job.manifest.assertions.clone(),
+                coalesced: true,
+            });
+            out.send(&format!(
+                "{{\"event\":\"queued\",\"job\":{job_id},\"fingerprint\":{},\
+                 \"coalesced\":true,\"cached\":false}}",
+                js(&job.fingerprint)
+            ));
+            if exec.started.load(Ordering::Relaxed) {
+                out.send(&format!("{{\"event\":\"started\",\"job\":{job_id}}}"));
+            }
+        } else if let Some(payload) = cached_payload(state, &job) {
+            // Persistent-cache hit: answer immediately, zero simulation.
+            sched.stats.cache_hits += 1;
+            sched.stats.completed += 1;
+            out.send(&format!(
+                "{{\"event\":\"queued\",\"job\":{job_id},\"fingerprint\":{},\
+                 \"coalesced\":false,\"cached\":true}}",
+                js(&job.fingerprint)
+            ));
+            let kind = if payload.exit_code == job::EXIT_PASS { "done" } else { "failed" };
+            deferred = Some(event_result(kind, job_id, &payload));
+        } else {
+            let exec = Arc::new(JobExec {
+                cancel: Arc::new(AtomicBool::new(false)),
+                subs: Mutex::new(vec![Sub {
+                    conn: Arc::clone(out),
+                    job_id,
+                    assertions: job.manifest.assertions.clone(),
+                    coalesced: false,
+                }]),
+                started: AtomicBool::new(false),
+                job,
+            });
+            out.send(&format!(
+                "{{\"event\":\"queued\",\"job\":{job_id},\"fingerprint\":{},\
+                 \"coalesced\":false,\"cached\":false}}",
+                js(&exec.job.fingerprint)
+            ));
+            sched.inflight.insert(exec.job.job_key.clone(), Arc::clone(&exec));
+            sched.jobs.insert(job_id, Arc::clone(&exec));
+            sched.enqueue(client, exec);
+            state.cv.notify_one();
+        }
+    }
+    if let Some(line) = deferred {
+        out.send(&line);
+    }
+}
+
+/// Builds a payload from the persistent cache, if the job is eligible
+/// and the report is there. Takes the cache lock nested inside the
+/// scheduler lock (the one place that nesting is allowed).
+fn cached_payload(state: &State, job: &ResolvedJob) -> Option<ResultPayload> {
+    if !job.cache_eligible {
+        return None;
+    }
+    let cache = state.cache.as_ref()?.lock().unwrap();
+    let report = cache.get(&job.fingerprint)?.clone();
+    drop(cache);
+    Some(job::finish(
+        &job.fingerprint,
+        &job.manifest.assertions,
+        report,
+        StopReason::Completed,
+        CacheNote { hit: true, source: "disk".to_owned() },
+    ))
+}
+
+/// Handles one `cancel` op. A queued job loses this subscriber (and
+/// leaves the queue when nobody is left waiting); a running job gets its
+/// cancel flag set, which stops the engine at the next poll — note that
+/// cancelling a running job cancels it for every coalesced subscriber.
+fn cancel(state: &Arc<State>, out: &Arc<ConnOut>, job_id: u64) {
+    let mut sched = state.sched.lock().unwrap();
+    let Some(exec) = sched.jobs.get(&job_id).cloned() else {
+        drop(sched);
+        out.send(&format!(
+            "{{\"event\":\"error\",\"error\":{}}}",
+            js(&format!("no such job {job_id}"))
+        ));
+        return;
+    };
+    if exec.started.load(Ordering::Relaxed) {
+        exec.cancel.store(true, Ordering::Relaxed);
+        drop(sched);
+        return;
+    }
+    let mut subs = exec.subs.lock().unwrap();
+    subs.retain(|s| s.job_id != job_id);
+    let empty = subs.is_empty();
+    drop(subs);
+    sched.jobs.remove(&job_id);
+    sched.stats.cancelled += 1;
+    if empty {
+        sched.unqueue(&exec);
+        sched.inflight.remove(&exec.job.job_key);
+    }
+    drop(sched);
+    out.send(&format!("{{\"event\":\"cancelled\",\"job\":{job_id}}}"));
+}
+
+/// One worker thread: pull jobs round-robin, simulate, deliver.
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        let exec = {
+            let mut sched = state.sched.lock().unwrap();
+            loop {
+                if let Some(exec) = sched.pop_next() {
+                    sched.running += 1;
+                    sched.stats.simulated += 1;
+                    break Some(exec);
+                }
+                if state.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                sched = state.cv.wait(sched).unwrap();
+            }
+        };
+        let Some(exec) = exec else { return };
+        run_job(state, &exec);
+    }
+}
+
+fn run_job(state: &Arc<State>, exec: &Arc<JobExec>) {
+    exec.started.store(true, Ordering::Relaxed);
+    for sub in exec.subs.lock().unwrap().iter() {
+        sub.conn.send(&format!("{{\"event\":\"started\",\"job\":{}}}", sub.job_id));
+    }
+
+    let progress: Option<Box<dyn FnMut(memnet_core::RunProgress) + Send>> =
+        if state.progress_every > 0 {
+            let exec = Arc::clone(exec);
+            Some(Box::new(move |p: memnet_core::RunProgress| {
+                for sub in exec.subs.lock().unwrap().iter() {
+                    sub.conn.send(&format!(
+                        "{{\"event\":\"progress\",\"job\":{},\"events\":{},\"sim_ps\":{}}}",
+                        sub.job_id,
+                        p.events,
+                        p.now.as_ps()
+                    ));
+                }
+            }))
+        } else {
+            None
+        };
+    let (report, stop) =
+        job::execute(&exec.job, Some(Arc::clone(&exec.cancel)), state.progress_every, progress);
+
+    // Persist a full, untruncated result for future submissions. The
+    // cache lock is taken alone (never while holding the scheduler).
+    if stop == StopReason::Completed && exec.job.cache_eligible {
+        if let Some(cache) = &state.cache {
+            let _ = cache.lock().unwrap().store([(exec.job.fingerprint.clone(), report.clone())]);
+        }
+    }
+
+    // Retire the job, then deliver per-subscriber results.
+    let subs = {
+        let mut sched = state.sched.lock().unwrap();
+        sched.running -= 1;
+        if let Some(current) = sched.inflight.get(&exec.job.job_key) {
+            if Arc::ptr_eq(current, exec) {
+                sched.inflight.remove(&exec.job.job_key);
+            }
+        }
+        let subs = std::mem::take(&mut *exec.subs.lock().unwrap());
+        for sub in &subs {
+            sched.jobs.remove(&sub.job_id);
+        }
+        match stop {
+            StopReason::Cancelled => sched.stats.cancelled += subs.len() as u64,
+            _ => sched.stats.completed += subs.len() as u64,
+        }
+        subs
+    };
+    for sub in subs {
+        let cache = if sub.coalesced {
+            CacheNote { hit: true, source: "coalesced".to_owned() }
+        } else {
+            CacheNote::simulated()
+        };
+        let payload =
+            job::finish(&exec.job.fingerprint, &sub.assertions, report.clone(), stop, cache);
+        let kind = match stop {
+            StopReason::Cancelled => "cancelled",
+            _ if payload.exit_code == job::EXIT_PASS => "done",
+            _ => "failed",
+        };
+        sub.conn.send(&event_result(kind, sub.job_id, &payload));
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal std-only SIGINT/SIGTERM latch.
+//!
+//! The daemon needs exactly one bit from the OS: "someone asked us to
+//! stop". Rather than pull in a signal-handling crate (the build is
+//! offline), we register a trivial `extern "C"` handler via the libc
+//! `signal(2)` symbol that every Unix libc exports, and have it flip one
+//! atomic. The accept loop polls [`requested`] between accepts and turns
+//! it into the same graceful drain as a `shutdown` admin request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler once SIGINT or SIGTERM arrives.
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been delivered (always false on
+/// non-Unix platforms, where [`install`] is a no-op).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Test/support hook: raise the shutdown latch as if a signal arrived.
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one relaxed atomic store.
+        super::REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Routes SIGINT and SIGTERM to the latch.
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal routing off Unix; ctrl-c terminates the process.
+    pub fn install() {}
+}
+
+pub use imp::install;

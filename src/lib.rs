@@ -22,6 +22,7 @@
 //! - [`policy`] — power-control mechanisms and management policies
 //! - [`workload`] — the 14 paper workloads as synthetic generators
 //! - [`core`] — the simulator engine, configuration and reports
+//! - [`serve`] — the manifest-driven batch simulation server
 //!
 //! # Quickstart
 //!
@@ -53,5 +54,6 @@ pub use memnet_net as net;
 pub use memnet_obs as obs;
 pub use memnet_policy as policy;
 pub use memnet_power as power;
+pub use memnet_serve as serve;
 pub use memnet_simcore as simcore;
 pub use memnet_workload as workload;

@@ -39,6 +39,13 @@
 //! `memnet diff-models` runs one configuration through both backends and
 //! exits non-zero if any mode-table watt, energy category or total
 //! diverges beyond `--threshold` percent.
+//!
+//! `memnet serve` runs the manifest-driven batch simulation daemon;
+//! `memnet submit MANIFEST` sends a memnet-manifest v1 document to it and
+//! prints the standardized result payload; `memnet run-manifest MANIFEST`
+//! executes the same document offline (byte-identical result);
+//! `memnet shutdown` asks a daemon to drain and exit. See
+//! `memnet::serve` for the manifest schema and the exit-code contract.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -86,6 +93,10 @@ fn usage() -> &'static str {
      \x20      memnet replay FILE [run flags]\n\
      \x20      memnet calibrate FILE [--out FILE]\n\
      \x20      memnet diff-models [run flags] [--threshold PCT] [--calibration FILE]\n\
+     \x20      memnet serve [--addr A] [--workers N] [--cache-dir DIR] [--no-cache]\n\
+     \x20      memnet submit MANIFEST [--addr A] [--out FILE]\n\
+     \x20      memnet run-manifest MANIFEST [--out FILE]\n\
+     \x20      memnet shutdown [--addr A]\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
      \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
      \x20 --obs:         keep per-epoch time-series samples in the report\n\
@@ -104,7 +115,17 @@ fn usage() -> &'static str {
      \x20 diff-models:   run one configuration through both energy backends and\n\
      \x20                exit non-zero if any quantity diverges beyond\n\
      \x20                --threshold percent (default 5); --calibration FILE\n\
-     \x20                prices the IDD side with a calibrated model"
+     \x20                prices the IDD side with a calibrated model\n\
+     \x20 serve:         run the manifest batch daemon (addr defaults to\n\
+     \x20                MEMNET_SERVE_ADDR, else 127.0.0.1:9377; results cached\n\
+     \x20                in --cache-dir, default target/memnet-cache)\n\
+     \x20 submit FILE:   send a memnet-manifest v1 JSON to a daemon; events on\n\
+     \x20                stderr, result payload on stdout (or --out); exits by\n\
+     \x20                the result contract (0 pass, 2 assert-fail, 3 limit,\n\
+     \x20                4 rejected, 5 cancelled)\n\
+     \x20 run-manifest:  execute a manifest offline with the same result payload\n\
+     \x20                and exit contract as submit, byte-identical report\n\
+     \x20 shutdown:      ask a daemon to drain its queue and exit"
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -131,40 +152,24 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         match flag.as_str() {
             "--workload" | "-w" => args.workload = value("--workload")?,
             "--topology" | "-t" => {
-                args.topology = match value("--topology")?.as_str() {
-                    "daisychain" | "chain" => TopologyKind::DaisyChain,
-                    "ternary" | "tree" => TopologyKind::TernaryTree,
-                    "star" => TopologyKind::Star,
-                    "ddrx" | "ddrx-like" => TopologyKind::DdrxLike,
-                    other => return Err(format!("unknown topology {other:?}")),
-                }
+                let v = value("--topology")?;
+                args.topology =
+                    TopologyKind::parse(&v).ok_or_else(|| format!("unknown topology {v:?}"))?;
             }
             "--scale" | "-s" => {
-                args.scale = match value("--scale")?.as_str() {
-                    "small" => NetworkScale::Small,
-                    "big" => NetworkScale::Big,
-                    other => return Err(format!("unknown scale {other:?}")),
-                }
+                let v = value("--scale")?;
+                args.scale =
+                    NetworkScale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
             }
             "--policy" | "-p" => {
-                args.policy = match value("--policy")?.as_str() {
-                    "fp" | "full" => PolicyKind::FullPower,
-                    "unaware" => PolicyKind::NetworkUnaware,
-                    "aware" => PolicyKind::NetworkAware,
-                    "static" => PolicyKind::StaticSelection,
-                    other => return Err(format!("unknown policy {other:?}")),
-                }
+                let v = value("--policy")?;
+                args.policy =
+                    PolicyKind::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
             }
             "--mechanism" | "-m" => {
-                args.mechanism = match value("--mechanism")?.as_str() {
-                    "fp" => Mechanism::FullPower,
-                    "vwl" => Mechanism::Vwl,
-                    "roo" => Mechanism::Roo,
-                    "vwl+roo" => Mechanism::VwlRoo,
-                    "dvfs" => Mechanism::Dvfs,
-                    "dvfs+roo" => Mechanism::DvfsRoo,
-                    other => return Err(format!("unknown mechanism {other:?}")),
-                }
+                let v = value("--mechanism")?;
+                args.mechanism =
+                    Mechanism::parse(&v).ok_or_else(|| format!("unknown mechanism {v:?}"))?;
             }
             "--alpha" | "-a" => {
                 args.alpha = value("--alpha")?.parse().map_err(|e| format!("bad alpha: {e}"))?
@@ -440,6 +445,287 @@ fn diff_models_command(rest: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Default daemon address: `--addr`, else `MEMNET_SERVE_ADDR`, else the
+/// memnet registered port. The env lookup lives here at the CLI edge —
+/// the serve crate itself never reads the environment.
+fn serve_addr(flag: Option<String>) -> String {
+    flag.or_else(|| std::env::var("MEMNET_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:9377".to_owned())
+}
+
+/// `memnet serve [--addr A] [--workers N] [--cache-dir DIR] [--no-cache]`:
+/// run the manifest batch daemon until SIGINT/SIGTERM or a `shutdown`
+/// request drains it.
+fn serve_command(rest: Vec<String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut cfg = memnet::serve::ServerConfig::default();
+    let mut cache_dir = Some(std::path::PathBuf::from("target/memnet-cache"));
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--workers" => {
+                cfg.workers =
+                    value("--workers")?.parse().map_err(|e| format!("bad workers: {e}"))?
+            }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?.into()),
+            "--no-cache" => cache_dir = None,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve argument {other:?}\n{}", usage())),
+        }
+    }
+    cfg.addr = serve_addr(addr);
+    cfg.cache_dir = cache_dir;
+    memnet::serve::signal::install();
+    let server =
+        memnet::serve::Server::bind(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    memnet_log!(
+        "memnet serve listening on {addr} ({} worker(s), cache {})",
+        cfg.workers.max(1),
+        cfg.cache_dir.as_deref().map_or("off".into(), |d| d.display().to_string())
+    );
+    let stats = server.run().map_err(|e| format!("serve: {e}"))?;
+    memnet_log!(
+        "memnet serve drained: {} submitted, {} simulated, {} coalesced, {} cache hit(s), \
+         {} rejected, {} cancelled",
+        stats.submitted,
+        stats.simulated,
+        stats.coalesced,
+        stats.cache_hits,
+        stats.rejected,
+        stats.cancelled
+    );
+    Ok(())
+}
+
+/// Reads a manifest file and validates it locally, so schema errors come
+/// back with real line numbers into the user's file. Returns the raw
+/// text too (the wire form is its parsed JSON value).
+fn load_manifest(path: &str) -> Result<(String, memnet::serve::Manifest), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let manifest = memnet::serve::Manifest::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((text, manifest))
+}
+
+/// Writes a result payload line to `--out` or stdout and converts its
+/// embedded exit code into the process exit.
+fn emit_result(json_line: &str, out: Option<&str>, exit_code: i64) -> Result<ExitCode, String> {
+    match out {
+        Some(path) => {
+            let mut body = json_line.to_owned();
+            body.push('\n');
+            std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        None => println!("{json_line}"),
+    }
+    Ok(ExitCode::from(exit_code.clamp(0, 255) as u8))
+}
+
+/// `memnet run-manifest MANIFEST [--out FILE]`: execute one manifest
+/// offline — same payload and exit contract as a daemon submission.
+fn run_manifest_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    let mut file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out requires a value")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => return Err(format!("unknown run-manifest argument {other:?}\n{}", usage())),
+        }
+    }
+    let Some(file) = file else {
+        return Err(format!("run-manifest needs a MANIFEST file\n{}", usage()));
+    };
+    let (_, manifest) = match load_manifest(&file) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
+        }
+    };
+    let payload = match memnet::serve::run_manifest(&manifest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
+        }
+    };
+    memnet_log!(
+        "{file}: {} ({}) after {} event(s)",
+        payload.exit,
+        payload.stop,
+        payload.report.events_processed
+    );
+    emit_result(&serde::json::to_string(&payload), out.as_deref(), payload.exit_code.into())
+}
+
+/// `memnet submit MANIFEST [--addr A] [--out FILE]`: send a manifest to a
+/// running daemon, narrate its lifecycle events on stderr, and print the
+/// result payload — byte-identical to `run-manifest` when the daemon
+/// simulates it fresh.
+fn submit_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut file: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires a value")?),
+            "--out" => out = Some(it.next().ok_or("--out requires a value")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => return Err(format!("unknown submit argument {other:?}\n{}", usage())),
+        }
+    }
+    let Some(file) = file else {
+        return Err(format!("submit needs a MANIFEST file\n{}", usage()));
+    };
+    // Validate locally first: schema errors get real line numbers into the
+    // user's file instead of a position in the re-serialized wire form.
+    let (text, _) = match load_manifest(&file) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
+        }
+    };
+    let doc = serde::json::parse(&text).expect("validated manifest reparses");
+
+    let addr = serve_addr(addr);
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("connecting to {addr}: {e} (is `memnet serve` running?)"))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let line = format!("{{\"op\":\"submit\",\"manifest\":{}}}\n", serde::json::to_string(&doc));
+    stream.write_all(line.as_bytes()).map_err(|e| format!("sending to {addr}: {e}"))?;
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("reading from {addr}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = serde::json::parse(&line)
+            .map_err(|e| format!("bad event from {addr}: {} in {line:?}", e.0))?;
+        let kind = event.get("event").ok().and_then(|v| v.as_str().ok()).unwrap_or("?").to_owned();
+        match kind.as_str() {
+            "rejected" => {
+                let msg =
+                    event.get("error").ok().and_then(|v| v.as_str().ok()).unwrap_or("rejected");
+                let path =
+                    event.get("path").ok().and_then(|v| v.as_str().ok()).unwrap_or("manifest");
+                eprintln!("error: {file}: {path}: {msg}");
+                return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
+            }
+            "queued" => memnet_log!("{file}: queued{}", queue_note(&event)),
+            "started" => memnet_log!("{file}: started"),
+            "progress" => {
+                let events =
+                    event.get("events").ok().and_then(|v| v.num::<u64>().ok()).unwrap_or(0);
+                memnet_log!("{file}: progress, {events} event(s) processed");
+            }
+            "done" | "failed" | "cancelled" => {
+                let result = event
+                    .get("result")
+                    .map_err(|_| format!("event {kind:?} carried no result: {line}"))?;
+                let exit_code = result
+                    .get("exit_code")
+                    .ok()
+                    .and_then(|v| v.num::<i64>().ok())
+                    .unwrap_or(memnet::serve::EXIT_ERROR.into());
+                let exit = result.get("exit").ok().and_then(|v| v.as_str().ok()).unwrap_or("?");
+                let stop = result.get("stop").ok().and_then(|v| v.as_str().ok()).unwrap_or("?");
+                memnet_log!("{file}: {exit} ({stop})");
+                if exit_code != i64::from(memnet::serve::EXIT_PASS) {
+                    for verdict in assertion_failures(result) {
+                        memnet_warn!("{file}: assertion failed: {verdict}");
+                    }
+                }
+                return emit_result(&serde::json::to_string(result), out.as_deref(), exit_code);
+            }
+            "shutting-down" => {
+                return Err(format!("{addr} is shutting down and refused the submission"))
+            }
+            "error" => {
+                let msg = event.get("error").ok().and_then(|v| v.as_str().ok()).unwrap_or("?");
+                return Err(format!("{addr}: {msg}"));
+            }
+            _ => {}
+        }
+    }
+    Err(format!("{addr} closed the connection before returning a result"))
+}
+
+/// Renders a queued event's provenance flags for the narration line.
+fn queue_note(event: &serde::json::Value) -> &'static str {
+    let flag = |key: &str| matches!(event.get(key), Ok(serde::json::Value::Bool(true)));
+    if flag("cached") {
+        " (served from the result cache)"
+    } else if flag("coalesced") {
+        " (coalesced onto an identical in-flight job)"
+    } else {
+        ""
+    }
+}
+
+/// Lists the failed assertions out of a result payload value.
+fn assertion_failures(result: &serde::json::Value) -> Vec<String> {
+    let Ok(serde::json::Value::Arr(verdicts)) = result.get("assertions") else {
+        return Vec::new();
+    };
+    verdicts
+        .iter()
+        .filter(|v| matches!(v.get("ok"), Ok(serde::json::Value::Bool(false))))
+        .map(|v| {
+            let field =
+                |key: &str| v.get(key).ok().and_then(|x| x.as_str().ok()).unwrap_or("?").to_owned();
+            format!("{} wanted {}, got {}", field("assertion"), field("want"), field("actual"))
+        })
+        .collect()
+}
+
+/// `memnet shutdown [--addr A]`: ask a daemon to drain and exit.
+fn shutdown_command(rest: Vec<String>) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut addr: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr requires a value")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown shutdown argument {other:?}\n{}", usage())),
+        }
+    }
+    let addr = serve_addr(addr);
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("connecting to {addr}: {e} (is `memnet serve` running?)"))?;
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").map_err(|e| format!("sending to {addr}: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("reading from {addr}: {e}"))?;
+    if !reply.contains("shutting-down") {
+        return Err(format!("unexpected reply from {addr}: {}", reply.trim()));
+    }
+    memnet_log!("{addr} is draining its queue and shutting down");
+    Ok(())
+}
+
 /// `memnet trace FILE [--csv OUT]`: validate a JSONL trace and print its
 /// summary and per-link residency table.
 fn trace_command(rest: Vec<String>) -> ExitCode {
@@ -547,6 +833,42 @@ fn main() -> ExitCode {
         Some("diff-models") => {
             return match diff_models_command(raw.skip(1).collect()) {
                 Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("serve") => {
+            return match serve_command(raw.skip(1).collect()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("submit") => {
+            return match submit_command(raw.skip(1).collect()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("run-manifest") => {
+            return match run_manifest_command(raw.skip(1).collect()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("shutdown") => {
+            return match shutdown_command(raw.skip(1).collect()) {
+                Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE

@@ -185,3 +185,74 @@ fn stress_workloads_run_from_the_cli() {
     let names = String::from_utf8_lossy(&listed.stdout);
     assert!(names.contains("adv.wakestorm"), "--list-workloads shows stress specs: {names}");
 }
+
+#[test]
+fn run_manifest_reports_the_exit_contract_and_ignores_backend_env() {
+    let manifest = tmp("manifest.json");
+    std::fs::write(
+        &manifest,
+        "{\n  \"schema\": \"memnet-manifest\",\n  \"v\": 1,\n  \"run\": {\n    \
+         \"workload\": \"mixD\",\n    \"eval_us\": 50,\n    \"seed\": 7\n  }\n}\n",
+    )
+    .unwrap();
+
+    // A passing manifest exits 0 with the payload on stdout — even with a
+    // contradicting MEMNET_ENERGY_BACKEND in the environment, which
+    // manifests must never read (it would poison the shared cache).
+    let out = Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .args(["run-manifest", manifest.to_str().unwrap()])
+        .env_remove("MEMNET_FAULTS")
+        .env_remove("MEMNET_TRACE")
+        .env_remove("MEMNET_AUDIT")
+        .env("MEMNET_ENERGY_BACKEND", "idd")
+        .output()
+        .expect("memnet binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\":\"memnet-result\""), "payload on stdout: {stdout}");
+    assert!(
+        stdout.contains("energy=analytical"),
+        "fingerprint pins the manifest's explicit default, not the env: {stdout}"
+    );
+
+    // An assertion failure exits 2; an unexpected limit exits 3.
+    std::fs::write(
+        &manifest,
+        "{\"schema\":\"memnet-manifest\",\"v\":1,\
+         \"run\":{\"workload\":\"mixD\",\"eval_us\":50,\"seed\":7},\
+         \"assertions\":{\"max_total_energy_j\":0.0}}",
+    )
+    .unwrap();
+    let out = memnet(&["run-manifest", manifest.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "assertion failure exit code");
+    std::fs::write(
+        &manifest,
+        "{\"schema\":\"memnet-manifest\",\"v\":1,\
+         \"run\":{\"workload\":\"mixD\",\"eval_us\":1000,\"seed\":7},\
+         \"limits\":{\"max_sim_time_us\":50}}",
+    )
+    .unwrap();
+    let out = memnet(&["run-manifest", manifest.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "limit-exceeded exit code");
+    let _ = std::fs::remove_file(&manifest);
+}
+
+#[test]
+fn run_manifest_rejections_carry_field_path_and_line() {
+    let manifest = tmp("bad-manifest.json");
+    std::fs::write(
+        &manifest,
+        "{\n  \"schema\": \"memnet-manifest\",\n  \"v\": 1,\n  \"run\": {\n    \
+         \"topology\": \"moebius\"\n  }\n}\n",
+    )
+    .unwrap();
+    let out = memnet(&["run-manifest", manifest.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "rejected manifests exit 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("run.topology (line 5)"),
+        "error names the field and its line in the file: {err}"
+    );
+    assert!(err.contains("moebius"), "and echoes the bad value: {err}");
+    let _ = std::fs::remove_file(&manifest);
+}
