@@ -43,8 +43,10 @@ use serde::{json, Deserialize, Serialize};
 /// 7 = the fingerprint gained the `energy=` backend field (analytical
 /// and IDD pricings of one configuration are distinct results);
 /// 8 = the fingerprint gained the `calib=` calibration-provenance field
-/// (results priced by different fitted IDD models are distinct).
-pub const CACHE_SCHEMA_VERSION: u32 = 8;
+/// (results priced by different fitted IDD models are distinct);
+/// 9 = the fingerprint gained the `obs=` field (an observed run carries
+/// the `obs` report section, so it is a distinct result).
+pub const CACHE_SCHEMA_VERSION: u32 = 9;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -281,14 +283,15 @@ mod tests {
             eval_period: SimDuration::from_us(20),
             threads: 2,
             seed: 1,
-            cache_dir: None,
+            ..Settings::default()
         };
         let fp = k.fingerprint(&s);
         assert!(fp.starts_with(&format!("v{CACHE_SCHEMA_VERSION}|")));
         assert!(fp.contains("wl=mixD"));
 
-        // A different seed, eval period, or key must change the fingerprint;
-        // the thread count must not (it cannot affect results).
+        // A different seed, eval period, obs flag, or key must change the
+        // fingerprint; the thread count and shard tag must not (neither
+        // can affect results).
         let mut other = s.clone();
         other.seed = 2;
         assert_ne!(k.fingerprint(&other), fp);
@@ -296,7 +299,11 @@ mod tests {
         other.eval_period = SimDuration::from_us(21);
         assert_ne!(k.fingerprint(&other), fp);
         other = s.clone();
+        other.obs = true;
+        assert_ne!(k.fingerprint(&other), fp);
+        other = s.clone();
         other.threads = 9;
+        other.shard = crate::shard::Shard { index: 1, of: 3 };
         assert_eq!(k.fingerprint(&other), fp);
         let mut k2 = k.clone();
         k2.alpha_tenths_pct += 1;

@@ -60,6 +60,71 @@ fn managed_keys(policy: PolicyKind, mechs: &[Mechanism], alphas: &[f64]) -> Vec<
     keys
 }
 
+/// Every matrix-backed figure/section of the suite, in canonical order.
+/// These are the names `memnet sweep --figures` (and the serve sweep
+/// manifest) accept; `tables` and `fig04` are closed-form and have no
+/// matrix cells to sweep.
+pub const SWEEP_FIGURES: [&str; 15] = [
+    "fig05",
+    "fig06",
+    "fig08",
+    "fig09",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "sec7a",
+    "faults",
+    "stress",
+    "model_diff",
+];
+
+/// The exact key set the named figure ensures, or `None` for names not
+/// in [`SWEEP_FIGURES`]. This is the enumeration the sweep partitioner
+/// shards, so it must stay in lockstep with what each figure function
+/// ensures — the custom figures share their key builders with it, and
+/// the fp/managed figures are spelled out here.
+pub fn figure_keys(name: &str) -> Option<Vec<Key>> {
+    let both = [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware];
+    Some(match name {
+        "fig05" | "fig06" | "fig08" | "fig09" => fp_keys(),
+        "fig11" | "fig12" => {
+            let mut keys = fp_keys();
+            keys.extend(managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS));
+            keys
+        }
+        "fig13" => both.iter().flat_map(|&p| managed_keys(p, &[Mechanism::Vwl], &[0.05])).collect(),
+        "fig15" => both.iter().flat_map(|&p| managed_keys(p, &MAIN_MECHS, &ALPHAS)).collect(),
+        "fig16" => {
+            let mut keys = fp_keys();
+            for p in both {
+                keys.extend(managed_keys(p, &MAIN_MECHS, &[0.05]));
+            }
+            keys
+        }
+        "fig17" => {
+            let mut keys = fp_keys();
+            for p in both {
+                keys.extend(managed_keys(p, &MAIN_MECHS, &ALPHAS));
+            }
+            keys
+        }
+        "fig18" => {
+            let mut keys = fp_keys();
+            keys.extend(fig18_keys());
+            keys
+        }
+        "sec7a" => sec7a_keys(),
+        "faults" => faults_sweep_keys(),
+        "stress" => stress_keys(),
+        "model_diff" => model_diff_keys(),
+        _ => return None,
+    })
+}
+
 fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let v: Vec<f64> = values.into_iter().collect();
     if v.is_empty() {
@@ -664,10 +729,9 @@ pub fn fig17(matrix: &mut Matrix, settings: &Settings) -> String {
 // Figure 18 — sensitivity (DVFS, 20 ns ROO)
 // ----------------------------------------------------------------------
 
-/// Figure 18: power reduction and performance overhead vs. full power for
-/// DVFS links and 20 ns-wakeup ROO links (α = 5 %).
-pub fn fig18(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+/// The 20 ns-wakeup managed keys of figure 18 (the figure also needs
+/// the full-power baselines from `fp_keys`).
+fn fig18_keys() -> Vec<Key> {
     let mechs = [Mechanism::Dvfs, Mechanism::Roo, Mechanism::DvfsRoo];
     let mut keys = Vec::new();
     for policy in [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware] {
@@ -683,7 +747,15 @@ pub fn fig18(matrix: &mut Matrix, settings: &Settings) -> String {
             }
         }
     }
-    matrix.ensure(&keys, settings);
+    keys
+}
+
+/// Figure 18: power reduction and performance overhead vs. full power for
+/// DVFS links and 20 ns-wakeup ROO links (α = 5 %).
+pub fn fig18(matrix: &mut Matrix, settings: &Settings) -> String {
+    matrix.ensure(&fp_keys(), settings);
+    let mechs = [Mechanism::Dvfs, Mechanism::Roo, Mechanism::DvfsRoo];
+    matrix.ensure(&fig18_keys(), settings);
     let mut out = String::from(
         "Figure 18: sensitivity — DVFS links and 20 ns ROO (alpha=5%)\n\
          scale      mech       policy    power reduction vs FP (%)  perf degradation vs FP (%)\n",
@@ -723,9 +795,9 @@ pub fn fig18(matrix: &mut Matrix, settings: &Settings) -> String {
 // §VII-A — static selection
 // ----------------------------------------------------------------------
 
-/// §VII-A: static fat/tapered bandwidth selection (with page-interleaved
-/// mapping) vs. network-aware management at α = 30 % (big networks, VWL).
-pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
+/// The key set of §VII-A: static selection, its interleaved and
+/// contiguous full-power baselines, and the aware α = 30 % comparison.
+fn sec7a_keys() -> Vec<Key> {
     let mut keys = Vec::new();
     for w in workloads() {
         for topo in TOPOS {
@@ -761,7 +833,13 @@ pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
             ));
         }
     }
-    matrix.ensure(&keys, settings);
+    keys
+}
+
+/// §VII-A: static fat/tapered bandwidth selection (with page-interleaved
+/// mapping) vs. network-aware management at α = 30 % (big networks, VWL).
+pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
+    matrix.ensure(&sec7a_keys(), settings);
     let mut stat_degr = Vec::new();
     let mut stat_power = Vec::new();
     let mut aware_degr = Vec::new();
@@ -832,6 +910,28 @@ pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
 /// statistically certain inside a 1 ms evaluation window.
 pub const FAULT_SWEEP_RATES: [f64; 5] = [0.0, 1e-12, 1e-9, 1e-5, 1e-3];
 
+/// The key set of the fault sweep: both cases × both topologies ×
+/// every [`FAULT_SWEEP_RATES`] entry.
+fn faults_sweep_keys() -> Vec<Key> {
+    use memnet_faults::FaultConfig;
+    let topos = [TopologyKind::DaisyChain, TopologyKind::TernaryTree];
+    let cases =
+        [(PolicyKind::FullPower, Mechanism::FullPower), (PolicyKind::NetworkAware, Mechanism::Roo)];
+    let mut keys = Vec::new();
+    for &(policy, mech) in &cases {
+        for topo in topos {
+            for rate in FAULT_SWEEP_RATES {
+                let spec = FaultConfig::with_flit_error_rate(rate).spec();
+                keys.push(
+                    Key::main("mixD", topo, NetworkScale::Small, policy, mech, 0.05)
+                        .with_faults(&spec),
+                );
+            }
+        }
+    }
+    keys
+}
+
 /// Fault sweep: power, throughput and retry cost versus per-flit error
 /// rate, for unmanaged and ROO-managed links on the chain and tree
 /// topologies. The `faults` key dimension keeps every scenario distinct
@@ -844,19 +944,7 @@ pub fn faults_sweep(matrix: &mut Matrix, settings: &Settings) -> String {
         ("aware ROO", PolicyKind::NetworkAware, Mechanism::Roo),
     ];
     let workload = "mixD";
-    let mut keys = Vec::new();
-    for &(_, policy, mech) in &cases {
-        for topo in topos {
-            for rate in FAULT_SWEEP_RATES {
-                let spec = FaultConfig::with_flit_error_rate(rate).spec();
-                keys.push(
-                    Key::main(workload, topo, NetworkScale::Small, policy, mech, 0.05)
-                        .with_faults(&spec),
-                );
-            }
-        }
-    }
-    matrix.ensure(&keys, settings);
+    matrix.ensure(&faults_sweep_keys(), settings);
     let mut out = String::from(
         "Fault sweep: link-level retry cost vs per-flit error rate (mixD, small networks)\n\
          case       topology      error-rate   W/HMC  acc/us  retries  re-flits  retrans(uJ)\n",
@@ -885,6 +973,25 @@ pub fn faults_sweep(matrix: &mut Matrix, settings: &Settings) -> String {
     out
 }
 
+/// The key set of the adversarial stress suite: every `adv.*` workload
+/// against each of the three policy cases.
+fn stress_keys() -> Vec<Key> {
+    use memnet_workload::stress;
+    let cases = [
+        (PolicyKind::FullPower, Mechanism::FullPower),
+        (PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
+        (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+    ];
+    cases
+        .iter()
+        .flat_map(|&(policy, mech)| {
+            stress::names().into_iter().map(move |w| {
+                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05)
+            })
+        })
+        .collect()
+}
+
 /// Adversarial stress suite (beyond the paper): every `adv.*` stress
 /// workload against the unmanaged baseline and both managed policies
 /// running VWL+ROO, the mechanism combination the stress patterns attack
@@ -898,15 +1005,7 @@ pub fn stress(matrix: &mut Matrix, settings: &Settings) -> String {
         ("unaware V+R", PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
         ("aware V+R", PolicyKind::NetworkAware, Mechanism::VwlRoo),
     ];
-    let keys: Vec<Key> = cases
-        .iter()
-        .flat_map(|&(_, policy, mech)| {
-            stress::names().into_iter().map(move |w| {
-                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05)
-            })
-        })
-        .collect();
-    matrix.ensure(&keys, settings);
+    matrix.ensure(&stress_keys(), settings);
     let mut out = String::from(
         "Adversarial stress suite (ternary tree, small networks, alpha = 5%)\n\
          workload       case          W/HMC  acc/us  read lat(ns)  violations\n",
@@ -930,6 +1029,26 @@ pub fn stress(matrix: &mut Matrix, settings: &Settings) -> String {
     out
 }
 
+/// The key set of the model differential: each case priced by both
+/// energy backends.
+fn model_diff_keys() -> Vec<Key> {
+    use memnet_power::EnergyBackendKind;
+    MODEL_DIFF_CASES
+        .iter()
+        .flat_map(|&(w, policy, mech)| {
+            let k =
+                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05);
+            [k.with_backend(EnergyBackendKind::Idd), k]
+        })
+        .collect()
+}
+
+const MODEL_DIFF_CASES: [(&str, PolicyKind, Mechanism); 3] = [
+    ("mixB", PolicyKind::FullPower, Mechanism::FullPower),
+    ("mixD", PolicyKind::NetworkUnaware, Mechanism::Dvfs),
+    ("mixD", PolicyKind::NetworkAware, Mechanism::VwlRoo),
+];
+
 /// Model-vs-model differential (beyond the paper): the same
 /// configurations priced by both energy backends — the analytical
 /// peak-split model and the IDD current table — with every mode-table
@@ -941,20 +1060,8 @@ pub fn model_diff(matrix: &mut Matrix, settings: &Settings) -> String {
     use memnet_core::report_text;
     use memnet_power::{EnergyBackendKind, HmcPowerModel, IddModel};
     const THRESHOLD: f64 = 0.05;
-    let cases = [
-        ("mixB", PolicyKind::FullPower, Mechanism::FullPower),
-        ("mixD", PolicyKind::NetworkUnaware, Mechanism::Dvfs),
-        ("mixD", PolicyKind::NetworkAware, Mechanism::VwlRoo),
-    ];
-    let keys: Vec<Key> = cases
-        .iter()
-        .flat_map(|&(w, policy, mech)| {
-            let k =
-                Key::main(w, TopologyKind::TernaryTree, NetworkScale::Small, policy, mech, 0.05);
-            [k.with_backend(EnergyBackendKind::Idd), k]
-        })
-        .collect();
-    matrix.ensure(&keys, settings);
+    let cases = MODEL_DIFF_CASES;
+    matrix.ensure(&model_diff_keys(), settings);
     let analytical = HmcPowerModel::paper();
     let idd = IddModel::hmc_gen2();
     let mut out = String::from(

@@ -16,12 +16,19 @@
 //! [`mod@cache`]): re-running any binary with a warm cache performs zero
 //! simulations. Point `MEMNET_CACHE_DIR` somewhere else to relocate the
 //! cache, or set `MEMNET_NO_CACHE=1` to bypass it.
+//!
+//! Sweeps scale out across processes and machines: `memnet sweep
+//! --shard i/n` computes a deterministic, disjoint slice of the figure
+//! matrix and `memnet merge` recombines the slices byte-identically
+//! (see [`mod@shard`]).
 
 pub mod cache;
 pub mod figures;
 pub mod matrix;
 pub mod settings;
+pub mod shard;
 
 pub use cache::{DiskCache, CACHE_SCHEMA_VERSION};
 pub use matrix::{EnsureStats, Key, Matrix};
 pub use settings::Settings;
+pub use shard::{Shard, SweepPlan};

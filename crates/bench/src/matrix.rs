@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use memnet_core::{AddressMapping, NetworkScale, PolicyKind, RunReport, SimConfig};
 use memnet_net::mech::RooParams;
 use memnet_net::TopologyKind;
+use memnet_obs::ObsConfig;
 use memnet_policy::Mechanism;
 use memnet_power::EnergyBackendKind;
 
@@ -135,16 +136,16 @@ impl Key {
 
     /// The persistent-cache identity of this configuration under
     /// `settings`: folds in the cache schema version, every run-affecting
-    /// settings field (evaluation period and seed — thread count cannot
-    /// change results and is excluded), and every key field. Equal
-    /// fingerprints guarantee byte-identical simulation results.
-    /// (`MEMNET_AUDIT` is also excluded: audit checks cannot change
-    /// results, only the diagnostic `audit` section of a cached report,
-    /// which therefore reflects the level in effect when it was first
-    /// simulated.)
+    /// settings field (evaluation period, seed and the observability
+    /// flag — the thread count and sweep shard cannot change results and
+    /// are excluded), and every key field. Equal fingerprints guarantee
+    /// byte-identical simulation results. (`MEMNET_AUDIT` is also
+    /// excluded: audit checks cannot change results, only the diagnostic
+    /// `audit` section of a cached report, which therefore reflects the
+    /// level in effect when it was first simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
         format!(
-            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|src={}|calib={}|energy={}",
+            "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|obs={}|src={}|calib={}|energy={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
             settings.seed,
@@ -157,6 +158,7 @@ impl Key {
             self.roo_wakeup_ns,
             self.mapping,
             self.faults,
+            settings.obs,
             self.source,
             self.calibration,
             self.energy.label(),
@@ -176,7 +178,7 @@ impl Key {
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
         let faults =
             memnet_faults::FaultConfig::parse(&self.faults).expect("matrix fault specs are valid");
-        SimConfig::builder()
+        let mut builder = SimConfig::builder()
             .workload(self.workload)
             .topology(self.topology)
             .scale(self.scale)
@@ -188,9 +190,11 @@ impl Key {
             .faults(faults)
             .eval_period(settings.eval_period)
             .seed(settings.seed)
-            .energy_backend(self.energy)
-            .build()
-            .expect("matrix keys are valid configurations")
+            .energy_backend(self.energy);
+        if settings.obs {
+            builder = builder.obs(ObsConfig { enabled: true, ..ObsConfig::off() });
+        }
+        builder.build().expect("matrix keys are valid configurations")
     }
 }
 
@@ -282,7 +286,8 @@ impl Matrix {
         }
         stats.simulated = to_simulate.len();
         memnet_simcore::memnet_log!(
-            "[matrix] {} configurations: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
+            "[matrix {}] {} configurations: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
+            settings.shard,
             stats.requested,
             stats.memoized,
             stats.cache_hits,
@@ -335,7 +340,12 @@ mod tests {
     use memnet_simcore::SimDuration;
 
     fn tiny_settings() -> Settings {
-        Settings { eval_period: SimDuration::from_us(20), threads: 2, seed: 1, cache_dir: None }
+        Settings {
+            eval_period: SimDuration::from_us(20),
+            threads: 2,
+            seed: 1,
+            ..Settings::default()
+        }
     }
 
     fn tiny_key(workload: &'static str) -> Key {
@@ -347,6 +357,17 @@ mod tests {
             Mechanism::FullPower,
             0.05,
         )
+    }
+
+    #[test]
+    fn obs_settings_flow_into_the_simulation() {
+        let mut m = Matrix::new();
+        let k = tiny_key("mixD");
+        let settings = Settings { obs: true, ..tiny_settings() };
+        m.ensure(std::slice::from_ref(&k), &settings);
+        assert!(m.get(&k).obs.is_some(), "obs=true must produce the obs report section");
+        let fp = k.fingerprint(&settings);
+        assert!(fp.contains("|obs=true|"), "obs belongs in the fingerprint: {fp}");
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::str::FromStr;
 
 use memnet_simcore::SimDuration;
 
+use crate::shard::Shard;
+
 /// Default location of the persistent result cache, relative to the
 /// working directory.
 pub const DEFAULT_CACHE_DIR: &str = "target/memnet-cache";
@@ -20,6 +22,14 @@ pub struct Settings {
     pub seed: u64,
     /// Where the persistent result cache lives; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Which sweep shard this process computes. Purely an attribution
+    /// tag for the `[matrix]` log line — it never enters fingerprints,
+    /// because every shard must share one cache with the unsharded run.
+    pub shard: Shard,
+    /// Retain per-epoch observability samples in each report. Part of
+    /// the cache fingerprint: an `obs` section changes the serialized
+    /// report, so observed and unobserved cells are distinct.
+    pub obs: bool,
 }
 
 /// Reads `name` from the environment, warning to stderr (and falling back
@@ -50,6 +60,9 @@ impl Settings {
     /// * `MEMNET_NO_CACHE` — set to `1`/`true` to disable the cache.
     ///
     /// Malformed values warn to stderr and fall back to the default.
+    /// The sweep shard and the observability flag have no environment
+    /// knob: they default to `0/1` and off, and are set by the `memnet
+    /// sweep --shard/--obs` flags (or the serve sweep manifest).
     pub fn from_env() -> Self {
         let eval_us = env_parse::<u64>("MEMNET_EVAL_US").unwrap_or(1_000);
         let threads = match env_parse::<usize>("MEMNET_THREADS") {
@@ -98,6 +111,8 @@ impl Settings {
             threads: threads.max(1),
             seed,
             cache_dir,
+            shard: Shard::full(),
+            obs: false,
         }
     }
 }
@@ -112,6 +127,8 @@ impl Default for Settings {
             threads: 4,
             seed: 0xC0FFEE,
             cache_dir: None,
+            shard: Shard::full(),
+            obs: false,
         }
     }
 }
@@ -126,6 +143,8 @@ mod tests {
         assert_eq!(s.eval_period, SimDuration::from_ms(1));
         assert!(s.threads >= 1);
         assert_eq!(s.cache_dir, None);
+        assert_eq!(s.shard, Shard::full());
+        assert!(!s.obs);
     }
 
     // Environment mutation is process-global, so everything env-related

@@ -5,7 +5,7 @@ use memnet_bench::{figures, Matrix, Settings};
 use memnet_simcore::SimDuration;
 
 fn tiny() -> Settings {
-    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, cache_dir: None }
+    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, ..Settings::default() }
 }
 
 #[test]

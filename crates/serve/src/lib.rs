@@ -19,6 +19,11 @@
 //!   fingerprint, JSONL lifecycle events and graceful drain on
 //!   SIGTERM/ctrl-c or a `shutdown` request
 //!
+//! A **v2 sweep manifest** describes a whole figure sweep instead of one
+//! run; the daemon farms it out as one queue item per shard and merges
+//! the results byte-identically to an unsharded `memnet sweep` (see
+//! [`mod@sweep`])
+//!
 //! The server is std-only by design: `std::net::TcpListener` plus a
 //! thread pool, no async runtime, no HTTP — one JSON object per line in
 //! each direction.
@@ -27,13 +32,15 @@ pub mod job;
 pub mod manifest;
 pub mod server;
 pub mod signal;
+pub mod sweep;
 
 pub use job::{
     run_manifest, CacheNote, ResultPayload, Verdict, EXIT_ASSERT_FAILED, EXIT_CANCELLED,
     EXIT_ERROR, EXIT_LIMIT_EXCEEDED, EXIT_PASS, EXIT_REJECTED,
 };
 pub use manifest::{
-    Assertions, Limits, Manifest, ManifestError, ResolvedJob, RunSpec, MANIFEST_SCHEMA,
+    Assertions, Limits, Manifest, ManifestError, ResolvedJob, RunSpec, SweepSpec, MANIFEST_SCHEMA,
     MANIFEST_VERSION,
 };
 pub use server::{Server, ServerConfig, Stats};
+pub use sweep::{run_sweep_manifest, SweepPayload};

@@ -1,4 +1,4 @@
-//! The schema-versioned **memnet-manifest v1** run description.
+//! The schema-versioned **memnet-manifest** run description (v1 and v2).
 //!
 //! A manifest is one JSON document naming a full run spec, optional
 //! execution limits, and assertions evaluated against the finished
@@ -34,10 +34,30 @@
 //! level and fault scenario are exactly what the document says (defaults:
 //! `analytical`, `off`, fault-free). This is what makes a manifest's
 //! fingerprint — and therefore the shared result cache — trustworthy.
+//!
+//! **v2** adds an optional `sweep` section that describes a whole figure
+//! sweep instead of a single run. The daemon farms the sweep out as one
+//! job per shard and merges the shard results (see the serve crate's
+//! `sweep` module); a sweep manifest carries no `run`, `limits` or
+//! `assertions` sections:
+//!
+//! ```json
+//! {
+//!   "schema": "memnet-manifest",
+//!   "v": 2,
+//!   "sweep": { "figures": ["fig05", "fig09"], "shards": 4,
+//!              "eval_us": 1000, "seed": 12648430, "obs": false,
+//!              "out": "merged.jsonl" }
+//! }
+//! ```
+//!
+//! v1 documents remain accepted unchanged.
 
 use std::fmt;
 use std::sync::Arc;
 
+use memnet_bench::figures::SWEEP_FIGURES;
+use memnet_bench::shard::MAX_SHARDS;
 use memnet_bench::{Key, Settings};
 use memnet_core::{ConfigError, NetworkScale, PolicyKind, SimConfig};
 use memnet_faults::FaultConfig;
@@ -50,8 +70,10 @@ use serde::json::{self, Value};
 
 /// Manifest schema name (the `schema` field).
 pub const MANIFEST_SCHEMA: &str = "memnet-manifest";
-/// Manifest schema version (the `v` field).
-pub const MANIFEST_VERSION: u64 = 1;
+/// Newest manifest schema version this build speaks (the `v` field).
+/// Every version from 1 up to this one is accepted; the `sweep` section
+/// requires v2.
+pub const MANIFEST_VERSION: u64 = 2;
 
 /// A manifest validation error: the offending JSON field path, the line
 /// it sits on (best-effort; absent when the document never names the
@@ -67,7 +89,11 @@ pub struct ManifestError {
 }
 
 impl ManifestError {
-    fn new(path: impl Into<String>, line: Option<usize>, msg: impl Into<String>) -> ManifestError {
+    pub(crate) fn new(
+        path: impl Into<String>,
+        line: Option<usize>,
+        msg: impl Into<String>,
+    ) -> ManifestError {
         ManifestError { path: path.into(), line, msg: msg.into() }
     }
 }
@@ -195,6 +221,54 @@ impl Default for Assertions {
     }
 }
 
+/// The `sweep` section (v2): a whole figure sweep, farmed out as
+/// `shards` deterministic slices and merged byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Figure names to enumerate, in registry order. Defaults to every
+    /// matrix-backed figure ([`memnet_bench::figures::SWEEP_FIGURES`]).
+    pub figures: Vec<String>,
+    /// How many shards to split the cell set into (1..=[`MAX_SHARDS`]).
+    pub shards: u32,
+    /// Evaluation period per cell, microseconds.
+    pub eval_us: u64,
+    /// Base RNG seed for every cell.
+    pub seed: u64,
+    /// Attach the observability section to every report (a fingerprint
+    /// dimension — observed and unobserved sweeps cache separately).
+    pub obs: bool,
+    /// Server-side path the merged result JSONL is written to, if any.
+    pub out: Option<String>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> SweepSpec {
+        SweepSpec {
+            figures: SWEEP_FIGURES.iter().map(|&f| f.to_owned()).collect(),
+            shards: 1,
+            eval_us: 1_000,
+            seed: 0xC0FFEE,
+            obs: false,
+            out: None,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// The bench [`Settings`] every shard of this sweep runs under. The
+    /// daemon executes shards single-threaded like any other job; thread
+    /// count never affects results.
+    pub fn settings(&self) -> Settings {
+        Settings {
+            eval_period: SimDuration::from_us(self.eval_us),
+            threads: 1,
+            seed: self.seed,
+            obs: self.obs,
+            ..Settings::default()
+        }
+    }
+}
+
 /// One parsed, schema-checked manifest.
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -204,6 +278,10 @@ pub struct Manifest {
     pub limits: Limits,
     /// Result assertions.
     pub assertions: Assertions,
+    /// The sweep spec (v2); present iff this is a sweep manifest, in
+    /// which case `run`, `limits` and `assertions` hold their defaults
+    /// and must not appear in the document.
+    pub sweep: Option<SweepSpec>,
 }
 
 /// Field-typed accessors over a [`Value`], each error carrying the field
@@ -240,6 +318,13 @@ impl<'a> Field<'a> {
         self.value
             .num::<f64>()
             .map_err(|_| self.err(format!("expected a number, got {:?}", self.value)))
+    }
+
+    fn bool(&self) -> Result<bool, ManifestError> {
+        match self.value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(self.err(format!("expected true or false, got {:?}", self.value))),
+        }
     }
 }
 
@@ -286,8 +371,10 @@ impl Manifest {
         })?;
         let mut manifest = Manifest::default();
         let mut saw_schema = false;
-        let mut saw_version = false;
-        walk_section(text, "", &doc, &["schema", "v", "run", "limits", "assertions"], |key, f| {
+        let mut version: Option<u64> = None;
+        let mut run_sections: Vec<&str> = Vec::new();
+        const TOP: &[&str] = &["schema", "v", "run", "limits", "assertions", "sweep"];
+        walk_section(text, "", &doc, TOP, |key, f| {
             match key {
                 "schema" => {
                     let s = f.str()?;
@@ -298,16 +385,26 @@ impl Manifest {
                 }
                 "v" => {
                     let v = f.u64()?;
-                    if v != MANIFEST_VERSION {
+                    if !(1..=MANIFEST_VERSION).contains(&v) {
                         return Err(f.err(format!(
-                            "unsupported manifest version {v} (this build speaks v{MANIFEST_VERSION})"
+                            "unsupported manifest version {v} (this build speaks v1..=v{MANIFEST_VERSION})"
                         )));
                     }
-                    saw_version = true;
+                    version = Some(v);
                 }
-                "run" => manifest.run = parse_run(text, f.value)?,
-                "limits" => manifest.limits = parse_limits(text, f.value)?,
-                "assertions" => manifest.assertions = parse_assertions(text, f.value)?,
+                "run" => {
+                    run_sections.push("run");
+                    manifest.run = parse_run(text, f.value)?;
+                }
+                "limits" => {
+                    run_sections.push("limits");
+                    manifest.limits = parse_limits(text, f.value)?;
+                }
+                "assertions" => {
+                    run_sections.push("assertions");
+                    manifest.assertions = parse_assertions(text, f.value)?;
+                }
+                "sweep" => manifest.sweep = Some(parse_sweep(text, f.value)?),
                 _ => unreachable!("walk_section rejects unknown keys"),
             }
             Ok(())
@@ -319,12 +416,29 @@ impl Manifest {
                 format!("missing; a manifest must declare \"schema\": {MANIFEST_SCHEMA:?}"),
             ));
         }
-        if !saw_version {
+        let Some(version) = version else {
             return Err(ManifestError::new(
                 "v",
                 None,
-                format!("missing; a manifest must declare \"v\": {MANIFEST_VERSION}"),
+                format!("missing; a manifest must declare \"v\": 1..={MANIFEST_VERSION}"),
             ));
+        };
+        if manifest.sweep.is_some() {
+            if version < 2 {
+                return Err(ManifestError::new(
+                    "sweep",
+                    line_of(text, "sweep"),
+                    format!("the sweep section requires \"v\": 2 (this document says {version})"),
+                ));
+            }
+            if let Some(section) = run_sections.first() {
+                return Err(ManifestError::new(
+                    *section,
+                    line_of(text, section),
+                    "a sweep manifest describes the whole sweep; it cannot also carry \
+                     run/limits/assertions sections (submit a separate run manifest)",
+                ));
+            }
         }
         if manifest.run.calibration.is_some()
             && manifest.run.energy_backend != EnergyBackendKind::Idd
@@ -344,6 +458,14 @@ impl Manifest {
     /// identity. Paths resolve relative to the executing process's
     /// working directory (the daemon's, when submitted to a server).
     pub fn resolve(&self) -> Result<ResolvedJob, ManifestError> {
+        if self.sweep.is_some() {
+            return Err(ManifestError::new(
+                "sweep",
+                None,
+                "a sweep manifest is not a single run; the daemon farms it out per shard \
+                 (offline: `memnet run-manifest` executes every shard sequentially)",
+            ));
+        }
         let run = &self.run;
         let replay: Option<Arc<RequestTrace>> = match &run.replay {
             None => None,
@@ -418,12 +540,12 @@ impl Manifest {
         }
         // Thread count never affects results and the server runs each
         // engine single-threaded; cache_dir is a store location, not an
-        // identity.
+        // identity, and the shard tag is pure log attribution.
         let settings = Settings {
             eval_period: SimDuration::from_us(run.eval_us),
             threads: 1,
             seed,
-            cache_dir: None,
+            ..Settings::default()
         };
         let fingerprint = key.fingerprint(&settings);
 
@@ -598,6 +720,58 @@ fn parse_assertions(text: &str, value: &Value) -> Result<Assertions, ManifestErr
     Ok(assertions)
 }
 
+fn parse_sweep(text: &str, value: &Value) -> Result<SweepSpec, ManifestError> {
+    let mut sweep = SweepSpec::default();
+    const KNOWN: &[&str] = &["figures", "shards", "eval_us", "seed", "obs", "out"];
+    walk_section(text, "sweep", value, KNOWN, |key, f| {
+        match key {
+            "figures" => {
+                let arr = f
+                    .value
+                    .as_array()
+                    .map_err(|_| f.err(format!("expected an array, got {:?}", f.value)))?;
+                if arr.is_empty() {
+                    return Err(f.err("must name at least one figure (omit the key for all)"));
+                }
+                let mut figures = Vec::with_capacity(arr.len());
+                for v in arr {
+                    let name = v.as_str().map_err(|_| {
+                        f.err(format!("expected an array of figure names, got {v:?}"))
+                    })?;
+                    if !SWEEP_FIGURES.contains(&name) {
+                        return Err(f.err(format!(
+                            "unknown figure {name:?} (valid figures: {})",
+                            SWEEP_FIGURES.join(", ")
+                        )));
+                    }
+                    figures.push(name.to_owned());
+                }
+                sweep.figures = figures;
+            }
+            "shards" => {
+                let n = f.u64()?;
+                if n == 0 || n > u64::from(MAX_SHARDS) {
+                    return Err(f.err(format!("must be in 1..={MAX_SHARDS}")));
+                }
+                sweep.shards = n as u32;
+            }
+            "eval_us" => {
+                let n = f.u64()?;
+                if n == 0 {
+                    return Err(f.err("must be positive"));
+                }
+                sweep.eval_us = n;
+            }
+            "seed" => sweep.seed = f.u64()?,
+            "obs" => sweep.obs = f.bool()?,
+            "out" => sweep.out = Some(f.str()?.to_owned()),
+            _ => unreachable!("walk_section rejects unknown keys"),
+        }
+        Ok(())
+    })?;
+    Ok(sweep)
+}
+
 /// A manifest resolved into something executable: the validated config,
 /// the injected backend (when calibrated), and the job's cache identity.
 #[derive(Debug, Clone)]
@@ -608,8 +782,9 @@ pub struct ResolvedJob {
     pub cfg: SimConfig,
     /// Calibrated model replacing the stock backend, if any.
     pub backend: Option<IddModel>,
-    /// Persistent-cache identity of the *full* run (schema-v8 bench
-    /// fingerprint). Equal fingerprints guarantee byte-identical reports.
+    /// Persistent-cache identity of the *full* run (the bench crate's
+    /// schema-versioned fingerprint). Equal fingerprints guarantee
+    /// byte-identical reports.
     pub fingerprint: String,
     /// In-flight dedup identity: the fingerprint plus any
     /// result-truncating limits. Two manifests with equal `job_key`
@@ -648,9 +823,12 @@ mod tests {
         assert!(manifest("{\"schema\":\"memnet-manifest\"}").unwrap_err().path == "v");
         let err = manifest("{\"schema\":\"bogus\",\"v\":1}").unwrap_err();
         assert_eq!(err.path, "schema");
-        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":2}").unwrap_err();
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":3}").unwrap_err();
         assert_eq!(err.path, "v");
         assert!(err.msg.contains("unsupported"));
+        // Both spoken versions parse.
+        manifest("{\"schema\":\"memnet-manifest\",\"v\":1}").unwrap();
+        manifest("{\"schema\":\"memnet-manifest\",\"v\":2}").unwrap();
     }
 
     #[test]
@@ -736,7 +914,7 @@ mod tests {
         )
         .unwrap();
         let job = m.resolve().unwrap();
-        assert!(job.fingerprint.starts_with("v8|"), "{}", job.fingerprint);
+        assert!(job.fingerprint.starts_with("v9|"), "{}", job.fingerprint);
         assert!(job.fingerprint.contains("wl=mixD"));
         assert!(job.fingerprint.contains("seed=7"));
         assert!(job.cache_eligible);
@@ -767,6 +945,96 @@ mod tests {
         let job = m.resolve().unwrap();
         assert!(job.cache_eligible);
         assert_eq!(job.job_key, job.fingerprint);
+    }
+
+    #[test]
+    fn sweep_section_parses_with_defaults() {
+        let m = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{}}").unwrap();
+        let sweep = m.sweep.expect("sweep present");
+        assert_eq!(sweep, SweepSpec::default());
+        assert_eq!(sweep.figures.len(), SWEEP_FIGURES.len(), "defaults to every figure");
+        assert_eq!(sweep.shards, 1);
+        assert_eq!(sweep.eval_us, 1_000);
+        assert_eq!(sweep.seed, 0xC0FFEE);
+        assert!(!sweep.obs);
+        assert!(sweep.out.is_none());
+
+        let m = manifest(
+            "{\"schema\":\"memnet-manifest\",\"v\":2,\
+             \"sweep\":{\"figures\":[\"fig05\",\"model_diff\"],\"shards\":4,\
+             \"eval_us\":50,\"seed\":7,\"obs\":true,\"out\":\"m.jsonl\"}}",
+        )
+        .unwrap();
+        let sweep = m.sweep.unwrap();
+        assert_eq!(sweep.figures, ["fig05", "model_diff"]);
+        assert_eq!(sweep.shards, 4);
+        assert_eq!(sweep.eval_us, 50);
+        assert_eq!(sweep.seed, 7);
+        assert!(sweep.obs);
+        assert_eq!(sweep.out.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
+    fn sweep_requires_v2() {
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":1,\n\"sweep\":{}}").unwrap_err();
+        assert_eq!(err.path, "sweep");
+        assert_eq!(err.line, Some(2));
+        assert!(err.msg.contains("\"v\": 2"), "{}", err.msg);
+    }
+
+    #[test]
+    fn sweep_excludes_run_limits_and_assertions() {
+        let err = manifest(
+            "{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{},\
+             \"run\":{\"workload\":\"mixD\"}}",
+        )
+        .unwrap_err();
+        assert_eq!(err.path, "run");
+        assert!(err.msg.contains("sweep manifest"), "{}", err.msg);
+        let err = manifest(
+            "{\"schema\":\"memnet-manifest\",\"v\":2,\
+             \"limits\":{\"max_events\":5},\"sweep\":{}}",
+        )
+        .unwrap_err();
+        assert_eq!(err.path, "limits");
+    }
+
+    #[test]
+    fn sweep_validates_figures_shards_and_obs() {
+        let err = manifest(
+            "{\"schema\":\"memnet-manifest\",\"v\":2,\
+             \"sweep\":{\"figures\":[\"fig99\"]}}",
+        )
+        .unwrap_err();
+        assert_eq!(err.path, "sweep.figures");
+        assert!(err.msg.contains("fig99"));
+        assert!(err.msg.contains("fig05"), "lists valid figures: {}", err.msg);
+
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{\"shards\":0}}")
+            .unwrap_err();
+        assert_eq!(err.path, "sweep.shards");
+        assert!(err.msg.contains("1..=4096"), "{}", err.msg);
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{\"shards\":5000}}")
+            .unwrap_err();
+        assert_eq!(err.path, "sweep.shards");
+
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{\"obs\":\"yes\"}}")
+            .unwrap_err();
+        assert_eq!(err.path, "sweep.obs");
+        assert!(err.msg.contains("true or false"), "{}", err.msg);
+
+        let err = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{\"figs\":[]}}")
+            .unwrap_err();
+        assert_eq!(err.path, "sweep.figs");
+        assert!(err.msg.contains("figures"), "suggests valid keys: {}", err.msg);
+    }
+
+    #[test]
+    fn sweep_manifests_do_not_resolve_to_a_single_job() {
+        let m = manifest("{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{}}").unwrap();
+        let err = m.resolve().unwrap_err();
+        assert_eq!(err.path, "sweep");
+        assert!(err.msg.contains("not a single run"), "{}", err.msg);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Clients speak newline-delimited JSON. Each request line is one op:
 //!
-//! - `{"op":"submit","manifest":{…}}` — submit a memnet-manifest v1
+//! - `{"op":"submit","manifest":{…}}` — submit a memnet-manifest (v1
+//!   run, or v2 with a `sweep` section)
 //! - `{"op":"cancel","job":N}` — cancel a previously queued job
 //! - `{"op":"status"}` — queue depth, running count and counters
 //! - `{"op":"shutdown"}` — graceful drain (see below)
@@ -27,6 +28,20 @@
 //!
 //! Identical concurrent submissions therefore simulate exactly once.
 //!
+//! ## Sweep farm-out
+//!
+//! A v2 sweep manifest becomes `shards` independent queue items sharing
+//! the submitting client's queue, so a sweep competes with other clients
+//! exactly like that many single runs would. Each shard slice computes
+//! its deterministic subset of the figure matrix (hitting the daemon's
+//! persistent result cache per cell); the last slice to retire merges
+//! the shard texts into output byte-identical to an unsharded `memnet
+//! sweep`, writes the spec's `out` path if named, and delivers one
+//! `done` event per subscriber carrying the `memnet-sweep-result`
+//! payload. Identical concurrent sweep submissions coalesce onto one
+//! farm-out, keyed by figure list + shard count + fingerprint-set digest
+//! + output path.
+//!
 //! ## Graceful shutdown
 //!
 //! SIGINT/SIGTERM (via [`crate::signal`]) or a `shutdown` op flips one
@@ -43,13 +58,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use memnet_bench::DiskCache;
+use memnet_bench::shard::{self, Shard, SweepPlan};
+use memnet_bench::{DiskCache, EnsureStats, Matrix, Settings};
 use memnet_core::StopReason;
 use serde::{json, Serialize};
 
 use crate::job::{self, CacheNote, ResultPayload};
-use crate::manifest::{Assertions, Manifest, ResolvedJob};
+use crate::manifest::{Assertions, Manifest, ResolvedJob, SweepSpec};
 use crate::signal;
+use crate::sweep;
 
 /// How the daemon is set up.
 #[derive(Debug, Clone)]
@@ -93,6 +110,12 @@ pub struct Stats {
     pub completed: u64,
     /// Jobs cancelled (queued or running).
     pub cancelled: u64,
+    /// Sweep manifests accepted and farmed out (coalesced sweep
+    /// submissions count under `coalesced` instead).
+    pub sweeps: u64,
+    /// Sweep shard slices executed by workers (not counted under
+    /// `simulated`, which tallies single-run manifests).
+    pub shards: u64,
 }
 
 /// The writing half of one client connection. Workers and the scheduler
@@ -135,7 +158,8 @@ struct Sub {
     coalesced: bool,
 }
 
-/// One unit of work: a resolved job plus everyone waiting on it.
+/// One single-run unit of work: a resolved job plus everyone waiting on
+/// it.
 struct JobExec {
     job: ResolvedJob,
     cancel: Arc<AtomicBool>,
@@ -143,17 +167,62 @@ struct JobExec {
     started: AtomicBool,
 }
 
+/// One subscriber to a sweep (no per-submission assertions: a sweep has
+/// none).
+struct SweepSub {
+    conn: Arc<ConnOut>,
+    job_id: u64,
+}
+
+/// Shard results collected so far.
+struct SweepSlots {
+    /// One slot per shard, filled with the shard's result text.
+    texts: Vec<Option<String>>,
+    /// Aggregate ensure counters across finished shards.
+    stats: EnsureStats,
+    /// How many shards have retired (run or skipped-by-cancel).
+    done: u32,
+}
+
+/// One in-flight sweep: the spec, its enumerated plan, and everyone
+/// waiting on the merge. Its `shards` queue items execute independently;
+/// the last one to retire merges and delivers.
+struct SweepRun {
+    spec: SweepSpec,
+    plan: SweepPlan,
+    settings: Settings,
+    job_key: String,
+    cancel: AtomicBool,
+    started: AtomicBool,
+    subs: Mutex<Vec<SweepSub>>,
+    slots: Mutex<SweepSlots>,
+}
+
+/// One queue item: a whole single-run job, or one shard of a sweep.
+enum Work {
+    Run(Arc<JobExec>),
+    Shard(Arc<SweepRun>, u32),
+}
+
+/// A queued or running submission, by kind (the `jobs`/`inflight` table
+/// entry).
+#[derive(Clone)]
+enum Inflight {
+    Run(Arc<JobExec>),
+    Sweep(Arc<SweepRun>),
+}
+
 /// Everything behind the scheduler lock.
 #[derive(Default)]
 struct Sched {
     /// Per-client FIFO queues, serviced round-robin.
-    queues: Vec<(u64, VecDeque<Arc<JobExec>>)>,
+    queues: Vec<(u64, VecDeque<Work>)>,
     /// Next queue index to service.
     rr: usize,
     /// Queued or running jobs by `job_key` (the dedup table).
-    inflight: HashMap<String, Arc<JobExec>>,
+    inflight: HashMap<String, Inflight>,
     /// Every live job id, for `cancel`.
-    jobs: HashMap<u64, Arc<JobExec>>,
+    jobs: HashMap<u64, Inflight>,
     next_job: u64,
     running: usize,
     stats: Stats,
@@ -164,20 +233,20 @@ impl Sched {
         self.queues.iter().map(|(_, q)| q.len()).sum()
     }
 
-    fn enqueue(&mut self, client: u64, exec: Arc<JobExec>) {
+    fn enqueue(&mut self, client: u64, work: Work) {
         match self.queues.iter_mut().find(|(c, _)| *c == client) {
-            Some((_, q)) => q.push_back(exec),
-            None => self.queues.push((client, VecDeque::from([exec]))),
+            Some((_, q)) => q.push_back(work),
+            None => self.queues.push((client, VecDeque::from([work]))),
         }
     }
 
-    /// Pops the next job round-robin across client queues.
-    fn pop_next(&mut self) -> Option<Arc<JobExec>> {
+    /// Pops the next work item round-robin across client queues.
+    fn pop_next(&mut self) -> Option<Work> {
         if self.queues.is_empty() {
             return None;
         }
         self.rr %= self.queues.len();
-        let exec = self.queues[self.rr].1.pop_front().expect("no empty queues are kept");
+        let work = self.queues[self.rr].1.pop_front().expect("no empty queues are kept");
         if self.queues[self.rr].1.is_empty() {
             self.queues.remove(self.rr);
             // The vec shifted left; `rr` now already points at the next
@@ -185,14 +254,16 @@ impl Sched {
         } else {
             self.rr += 1;
         }
-        Some(exec)
+        Some(work)
     }
 
     /// Drops an exec from whichever queue holds it (cancel of a queued
     /// job whose last subscriber left).
     fn unqueue(&mut self, exec: &Arc<JobExec>) {
         for (_, q) in &mut self.queues {
-            if let Some(pos) = q.iter().position(|e| Arc::ptr_eq(e, exec)) {
+            if let Some(pos) =
+                q.iter().position(|w| matches!(w, Work::Run(e) if Arc::ptr_eq(e, exec)))
+            {
                 q.remove(pos);
                 break;
             }
@@ -209,6 +280,13 @@ struct State {
     /// Lock order: `sched` may be taken, then `cache` nested inside it.
     /// Never the reverse.
     cache: Option<Mutex<DiskCache>>,
+    /// The cache directory, so sweep shards can share the persistent
+    /// result cache. Each shard opens its own [`DiskCache`] handle
+    /// (writes are atomic renames, so concurrent shards never clobber
+    /// each other); entries a shard stores become visible to the
+    /// server's own handle above on its next reopen, i.e. the next
+    /// daemon start — the in-memory `cache` index is load-at-open.
+    cache_dir: Option<PathBuf>,
     progress_every: u64,
 }
 
@@ -259,6 +337,7 @@ impl Server {
                 cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 cache,
+                cache_dir: cfg.cache_dir.clone(),
                 progress_every: cfg.progress_every,
             }),
             workers: cfg.workers.max(1),
@@ -412,6 +491,9 @@ fn submit(state: &Arc<State>, client: u64, out: &Arc<ConnOut>, manifest: &json::
         Ok(m) => m,
         Err(e) => return reject(&e),
     };
+    if manifest.sweep.is_some() {
+        return submit_sweep(state, client, out, &manifest);
+    }
     let job = match manifest.resolve() {
         Ok(job) => job,
         Err(e) => return reject(&e),
@@ -437,10 +519,10 @@ fn submit(state: &Arc<State>, client: u64, out: &Arc<ConnOut>, manifest: &json::
         let job_id = sched.next_job;
         sched.next_job += 1;
 
-        if let Some(exec) = sched.inflight.get(&job.job_key).cloned() {
+        if let Some(Inflight::Run(exec)) = sched.inflight.get(&job.job_key).cloned() {
             // Identical job already queued or running: coalesce.
             sched.stats.coalesced += 1;
-            sched.jobs.insert(job_id, Arc::clone(&exec));
+            sched.jobs.insert(job_id, Inflight::Run(Arc::clone(&exec)));
             exec.subs.lock().unwrap().push(Sub {
                 conn: Arc::clone(out),
                 job_id,
@@ -483,15 +565,98 @@ fn submit(state: &Arc<State>, client: u64, out: &Arc<ConnOut>, manifest: &json::
                  \"coalesced\":false,\"cached\":false}}",
                 js(&exec.job.fingerprint)
             ));
-            sched.inflight.insert(exec.job.job_key.clone(), Arc::clone(&exec));
-            sched.jobs.insert(job_id, Arc::clone(&exec));
-            sched.enqueue(client, exec);
+            sched.inflight.insert(exec.job.job_key.clone(), Inflight::Run(Arc::clone(&exec)));
+            sched.jobs.insert(job_id, Inflight::Run(Arc::clone(&exec)));
+            sched.enqueue(client, Work::Run(exec));
             state.cv.notify_one();
         }
     }
     if let Some(line) = deferred {
         out.send(&line);
     }
+}
+
+/// Handles one sweep-manifest `submit`: enumerate the plan, then either
+/// coalesce onto an identical in-flight sweep or queue one work item per
+/// shard. Shard runs share the daemon's persistent result cache, so
+/// already-simulated cells are disk hits exactly as in `memnet sweep`.
+/// (A sweep fingerprint set may be huge, so there is no whole-sweep
+/// cache short-circuit; the per-cell cache serves that purpose.)
+fn submit_sweep(state: &Arc<State>, client: u64, out: &Arc<ConnOut>, manifest: &Manifest) {
+    let reject = |err: &crate::ManifestError| {
+        state.sched.lock().unwrap().stats.rejected += 1;
+        out.send(&event_rejected(err));
+    };
+    let spec = manifest.sweep.clone().expect("submit_sweep is only called for sweep manifests");
+    let mut settings = spec.settings();
+    settings.cache_dir = state.cache_dir.clone();
+    let plan = match SweepPlan::new(&spec.figures, &settings) {
+        Ok(plan) => plan,
+        Err(e) => {
+            return reject(&crate::ManifestError { path: "sweep".to_owned(), line: None, msg: e })
+        }
+    };
+    let job_key = sweep::sweep_job_key(&spec, &plan);
+
+    let mut sched = state.sched.lock().unwrap();
+    if state.shutdown.load(Ordering::Relaxed) {
+        drop(sched);
+        return reject(&crate::ManifestError {
+            path: "manifest".to_owned(),
+            line: None,
+            msg: "server is shutting down and refuses new submissions".to_owned(),
+        });
+    }
+    sched.stats.submitted += 1;
+    let job_id = sched.next_job;
+    sched.next_job += 1;
+
+    if let Some(Inflight::Sweep(run)) = sched.inflight.get(&job_key).cloned() {
+        // Identical sweep already in flight: coalesce onto its merge.
+        sched.stats.coalesced += 1;
+        sched.jobs.insert(job_id, Inflight::Sweep(Arc::clone(&run)));
+        run.subs.lock().unwrap().push(SweepSub { conn: Arc::clone(out), job_id });
+        out.send(&event_sweep_queued(job_id, &run, true));
+        if run.started.load(Ordering::Relaxed) {
+            out.send(&format!("{{\"event\":\"started\",\"job\":{job_id}}}"));
+        }
+        return;
+    }
+
+    sched.stats.sweeps += 1;
+    let shards = spec.shards;
+    let run = Arc::new(SweepRun {
+        slots: Mutex::new(SweepSlots {
+            texts: vec![None; shards as usize],
+            stats: EnsureStats::default(),
+            done: 0,
+        }),
+        subs: Mutex::new(vec![SweepSub { conn: Arc::clone(out), job_id }]),
+        cancel: AtomicBool::new(false),
+        started: AtomicBool::new(false),
+        spec,
+        plan,
+        settings,
+        job_key: job_key.clone(),
+    });
+    out.send(&event_sweep_queued(job_id, &run, false));
+    sched.inflight.insert(job_key, Inflight::Sweep(Arc::clone(&run)));
+    sched.jobs.insert(job_id, Inflight::Sweep(Arc::clone(&run)));
+    for index in 0..shards {
+        sched.enqueue(client, Work::Shard(Arc::clone(&run), index));
+    }
+    drop(sched);
+    state.cv.notify_all();
+}
+
+fn event_sweep_queued(job_id: u64, run: &SweepRun, coalesced: bool) -> String {
+    format!(
+        "{{\"event\":\"queued\",\"job\":{job_id},\"sweep\":true,\"shards\":{},\"cells\":{},\
+         \"set\":{},\"coalesced\":{coalesced},\"cached\":false}}",
+        run.spec.shards,
+        run.plan.len(),
+        js(&run.plan.set_digest),
+    )
 }
 
 /// Builds a payload from the persistent cache, if the job is eligible
@@ -517,15 +682,31 @@ fn cached_payload(state: &State, job: &ResolvedJob) -> Option<ResultPayload> {
 /// leaves the queue when nobody is left waiting); a running job gets its
 /// cancel flag set, which stops the engine at the next poll — note that
 /// cancelling a running job cancels it for every coalesced subscriber.
+///
+/// Cancelling a sweep flips its flag: shards not yet started retire as
+/// no-ops, any currently running shard completes (the ensure loop has no
+/// mid-cell poll), and the finalizer then delivers one `cancelled` event
+/// per subscriber — a sweep cancel always cancels every coalesced
+/// subscriber.
 fn cancel(state: &Arc<State>, out: &Arc<ConnOut>, job_id: u64) {
     let mut sched = state.sched.lock().unwrap();
-    let Some(exec) = sched.jobs.get(&job_id).cloned() else {
+    let Some(entry) = sched.jobs.get(&job_id).cloned() else {
         drop(sched);
         out.send(&format!(
             "{{\"event\":\"error\",\"error\":{}}}",
             js(&format!("no such job {job_id}"))
         ));
         return;
+    };
+    let exec = match entry {
+        Inflight::Sweep(run) => {
+            run.cancel.store(true, Ordering::Relaxed);
+            drop(sched);
+            // The `cancelled` event arrives from the sweep finalizer
+            // once every shard slot has retired.
+            return;
+        }
+        Inflight::Run(exec) => exec,
     };
     if exec.started.load(Ordering::Relaxed) {
         exec.cancel.store(true, Ordering::Relaxed);
@@ -546,16 +727,19 @@ fn cancel(state: &Arc<State>, out: &Arc<ConnOut>, job_id: u64) {
     out.send(&format!("{{\"event\":\"cancelled\",\"job\":{job_id}}}"));
 }
 
-/// One worker thread: pull jobs round-robin, simulate, deliver.
+/// One worker thread: pull work round-robin, simulate, deliver.
 fn worker_loop(state: &Arc<State>) {
     loop {
-        let exec = {
+        let work = {
             let mut sched = state.sched.lock().unwrap();
             loop {
-                if let Some(exec) = sched.pop_next() {
+                if let Some(work) = sched.pop_next() {
                     sched.running += 1;
-                    sched.stats.simulated += 1;
-                    break Some(exec);
+                    match &work {
+                        Work::Run(_) => sched.stats.simulated += 1,
+                        Work::Shard(..) => sched.stats.shards += 1,
+                    }
+                    break Some(work);
                 }
                 if state.shutdown.load(Ordering::Relaxed) {
                     break None;
@@ -563,8 +747,11 @@ fn worker_loop(state: &Arc<State>) {
                 sched = state.cv.wait(sched).unwrap();
             }
         };
-        let Some(exec) = exec else { return };
-        run_job(state, &exec);
+        match work {
+            None => return,
+            Some(Work::Run(exec)) => run_job(state, &exec),
+            Some(Work::Shard(run, index)) => run_sweep_shard(state, &run, index),
+        }
     }
 }
 
@@ -605,7 +792,7 @@ fn run_job(state: &Arc<State>, exec: &Arc<JobExec>) {
     let subs = {
         let mut sched = state.sched.lock().unwrap();
         sched.running -= 1;
-        if let Some(current) = sched.inflight.get(&exec.job.job_key) {
+        if let Some(Inflight::Run(current)) = sched.inflight.get(&exec.job.job_key) {
             if Arc::ptr_eq(current, exec) {
                 sched.inflight.remove(&exec.job.job_key);
             }
@@ -634,5 +821,120 @@ fn run_job(state: &Arc<State>, exec: &Arc<JobExec>) {
             _ => "failed",
         };
         sub.conn.send(&event_result(kind, sub.job_id, &payload));
+    }
+}
+
+/// Executes one shard of a sweep: run it (unless the sweep was
+/// cancelled), record its result text, emit a `progress` event, and — if
+/// this was the last outstanding shard — merge and deliver.
+fn run_sweep_shard(state: &Arc<State>, run: &Arc<SweepRun>, index: u32) {
+    if !run.started.swap(true, Ordering::Relaxed) {
+        for sub in run.subs.lock().unwrap().iter() {
+            sub.conn.send(&format!("{{\"event\":\"started\",\"job\":{}}}", sub.job_id));
+        }
+    }
+    // A cancelled sweep's remaining shards drain as no-ops; there is no
+    // mid-shard poll (the matrix ensure loop runs cells to completion).
+    let result = if run.cancel.load(Ordering::Relaxed) {
+        None
+    } else {
+        let mut matrix = Matrix::new();
+        let piece = Shard { index, of: run.spec.shards };
+        Some(shard::run_shard(&run.plan, piece, &run.settings, &mut matrix))
+    };
+
+    let (done, last) = {
+        let mut slots = run.slots.lock().unwrap();
+        if let Some((text, stats)) = result {
+            slots.texts[index as usize] = Some(text);
+            sweep::add_stats(&mut slots.stats, stats);
+        }
+        slots.done += 1;
+        (slots.done, slots.done == run.spec.shards)
+    };
+    for sub in run.subs.lock().unwrap().iter() {
+        sub.conn.send(&format!(
+            "{{\"event\":\"progress\",\"job\":{},\"shards_done\":{done},\"shards\":{}}}",
+            sub.job_id, run.spec.shards,
+        ));
+    }
+    if last {
+        finish_sweep(state, run);
+    } else {
+        state.sched.lock().unwrap().running -= 1;
+    }
+}
+
+/// Merges a sweep whose last shard just retired, writes the `out` file
+/// when the spec names one, retires the sweep from the scheduler and
+/// delivers one result event per subscriber.
+fn finish_sweep(state: &Arc<State>, run: &Arc<SweepRun>) {
+    let cancelled = run.cancel.load(Ordering::Relaxed);
+    // The merge (and the out-file write) happens outside the scheduler
+    // lock — only this worker can reach a given sweep's finalizer.
+    let outcome: Result<sweep::SweepPayload, String> = if cancelled {
+        let stats = run.slots.lock().unwrap().stats;
+        Ok(sweep::sweep_payload(&run.spec, &run.plan, stats, true))
+    } else {
+        let (named, stats) = {
+            let mut slots = run.slots.lock().unwrap();
+            let texts = std::mem::take(&mut slots.texts);
+            let named: Vec<(String, String)> = texts
+                .into_iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    let name = format!("shard {i}/{}", run.spec.shards);
+                    (name, text.expect("uncancelled sweeps run every shard"))
+                })
+                .collect();
+            (named, slots.stats)
+        };
+        sweep::merge_texts(&named)
+            .map_err(|e| format!("internal merge error: {e}"))
+            .and_then(|merged| match &run.spec.out {
+                None => Ok(merged),
+                Some(path) => std::fs::write(path, &merged.text)
+                    .map(|()| merged)
+                    .map_err(|e| format!("writing sweep output {path}: {e}")),
+            })
+            .map(|_| sweep::sweep_payload(&run.spec, &run.plan, stats, false))
+    };
+
+    let subs = {
+        let mut sched = state.sched.lock().unwrap();
+        sched.running -= 1;
+        if let Some(Inflight::Sweep(current)) = sched.inflight.get(&run.job_key) {
+            if Arc::ptr_eq(current, run) {
+                sched.inflight.remove(&run.job_key);
+            }
+        }
+        let subs = std::mem::take(&mut *run.subs.lock().unwrap());
+        for sub in &subs {
+            sched.jobs.remove(&sub.job_id);
+        }
+        if cancelled {
+            sched.stats.cancelled += subs.len() as u64;
+        } else {
+            sched.stats.completed += subs.len() as u64;
+        }
+        subs
+    };
+    for sub in subs {
+        let line = match &outcome {
+            Ok(payload) if cancelled => format!(
+                "{{\"event\":\"cancelled\",\"job\":{},\"result\":{}}}",
+                sub.job_id,
+                json::to_string(payload)
+            ),
+            Ok(payload) => format!(
+                "{{\"event\":\"done\",\"job\":{},\"result\":{}}}",
+                sub.job_id,
+                json::to_string(payload)
+            ),
+            Err(msg) => {
+                format!("{{\"event\":\"failed\",\"job\":{},\"error\":{}}}", sub.job_id, js(msg))
+            }
+        };
+        sub.conn.send(&line);
     }
 }

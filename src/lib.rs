@@ -22,6 +22,8 @@
 //! - [`policy`] — power-control mechanisms and management policies
 //! - [`workload`] — the 14 paper workloads as synthetic generators
 //! - [`core`] — the simulator engine, configuration and reports
+//! - [`bench`] — the figure/experiment matrix, its persistent result
+//!   cache and the sweep shard partitioner
 //! - [`serve`] — the manifest-driven batch simulation server
 //!
 //! # Quickstart
@@ -47,6 +49,7 @@
 //! # }
 //! ```
 
+pub use memnet_bench as bench;
 pub use memnet_core as core;
 pub use memnet_dram as dram;
 pub use memnet_faults as faults;

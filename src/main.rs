@@ -41,11 +41,17 @@
 //! diverges beyond `--threshold` percent.
 //!
 //! `memnet serve` runs the manifest-driven batch simulation daemon;
-//! `memnet submit MANIFEST` sends a memnet-manifest v1 document to it and
+//! `memnet submit MANIFEST` sends a memnet-manifest document to it and
 //! prints the standardized result payload; `memnet run-manifest MANIFEST`
 //! executes the same document offline (byte-identical result);
 //! `memnet shutdown` asks a daemon to drain and exit. See
 //! `memnet::serve` for the manifest schema and the exit-code contract.
+//!
+//! `memnet sweep [--shard i/n]` computes one deterministic shard of the
+//! figure matrix and dumps it as memnet-sweep JSONL; `memnet merge`
+//! recombines per-shard files into output byte-identical to the
+//! unsharded run (`--check` validates coverage without writing). See
+//! `memnet::bench::shard` for the partition and file format.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -97,6 +103,8 @@ fn usage() -> &'static str {
      \x20      memnet submit MANIFEST [--addr A] [--out FILE]\n\
      \x20      memnet run-manifest MANIFEST [--out FILE]\n\
      \x20      memnet shutdown [--addr A]\n\
+     \x20      memnet sweep [--shard I/N] [--figures LIST] [--obs] [--out FILE]\n\
+     \x20      memnet merge [--check] [--out FILE] SHARD_FILE...\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
      \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
      \x20 --obs:         keep per-epoch time-series samples in the report\n\
@@ -125,7 +133,15 @@ fn usage() -> &'static str {
      \x20                4 rejected, 5 cancelled)\n\
      \x20 run-manifest:  execute a manifest offline with the same result payload\n\
      \x20                and exit contract as submit, byte-identical report\n\
-     \x20 shutdown:      ask a daemon to drain its queue and exit"
+     \x20 shutdown:      ask a daemon to drain its queue and exit\n\
+     \x20 sweep:         compute one deterministic shard of the figure matrix and\n\
+     \x20                dump memnet-sweep JSONL (figures default to the full\n\
+     \x20                registry; eval/seed/cache from MEMNET_EVAL_US,\n\
+     \x20                MEMNET_SEED, MEMNET_CACHE_DIR / MEMNET_NO_CACHE)\n\
+     \x20 merge:         recombine per-shard sweep files into output\n\
+     \x20                byte-identical to the unsharded run (exit 0 merged,\n\
+     \x20                1 I/O error, 2 mismatched or incomplete shards);\n\
+     \x20                --check validates coverage without writing output"
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -553,6 +569,31 @@ fn run_manifest_command(rest: Vec<String>) -> Result<ExitCode, String> {
             return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
         }
     };
+    if manifest.sweep.is_some() {
+        // A sweep manifest runs every shard sequentially and merges; the
+        // merged text goes to the spec's own `out` path, while --out (or
+        // stdout) receives the memnet-sweep-result payload.
+        let (payload, _text) = match memnet::serve::run_sweep_manifest(&manifest) {
+            Ok(done) => done,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return Ok(ExitCode::from(memnet::serve::EXIT_REJECTED as u8));
+            }
+        };
+        memnet_log!(
+            "{file}: {} ({}) — {} cell(s) across {} shard(s), {} simulated",
+            payload.exit,
+            payload.stop,
+            payload.cells,
+            payload.shards,
+            payload.simulated
+        );
+        return emit_result(
+            &serde::json::to_string(&payload),
+            out.as_deref(),
+            payload.exit_code.into(),
+        );
+    }
     let payload = match memnet::serve::run_manifest(&manifest) {
         Ok(p) => p,
         Err(e) => {
@@ -632,14 +673,33 @@ fn submit_command(rest: Vec<String>) -> Result<ExitCode, String> {
             "queued" => memnet_log!("{file}: queued{}", queue_note(&event)),
             "started" => memnet_log!("{file}: started"),
             "progress" => {
-                let events =
-                    event.get("events").ok().and_then(|v| v.num::<u64>().ok()).unwrap_or(0);
-                memnet_log!("{file}: progress, {events} event(s) processed");
+                // Sweep jobs report shard completions; run jobs report
+                // simulation events.
+                if let Ok(done) = event.get("shards_done").and_then(|v| v.num::<u64>()) {
+                    let total =
+                        event.get("shards").ok().and_then(|v| v.num::<u64>().ok()).unwrap_or(0);
+                    memnet_log!("{file}: progress, {done}/{total} shard(s) done");
+                } else {
+                    let events =
+                        event.get("events").ok().and_then(|v| v.num::<u64>().ok()).unwrap_or(0);
+                    memnet_log!("{file}: progress, {events} event(s) processed");
+                }
             }
             "done" | "failed" | "cancelled" => {
-                let result = event
-                    .get("result")
-                    .map_err(|_| format!("event {kind:?} carried no result: {line}"))?;
+                let result = match event.get("result") {
+                    Ok(result) => result,
+                    Err(_) => {
+                        // A sweep that failed server-side (merge or
+                        // out-file error) carries an error, no payload.
+                        let msg = event
+                            .get("error")
+                            .ok()
+                            .and_then(|v| v.as_str().ok())
+                            .unwrap_or("job failed without a result payload");
+                        eprintln!("error: {file}: {msg}");
+                        return Ok(ExitCode::from(memnet::serve::EXIT_ERROR as u8));
+                    }
+                };
                 let exit_code = result
                     .get("exit_code")
                     .ok()
@@ -724,6 +784,136 @@ fn shutdown_command(rest: Vec<String>) -> Result<(), String> {
     }
     memnet_log!("{addr} is draining its queue and shutting down");
     Ok(())
+}
+
+/// `memnet sweep [--shard I/N] [--figures LIST] [--obs] [--out FILE]`:
+/// compute one deterministic shard of the figure matrix and dump its
+/// results as memnet-sweep JSONL (to `--out`, else stdout). With the
+/// default `--shard 0/1` this is the unsharded whole — the document
+/// `memnet merge` output is byte-compared against.
+fn sweep_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    use memnet::bench::{figures, shard, Matrix, Settings};
+    let mut shard_arg = shard::Shard::full();
+    let mut figure_list: Option<Vec<String>> = None;
+    let mut out: Option<String> = None;
+    let mut obs = false;
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--shard" => shard_arg = shard::Shard::parse(&value("--shard")?)?,
+            "--figures" => {
+                figure_list = Some(
+                    value("--figures")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--out" => out = Some(value("--out")?),
+            "--obs" => obs = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown sweep argument {other:?}\n{}", usage())),
+        }
+    }
+    let mut settings = Settings::from_env();
+    settings.obs = obs;
+    let figure_list = figure_list
+        .unwrap_or_else(|| figures::SWEEP_FIGURES.iter().map(|s| s.to_string()).collect());
+    let plan = shard::SweepPlan::new(&figure_list, &settings)?;
+    let mut matrix = Matrix::new();
+    let (text, stats) = shard::run_shard(&plan, shard_arg, &settings, &mut matrix);
+    match &out {
+        Some(path) => std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    memnet_log!(
+        "[sweep {shard_arg}] {} of {} cell(s): {} memoized, {} cache hit(s), {} simulated{}",
+        stats.requested,
+        plan.len(),
+        stats.memoized,
+        stats.cache_hits,
+        stats.simulated,
+        out.as_deref().map(|p| format!(" -> {p}")).unwrap_or_default()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `memnet merge [--check] [--out FILE] SHARD_FILE...`: recombine
+/// per-shard sweep files into output byte-identical to an unsharded
+/// `memnet sweep` run.
+///
+/// Exit contract: `0` merged cleanly (or, with `--check`, coverage
+/// validated without writing output); `1` I/O or usage error; `2`
+/// validation failure — mismatched headers, foreign cells, or missing
+/// shards/cells, with the offender named on stderr.
+fn merge_command(rest: Vec<String>) -> Result<ExitCode, String> {
+    use memnet::bench::shard;
+    let mut check = false;
+    let mut out: Option<String> = None;
+    let mut files = Vec::new();
+    let mut it = rest.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out = Some(it.next().ok_or("--out requires a value")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') => files.push(other.to_owned()),
+            other => return Err(format!("unknown merge argument {other:?}\n{}", usage())),
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("merge needs at least one shard file\n{}", usage()));
+    }
+    let mut parsed = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        match shard::parse_sweep_file(path, &text) {
+            Ok(f) => parsed.push(f),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return Ok(ExitCode::from(2));
+            }
+        }
+    }
+    let merged = match shard::merge(&parsed) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    // The aggregate counters sum the shards' footers, so `requested`
+    // equals the cell total an unsharded run reports.
+    memnet_log!(
+        "[merge] {} shard(s), {} cell(s); across shards: {} requested, {} memoized, \
+         {} cache hit(s), {} simulated",
+        merged.shards,
+        merged.cells,
+        merged.stats.requested,
+        merged.stats.memoized,
+        merged.stats.cache_hits,
+        merged.stats.simulated
+    );
+    if check {
+        memnet_log!("[merge] check ok: coverage complete; no output written");
+        return Ok(ExitCode::SUCCESS);
+    }
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &merged.text).map_err(|e| format!("writing {path}: {e}"))?;
+            memnet_log!("[merge] wrote {path}");
+        }
+        None => print!("{}", merged.text),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `memnet trace FILE [--csv OUT]`: validate a JSONL trace and print its
@@ -869,6 +1059,24 @@ fn main() -> ExitCode {
         Some("shutdown") => {
             return match shutdown_command(raw.skip(1).collect()) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("sweep") => {
+            return match sweep_command(raw.skip(1).collect()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("merge") => {
+            return match merge_command(raw.skip(1).collect()) {
+                Ok(code) => code,
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE

@@ -90,7 +90,7 @@ fn check_golden(name: &str, actual: &str) {
 /// Changing any of these invalidates (and requires re-blessing) the
 /// snapshots, so they are deliberately independent of the environment.
 fn golden_settings() -> Settings {
-    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, cache_dir: None }
+    Settings { eval_period: SimDuration::from_us(25), threads: 2, seed: 3, ..Settings::default() }
 }
 
 #[test]

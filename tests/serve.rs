@@ -98,6 +98,10 @@ fn result_text(event: &Value) -> String {
     json::to_string(event.get("result").unwrap())
 }
 
+fn flag(event: &Value, key: &str) -> bool {
+    matches!(event.get(key).unwrap(), Value::Bool(true))
+}
+
 /// The quick reference run used throughout: ~140k events, sub-second.
 const QUICK_RUN: &str = "\"run\":{\"workload\":\"mixD\",\"eval_us\":50,\"seed\":7}";
 
@@ -458,6 +462,124 @@ fn graceful_shutdown_finishes_inflight_work_and_refuses_new_submissions() {
     assert_eq!(stats.simulated, 1);
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.rejected, 1);
+}
+
+#[test]
+fn sweep_manifest_farms_out_and_merges_byte_identical_to_offline() {
+    let offline_out = tmp("sweep-offline.jsonl");
+    let daemon_out = tmp("sweep-daemon.jsonl");
+    let manifest_path = tmp("sweep-manifest.json");
+    let _ = std::fs::remove_file(&offline_out);
+    let _ = std::fs::remove_file(&daemon_out);
+
+    // Offline unsharded reference through the real binary: a v2 sweep
+    // manifest with shards defaulted to 1.
+    let offline_manifest = format!(
+        "{{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{{\
+         \"figures\":[\"model_diff\"],\"eval_us\":20,\"out\":\"{}\"}}}}",
+        offline_out.display()
+    );
+    std::fs::write(&manifest_path, &offline_manifest).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .args(["run-manifest", manifest_path.to_str().unwrap()])
+        .env_remove("MEMNET_FAULTS")
+        .env_remove("MEMNET_TRACE")
+        .env_remove("MEMNET_AUDIT")
+        .env_remove("MEMNET_ENERGY_BACKEND")
+        .output()
+        .expect("memnet binary runs");
+    assert!(
+        out.status.success(),
+        "offline sweep manifest passes: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The daemon farms the same sweep out as three shard jobs across two
+    // workers, merges, and writes the out path server-side.
+    let (addr, handle) =
+        start_server(ServerConfig { workers: 2, cache_dir: None, ..ServerConfig::default() });
+    let mut client = Client::connect(addr);
+    client.submit(&format!(
+        "{{\"schema\":\"memnet-manifest\",\"v\":2,\"sweep\":{{\
+         \"figures\":[\"model_diff\"],\"eval_us\":20,\"shards\":3,\"out\":\"{}\"}}}}",
+        daemon_out.display()
+    ));
+    let queued = client.next_event();
+    assert_eq!(queued.get("event").unwrap().as_str().unwrap(), "queued");
+    assert!(flag(&queued, "sweep"), "queued event flags the sweep");
+    assert_eq!(queued.get("shards").unwrap().num::<u64>().unwrap(), 3);
+
+    let (kind, event, seen) = client.until_terminal();
+    assert_eq!(kind, "done", "sweep completes: {seen:?}");
+    assert_eq!(exit_code(&event), 0);
+    assert!(seen.contains(&"started".to_owned()), "farm-out announces started: {seen:?}");
+    let ticks = seen.iter().filter(|k| *k == "progress").count();
+    assert!(ticks >= 2, "one progress event per retired shard: {seen:?}");
+    let result = event.get("result").unwrap();
+    assert_eq!(result.get("schema").unwrap().as_str().unwrap(), "memnet-sweep-result");
+    assert_eq!(result.get("shards").unwrap().num::<u64>().unwrap(), 3);
+    let cells = result.get("cells").unwrap().num::<u64>().unwrap();
+    assert_eq!(result.get("requested").unwrap().num::<u64>().unwrap(), cells);
+
+    // The shard→merge output is byte-identical to the unsharded run.
+    let offline = std::fs::read(&offline_out).unwrap();
+    let daemon = std::fs::read(&daemon_out).unwrap();
+    assert!(!offline.is_empty(), "offline sweep wrote its out file");
+    assert_eq!(offline, daemon, "daemon merge == offline unsharded sweep, bytewise");
+
+    let mut admin = Client::connect(addr);
+    admin.shutdown();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.sweeps, 1);
+    assert_eq!(stats.shards, 3, "every shard ran as its own queue item");
+    assert_eq!(stats.simulated, 0, "shard executions are counted as shards, not runs");
+    assert_eq!(stats.completed, 1);
+    let _ = std::fs::remove_file(&offline_out);
+    let _ = std::fs::remove_file(&daemon_out);
+    let _ = std::fs::remove_file(&manifest_path);
+}
+
+#[test]
+fn identical_sweep_submissions_coalesce_into_one_farm_out() {
+    // One worker: the first submission's shards occupy the queue long
+    // enough for the identical second submission to coalesce onto them.
+    let (addr, handle) =
+        start_server(ServerConfig { workers: 1, cache_dir: None, ..ServerConfig::default() });
+    let manifest = "{\"schema\":\"memnet-manifest\",\"v\":2,\
+         \"sweep\":{\"figures\":[\"model_diff\"],\"eval_us\":100,\"shards\":2}}";
+
+    let mut first = Client::connect(addr);
+    first.submit(manifest);
+    let queued = first.next_event();
+    assert_eq!(queued.get("event").unwrap().as_str().unwrap(), "queued");
+    assert!(!flag(&queued, "coalesced"));
+
+    let mut second = Client::connect(addr);
+    second.submit(manifest);
+    let queued = second.next_event();
+    assert_eq!(queued.get("event").unwrap().as_str().unwrap(), "queued");
+    assert!(flag(&queued, "coalesced"), "identical sweep coalesces");
+
+    let (kind, event_a, _) = first.until_terminal();
+    assert_eq!(kind, "done");
+    let (kind, event_b, _) = second.until_terminal();
+    assert_eq!(kind, "done");
+    assert_eq!(exit_code(&event_a), 0);
+    assert_eq!(
+        result_text(&event_a),
+        result_text(&event_b),
+        "coalesced subscribers get the same payload"
+    );
+
+    let mut admin = Client::connect(addr);
+    admin.shutdown();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.sweeps, 1, "the sweep farmed out once");
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.shards, 2, "two shard executions, not four");
+    assert_eq!(stats.completed, 2, "both subscribers complete");
 }
 
 #[test]
