@@ -45,8 +45,13 @@ use serde::{json, Deserialize, Serialize};
 /// 8 = the fingerprint gained the `calib=` calibration-provenance field
 /// (results priced by different fitted IDD models are distinct);
 /// 9 = the fingerprint gained the `obs=` field (an observed run carries
-/// the `obs` report section, so it is a distinct result).
-pub const CACHE_SCHEMA_VERSION: u32 = 9;
+/// the `obs` report section, so it is a distinct result);
+/// 10 = multi-seed sweeps land: cells may be driven by the lockstep
+/// multi-seed engine. The per-seed fingerprint format is unchanged —
+/// lockstep replicas are bit-identical to solo runs — but the bump
+/// draws a clean line so any result produced by a pre-lockstep build
+/// re-simulates once under the new engine.
+pub const CACHE_SCHEMA_VERSION: u32 = 10;
 
 /// One cache line on disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -136,7 +141,13 @@ impl DiskCache {
     /// Persists freshly simulated results, returning the file written
     /// (`None` when `fresh` is empty).
     ///
-    /// The entries are also retained in memory so subsequent `get`s hit.
+    /// The entries are retained in memory so subsequent `get`s hit even
+    /// when the disk write fails — a full or read-only cache directory
+    /// must never cost the caller its freshly simulated reports, only
+    /// the persistence. On failure the temp file is cleaned up and the
+    /// error returned for the caller to log; nothing is lost but the
+    /// next process's warm start.
+    ///
     /// The write is atomic: a unique temp file in the cache directory is
     /// renamed into place, so concurrent figure binaries can store
     /// simultaneously without corrupting or overwriting one another.
@@ -155,6 +166,20 @@ impl DiskCache {
         if batch.is_empty() {
             return Ok(None);
         }
+        let result = self.write_batch(&body);
+        // Memory retention is unconditional: the reports exist whether or
+        // not the disk accepted them.
+        for (fp, report) in batch {
+            self.entries.insert(fp, report);
+        }
+        result.map(Some)
+    }
+
+    /// The disk half of [`Self::store`]: writes `body` to a unique temp
+    /// file and renames it into place, removing the temp file on any
+    /// failure (a partial write on a full disk must not leave `.tmp`
+    /// litter for `open` to skip forever after).
+    fn write_batch(&self, body: &str) -> std::io::Result<PathBuf> {
         fs::create_dir_all(&self.dir)?;
         let unique = format!(
             "{}-{}-{}",
@@ -167,19 +192,17 @@ impl DiskCache {
         );
         let tmp = self.dir.join(format!(".store-{unique}.tmp"));
         let dest = self.dir.join(format!("results-{unique}.jsonl"));
-        {
+        let written = (|| {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(body.as_bytes())?;
             f.sync_all()?;
-        }
-        if let Err(e) = fs::rename(&tmp, &dest) {
+            fs::rename(&tmp, &dest)
+        })();
+        if let Err(e) = written {
             let _ = fs::remove_file(&tmp);
             return Err(e);
         }
-        for (fp, report) in batch {
-            self.entries.insert(fp, report);
-        }
-        Ok(Some(dest))
+        Ok(dest)
     }
 }
 
@@ -242,6 +265,39 @@ mod tests {
         let cached = reopened.get("fp-a").expect("entry survives reopen");
         assert_eq!(json::to_string(cached), json::to_string(&report));
         assert!(reopened.get("fp-b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_on_an_unusable_cache_dir_keeps_results_and_leaves_no_litter() {
+        let dir = unique_dir("store-fail");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        // Make the directory unusable after opening — the moral
+        // equivalent of a read-only MEMNET_CACHE_DIR or a disk that
+        // filled up mid-sweep (a permissions-based probe cannot work
+        // here: tests may run as root, which ignores file modes).
+        fs::remove_dir_all(&dir).unwrap();
+        fs::write(&dir, b"a file where the cache dir should be").unwrap();
+
+        let report = tiny_report();
+        let err = cache.store([("fp-a".to_owned(), report.clone())]);
+        assert!(err.is_err(), "an unusable cache dir must surface as an error, not a panic");
+        // The freshly simulated result survives in memory: persistence
+        // failure only costs the next process its warm start.
+        let kept = cache.get("fp-a").expect("failed store keeps the result in memory");
+        assert_eq!(json::to_string(kept), json::to_string(&report));
+
+        // A later successful store proceeds normally once the path is a
+        // directory again, and no temp-file litter was left behind.
+        fs::remove_file(&dir).unwrap();
+        cache.store([("fp-b".to_owned(), tiny_report())]).unwrap();
+        let litter: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(litter.is_empty(), "failed stores must clean up temp files: {litter:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -125,6 +125,14 @@ pub fn figure_keys(name: &str) -> Option<Vec<Key>> {
     })
 }
 
+/// Ensures registry figure keys, which are simulable by construction —
+/// no replay or calibration identities ever enter [`figure_keys`] — so
+/// the only failure [`Matrix::ensure`] can report here is a bug in the
+/// registry itself.
+fn ensure(matrix: &mut Matrix, keys: &[Key], settings: &Settings) {
+    matrix.ensure(keys, settings).expect("registry figure keys are always simulable");
+}
+
 fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let v: Vec<f64> = values.into_iter().collect();
     if v.is_empty() {
@@ -216,7 +224,7 @@ pub fn fig04() -> String {
 /// Figure 5: average power breakdown of an HMC in a full-power network,
 /// per topology and scale, averaged over all 14 workloads.
 pub fn fig05(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     let mut out = String::from(
         "Figure 5: average power per HMC (W), full-power networks\n\
          scale      topology      idleIO activeIO logicLk logicDyn dramLk dramDyn | total\n",
@@ -285,7 +293,7 @@ pub fn fig05(matrix: &mut Matrix, settings: &Settings) -> String {
 
 /// Figure 6: average number of modules traversed per memory access.
 pub fn fig06(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     let mut out = String::from("Figure 6: avg modules traversed per access\nworkload");
     for scale in SCALES {
         for topo in TOPOS {
@@ -324,7 +332,7 @@ pub fn fig06(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 8: idle I/O power normalized to total network power, per
 /// workload, topology and scale (full-power networks).
 pub fn fig08(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     let mut out =
         String::from("Figure 8: idle I/O power / total network power (%), full power\nworkload");
     for scale in SCALES {
@@ -361,7 +369,7 @@ pub fn fig08(matrix: &mut Matrix, settings: &Settings) -> String {
 
 /// Figure 9: average channel and link utilization per workload.
 pub fn fig09(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     let mut out = String::from(
         "Figure 9: channel and average link utilization (%), full power\n\
          workload\tchan:small\tlink:small\tchan:big\tlink:big\n",
@@ -405,8 +413,8 @@ pub fn fig09(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 11: per-HMC power under network-unaware management (FP,
 /// VWL/ROO/VWL+ROO at α = 2.5 % and 5 %), averaged over workloads.
 pub fn fig11(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
-    matrix.ensure(&managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
+    ensure(matrix, &fp_keys(), settings);
+    ensure(matrix, &managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
     let mut out = String::from(
         "Figure 11: avg power per HMC (W) under network-unaware management\n\
          scale      topology        FP  2.5%VWL  5%VWL  2.5%ROO  5%ROO  2.5%V+R  5%V+R\n",
@@ -474,8 +482,8 @@ pub fn fig11(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 12: average and maximum performance degradation of
 /// network-unaware management vs. full power.
 pub fn fig12(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
-    matrix.ensure(&managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
+    ensure(matrix, &fp_keys(), settings);
+    ensure(matrix, &managed_keys(PolicyKind::NetworkUnaware, &MAIN_MECHS, &ALPHAS), settings);
     let mut out = String::from(
         "Figure 12: performance degradation vs full power, network-unaware (%)\n\
          scale      mech      alpha   daisychain  ternary  star  DDRx-like |  avg   max\n",
@@ -525,7 +533,7 @@ pub fn fig12(matrix: &mut Matrix, settings: &Settings) -> String {
 pub fn fig13(matrix: &mut Matrix, settings: &Settings) -> String {
     let policies = [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware];
     for p in policies {
-        matrix.ensure(&managed_keys(p, &[Mechanism::Vwl], &[0.05]), settings);
+        ensure(matrix, &managed_keys(p, &[Mechanism::Vwl], &[0.05]), settings);
     }
     let buckets = [0.01, 0.05, 0.10, 0.20, 1.01];
     let bucket_labels = ["0-1%", "1-5%", "5-10%", "10-20%", "20-100%"];
@@ -583,7 +591,7 @@ pub fn fig13(matrix: &mut Matrix, settings: &Settings) -> String {
 /// network-unaware management.
 pub fn fig15(matrix: &mut Matrix, settings: &Settings) -> String {
     for p in [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware] {
-        matrix.ensure(&managed_keys(p, &MAIN_MECHS, &ALPHAS), settings);
+        ensure(matrix, &managed_keys(p, &MAIN_MECHS, &ALPHAS), settings);
     }
     let mut out = String::from(
         "Figure 15: power reduction of network-aware vs network-unaware (%)\n\
@@ -647,9 +655,9 @@ pub fn fig15(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 16: network-wide power reduction vs. full power per workload
 /// (big networks, α = 5 %).
 pub fn fig16(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     for p in [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware] {
-        matrix.ensure(&managed_keys(p, &MAIN_MECHS, &[0.05]), settings);
+        ensure(matrix, &managed_keys(p, &MAIN_MECHS, &[0.05]), settings);
     }
     let mut out = String::from(
         "Figure 16: power reduction vs full power by workload (big, alpha=5%), avg over topologies (%)\n\
@@ -683,9 +691,9 @@ pub fn fig16(matrix: &mut Matrix, settings: &Settings) -> String {
 /// Figure 17: (left) average performance overhead of aware vs. unaware;
 /// (right) maximum performance overhead of aware vs. full power.
 pub fn fig17(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     for p in [PolicyKind::NetworkUnaware, PolicyKind::NetworkAware] {
-        matrix.ensure(&managed_keys(p, &MAIN_MECHS, &ALPHAS), settings);
+        ensure(matrix, &managed_keys(p, &MAIN_MECHS, &ALPHAS), settings);
     }
     let mut out = String::from(
         "Figure 17 (left): avg perf degradation, aware vs unaware (%)\n\
@@ -753,9 +761,9 @@ fn fig18_keys() -> Vec<Key> {
 /// Figure 18: power reduction and performance overhead vs. full power for
 /// DVFS links and 20 ns-wakeup ROO links (α = 5 %).
 pub fn fig18(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&fp_keys(), settings);
+    ensure(matrix, &fp_keys(), settings);
     let mechs = [Mechanism::Dvfs, Mechanism::Roo, Mechanism::DvfsRoo];
-    matrix.ensure(&fig18_keys(), settings);
+    ensure(matrix, &fig18_keys(), settings);
     let mut out = String::from(
         "Figure 18: sensitivity — DVFS links and 20 ns ROO (alpha=5%)\n\
          scale      mech       policy    power reduction vs FP (%)  perf degradation vs FP (%)\n",
@@ -839,7 +847,7 @@ fn sec7a_keys() -> Vec<Key> {
 /// §VII-A: static fat/tapered bandwidth selection (with page-interleaved
 /// mapping) vs. network-aware management at α = 30 % (big networks, VWL).
 pub fn sec7a(matrix: &mut Matrix, settings: &Settings) -> String {
-    matrix.ensure(&sec7a_keys(), settings);
+    ensure(matrix, &sec7a_keys(), settings);
     let mut stat_degr = Vec::new();
     let mut stat_power = Vec::new();
     let mut aware_degr = Vec::new();
@@ -944,7 +952,7 @@ pub fn faults_sweep(matrix: &mut Matrix, settings: &Settings) -> String {
         ("aware ROO", PolicyKind::NetworkAware, Mechanism::Roo),
     ];
     let workload = "mixD";
-    matrix.ensure(&faults_sweep_keys(), settings);
+    ensure(matrix, &faults_sweep_keys(), settings);
     let mut out = String::from(
         "Fault sweep: link-level retry cost vs per-flit error rate (mixD, small networks)\n\
          case       topology      error-rate   W/HMC  acc/us  retries  re-flits  retrans(uJ)\n",
@@ -1005,7 +1013,7 @@ pub fn stress(matrix: &mut Matrix, settings: &Settings) -> String {
         ("unaware V+R", PolicyKind::NetworkUnaware, Mechanism::VwlRoo),
         ("aware V+R", PolicyKind::NetworkAware, Mechanism::VwlRoo),
     ];
-    matrix.ensure(&stress_keys(), settings);
+    ensure(matrix, &stress_keys(), settings);
     let mut out = String::from(
         "Adversarial stress suite (ternary tree, small networks, alpha = 5%)\n\
          workload       case          W/HMC  acc/us  read lat(ns)  violations\n",
@@ -1061,7 +1069,7 @@ pub fn model_diff(matrix: &mut Matrix, settings: &Settings) -> String {
     use memnet_power::{EnergyBackendKind, HmcPowerModel, IddModel};
     const THRESHOLD: f64 = 0.05;
     let cases = MODEL_DIFF_CASES;
-    matrix.ensure(&model_diff_keys(), settings);
+    ensure(matrix, &model_diff_keys(), settings);
     let analytical = HmcPowerModel::paper();
     let idd = IddModel::hmc_gen2();
     let mut out = String::from(

@@ -30,5 +30,5 @@ pub mod shard;
 
 pub use cache::{DiskCache, CACHE_SCHEMA_VERSION};
 pub use matrix::{EnsureStats, Key, Matrix};
-pub use settings::Settings;
+pub use settings::{parse_seed_list, Settings};
 pub use shard::{Shard, SweepPlan};

@@ -144,11 +144,19 @@ impl Key {
     /// `audit` section of a cached report, which therefore reflects the
     /// level in effect when it was first simulated.)
     pub fn fingerprint(&self, settings: &Settings) -> String {
+        self.fingerprint_at(settings, settings.seed)
+    }
+
+    /// [`Self::fingerprint`] under an explicit seed. Multi-seed sweeps
+    /// cache each replica under the fingerprint a solo run with that
+    /// seed would use — the lockstep engine is bit-identical to solo
+    /// runs, so the cache never needs to know how a result was driven.
+    pub fn fingerprint_at(&self, settings: &Settings, seed: u64) -> String {
         format!(
             "v{}|eval_ps={}|seed={}|wl={}|topo={:?}|scale={:?}|policy={:?}|mech={:?}|alpha={}|roo={}|map={:?}|faults={}|obs={}|src={}|calib={}|energy={}",
             CACHE_SCHEMA_VERSION,
             settings.eval_period.as_ps(),
-            settings.seed,
+            seed,
             self.workload,
             self.topology,
             self.scale,
@@ -165,16 +173,28 @@ impl Key {
         )
     }
 
-    fn to_config(&self, settings: &Settings) -> SimConfig {
-        assert!(
-            self.source.is_empty(),
-            "replay keys cannot be simulated by the matrix (replay runs are CLI-driven): {self:?}"
-        );
-        assert!(
-            self.calibration.is_empty(),
-            "calibrated keys cannot be simulated by the matrix (the backend is injected by the \
-             caller): {self:?}"
-        );
+    /// Builds the simulation configuration for this key, or explains why
+    /// the matrix cannot simulate it. Replay keys (`src=trace:<digest>`)
+    /// refuse matrix simulation because the trace content lives outside
+    /// the key — replay runs are CLI-driven; calibrated keys refuse
+    /// because the fitted energy backend is injected by the caller. The
+    /// error names the offending cell by its cache fingerprint so a
+    /// sweep operator can find it in the plan.
+    fn try_config(&self, settings: &Settings) -> Result<SimConfig, String> {
+        if !self.source.is_empty() {
+            return Err(format!(
+                "replay keys refuse matrix simulation (trace content is not part of the key; \
+                 replay runs are CLI-driven): {}",
+                self.fingerprint(settings)
+            ));
+        }
+        if !self.calibration.is_empty() {
+            return Err(format!(
+                "calibrated keys refuse matrix simulation (the fitted energy backend is injected \
+                 by the caller): {}",
+                self.fingerprint(settings)
+            ));
+        }
         let roo = if self.roo_wakeup_ns == 20 { RooParams::slow() } else { RooParams::fast() };
         let faults =
             memnet_faults::FaultConfig::parse(&self.faults).expect("matrix fault specs are valid");
@@ -194,7 +214,7 @@ impl Key {
         if settings.obs {
             builder = builder.obs(ObsConfig { enabled: true, ..ObsConfig::off() });
         }
-        builder.build().expect("matrix keys are valid configurations")
+        Ok(builder.build().expect("matrix keys are valid configurations"))
     }
 }
 
@@ -215,7 +235,11 @@ pub struct EnsureStats {
 /// when [`Settings::cache_dir`] is set.
 #[derive(Debug, Default)]
 pub struct Matrix {
+    /// Base-seed results, the view every figure reads via [`Matrix::get`].
     reports: HashMap<Key, RunReport>,
+    /// Every ensured `(key, seed)` cell, including the base seed, for
+    /// multi-seed consumers ([`Matrix::get_seeded`], sharded sweeps).
+    seeded: HashMap<(Key, u64), RunReport>,
     disk: Option<DiskCache>,
 }
 
@@ -246,47 +270,79 @@ impl Matrix {
         self.disk.as_mut()
     }
 
-    /// Ensures every key has a result, in order of preference: already in
-    /// memory, in the persistent cache, or freshly simulated (in parallel)
-    /// — and persists anything fresh for the next process.
-    pub fn ensure(&mut self, keys: &[Key], settings: &Settings) -> EnsureStats {
-        let missing: Vec<Key> = {
+    /// Ensures every key has a result under every seed in
+    /// [`Settings::seed_list`], in order of preference: already in
+    /// memory, in the persistent cache, or freshly simulated (in
+    /// parallel) — and persists anything fresh for the next process.
+    /// Keys needing more than one seed are driven by the lockstep
+    /// multi-seed engine (one shared construction per configuration);
+    /// stats count `(key, seed)` cells.
+    ///
+    /// # Errors
+    ///
+    /// Fails without simulating anything if a key cannot be simulated by
+    /// the matrix (a replay or calibrated key); the message carries the
+    /// offending cell's cache fingerprint.
+    pub fn ensure(&mut self, keys: &[Key], settings: &Settings) -> Result<EnsureStats, String> {
+        let seeds = settings.seed_list();
+        let cells: Vec<(Key, u64)> =
+            keys.iter().flat_map(|k| seeds.iter().map(|&s| (k.clone(), s))).collect();
+        self.ensure_cells(&cells, settings)
+    }
+
+    /// [`Self::ensure`] over explicit `(key, seed)` cells — the sharded
+    /// sweep entry point, where a shard may own only some seeds of a key.
+    pub fn ensure_cells(
+        &mut self,
+        cells: &[(Key, u64)],
+        settings: &Settings,
+    ) -> Result<EnsureStats, String> {
+        // Refuse unsimulable keys up front, before any cell simulates.
+        for (key, seed) in cells {
+            if !self.seeded.contains_key(&(key.clone(), *seed)) {
+                key.try_config(settings)?;
+            }
+        }
+        let missing: Vec<(Key, u64)> = {
             let mut seen = std::collections::HashSet::new();
-            keys.iter()
-                .filter(|k| !self.reports.contains_key(*k) && seen.insert((*k).clone()))
+            cells
+                .iter()
+                .filter(|c| !self.seeded.contains_key(*c) && seen.insert((*c).clone()))
                 .cloned()
                 .collect()
         };
         let mut stats = EnsureStats {
             requested: {
-                let distinct: std::collections::HashSet<&Key> = keys.iter().collect();
+                let distinct: std::collections::HashSet<&(Key, u64)> = cells.iter().collect();
                 distinct.len()
             },
             ..EnsureStats::default()
         };
         stats.memoized = stats.requested - missing.len();
         if missing.is_empty() {
-            return stats;
+            return Ok(stats);
         }
 
         // Second chance: the persistent cache.
-        let mut to_simulate: Vec<Key> = Vec::with_capacity(missing.len());
+        let mut to_simulate: Vec<(Key, u64)> = Vec::with_capacity(missing.len());
         if let Some(disk) = self.disk_for(settings) {
-            let mut hits: Vec<(Key, RunReport)> = Vec::new();
-            for k in missing {
-                match disk.get(&k.fingerprint(settings)) {
-                    Some(r) => hits.push((k, r.clone())),
-                    None => to_simulate.push(k),
+            let mut hits: Vec<((Key, u64), RunReport)> = Vec::new();
+            for (k, s) in missing {
+                match disk.get(&k.fingerprint_at(settings, s)) {
+                    Some(r) => hits.push(((k, s), r.clone())),
+                    None => to_simulate.push((k, s)),
                 }
             }
             stats.cache_hits = hits.len();
-            self.reports.extend(hits);
+            for ((k, s), r) in hits {
+                self.insert(k, s, settings, r);
+            }
         } else {
             to_simulate = missing;
         }
         stats.simulated = to_simulate.len();
         memnet_simcore::memnet_log!(
-            "[matrix {}] {} configurations: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
+            "[matrix {}] {} cells: {} memoized, {} cache hits, {} simulated ({} threads, {} per run)",
             settings.shard,
             stats.requested,
             stats.memoized,
@@ -296,31 +352,68 @@ impl Matrix {
             settings.eval_period
         );
         if to_simulate.is_empty() {
-            return stats;
+            return Ok(stats);
         }
 
-        let configs = to_simulate.iter().map(|k| k.to_config(settings)).collect();
-        let reports = memnet_core::sweep(configs, settings.threads);
+        // Group each key's missing seeds into one job: multi-seed jobs
+        // run lockstep, sharing construction across replicas.
+        let mut jobs: Vec<(Key, SimConfig, Vec<u64>)> = Vec::new();
+        for (k, s) in &to_simulate {
+            match jobs.iter_mut().find(|(key, _, _)| key == k) {
+                Some((_, _, seeds)) => seeds.push(*s),
+                None => jobs.push((k.clone(), k.try_config(settings)?, vec![*s])),
+            }
+        }
+        let reports = memnet_core::sweep_seeds(
+            jobs.iter().map(|(_, cfg, seeds)| (cfg.clone(), seeds.clone())).collect(),
+            settings.threads,
+        );
+        let fresh: Vec<(Key, u64, RunReport)> = jobs
+            .into_iter()
+            .zip(reports)
+            .flat_map(|((k, _, seeds), rs)| {
+                seeds.into_iter().zip(rs).map(move |(s, r)| (k.clone(), s, r))
+            })
+            .collect();
         if let Some(disk) = self.disk_for(settings) {
-            let fresh =
-                to_simulate.iter().zip(&reports).map(|(k, r)| (k.fingerprint(settings), r.clone()));
-            if let Err(e) = disk.store(fresh) {
+            let entries = fresh.iter().map(|(k, s, r)| (k.fingerprint_at(settings, *s), r.clone()));
+            if let Err(e) = disk.store(entries) {
                 memnet_simcore::memnet_warn!("[matrix] failed to persist results: {e}");
             }
         }
-        for (k, r) in to_simulate.into_iter().zip(reports) {
-            self.reports.insert(k, r);
+        for (k, s, r) in fresh {
+            self.insert(k, s, settings, r);
         }
-        stats
+        Ok(stats)
     }
 
-    /// Fetches a previously ensured report.
+    /// Records one ensured cell: always in the seeded map, and in the
+    /// base-seed view when the seed is the base seed.
+    fn insert(&mut self, key: Key, seed: u64, settings: &Settings, report: RunReport) {
+        if seed == settings.seed {
+            self.reports.insert(key.clone(), report.clone());
+        }
+        self.seeded.insert((key, seed), report);
+    }
+
+    /// Fetches a previously ensured report (under the base seed).
     ///
     /// # Panics
     ///
     /// Panics if the key was never ensured.
     pub fn get(&self, key: &Key) -> &RunReport {
         self.reports.get(key).unwrap_or_else(|| panic!("configuration not simulated: {key:?}"))
+    }
+
+    /// Fetches a previously ensured report under an explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(key, seed)` cell was never ensured.
+    pub fn get_seeded(&self, key: &Key, seed: u64) -> &RunReport {
+        self.seeded
+            .get(&(key.clone(), seed))
+            .unwrap_or_else(|| panic!("configuration not simulated under seed {seed}: {key:?}"))
     }
 
     /// Number of simulated configurations.
@@ -364,7 +457,7 @@ mod tests {
         let mut m = Matrix::new();
         let k = tiny_key("mixD");
         let settings = Settings { obs: true, ..tiny_settings() };
-        m.ensure(std::slice::from_ref(&k), &settings);
+        m.ensure(std::slice::from_ref(&k), &settings).unwrap();
         assert!(m.get(&k).obs.is_some(), "obs=true must produce the obs report section");
         let fp = k.fingerprint(&settings);
         assert!(fp.contains("|obs=true|"), "obs belongs in the fingerprint: {fp}");
@@ -374,11 +467,11 @@ mod tests {
     fn ensure_is_memoized() {
         let mut m = Matrix::new();
         let k = tiny_key("mixD");
-        let stats = m.ensure(&[k.clone(), k.clone()], &tiny_settings());
+        let stats = m.ensure(&[k.clone(), k.clone()], &tiny_settings()).unwrap();
         assert_eq!(stats, EnsureStats { requested: 1, memoized: 0, cache_hits: 0, simulated: 1 });
         assert_eq!(m.len(), 1);
         let before = m.get(&k).completed_reads;
-        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings());
+        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings()).unwrap();
         assert_eq!(stats, EnsureStats { requested: 1, memoized: 1, cache_hits: 0, simulated: 0 });
         assert_eq!(m.get(&k).completed_reads, before);
     }
@@ -392,13 +485,13 @@ mod tests {
         let keys = [tiny_key("mixD"), tiny_key("lu.D")];
 
         let mut cold = Matrix::new();
-        let stats = cold.ensure(&keys, &settings);
+        let stats = cold.ensure(&keys, &settings).unwrap();
         assert_eq!(stats, EnsureStats { requested: 2, memoized: 0, cache_hits: 0, simulated: 2 });
 
         // A brand-new Matrix (fresh process, in effect) must be served
         // entirely from disk: zero simulations.
         let mut warm = Matrix::new();
-        let stats = warm.ensure(&keys, &settings);
+        let stats = warm.ensure(&keys, &settings).unwrap();
         assert_eq!(stats, EnsureStats { requested: 2, memoized: 0, cache_hits: 2, simulated: 0 });
         // Cached results are identical to the fresh ones.
         for k in &keys {
@@ -409,7 +502,7 @@ mod tests {
 
         // A different seed invalidates: everything re-simulates.
         let reseeded = Settings { seed: 2, ..settings.clone() };
-        let stats = Matrix::new().ensure(&keys, &reseeded);
+        let stats = Matrix::new().ensure(&keys, &reseeded).unwrap();
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.simulated, 2);
         let _ = std::fs::remove_dir_all(&dir);
@@ -426,8 +519,11 @@ mod tests {
             r.fingerprint(&tiny_settings()),
             k.with_replay("0000000000000000").fingerprint(&tiny_settings())
         );
-        let err = std::panic::catch_unwind(|| r.to_config(&tiny_settings()));
-        assert!(err.is_err(), "replay keys must not simulate via the matrix");
+        // The sweep path reports a documented error naming the offending
+        // cell by fingerprint — never a panic.
+        let err = Matrix::new().ensure(std::slice::from_ref(&r), &tiny_settings()).unwrap_err();
+        assert!(err.contains("replay keys refuse matrix simulation"), "{err}");
+        assert!(err.contains(&r.fingerprint(&tiny_settings())), "{err}");
     }
 
     #[test]
@@ -440,15 +536,75 @@ mod tests {
             c.fingerprint(&tiny_settings()),
             k.with_calibration("deadbeefdeadbeef").fingerprint(&tiny_settings())
         );
-        let err = std::panic::catch_unwind(|| c.to_config(&tiny_settings()));
-        assert!(err.is_err(), "calibrated keys must not simulate via the matrix");
+        let err = Matrix::new().ensure(std::slice::from_ref(&c), &tiny_settings()).unwrap_err();
+        assert!(err.contains("calibrated keys refuse matrix simulation"), "{err}");
+        assert!(err.contains(&c.fingerprint(&tiny_settings())), "{err}");
+    }
+
+    #[test]
+    fn multi_seed_cells_run_lockstep_and_match_solo_sweeps() {
+        let settings = Settings { seeds: vec![2, 3], ..tiny_settings() };
+        let keys = [tiny_key("mixD"), tiny_key("lu.D")];
+        let mut m = Matrix::new();
+        let stats = m.ensure(&keys, &settings).unwrap();
+        assert_eq!(stats, EnsureStats { requested: 6, memoized: 0, cache_hits: 0, simulated: 6 });
+
+        // Each replica is byte-identical to the same cell swept solo
+        // under that seed alone.
+        for k in &keys {
+            assert_eq!(
+                serde::json::to_string(m.get(k)),
+                serde::json::to_string(m.get_seeded(k, settings.seed)),
+                "the base seed serves both views",
+            );
+            for seed in [2u64, 3] {
+                let mut solo = Matrix::new();
+                solo.ensure(
+                    std::slice::from_ref(k),
+                    &Settings { seed, seeds: Vec::new(), ..settings.clone() },
+                )
+                .unwrap();
+                assert_eq!(
+                    serde::json::to_string(m.get_seeded(k, seed)),
+                    serde::json::to_string(solo.get(k)),
+                    "lockstep replica must equal the solo sweep for seed {seed}",
+                );
+            }
+        }
+
+        // Re-ensuring is fully memoized, per (key, seed) cell.
+        let stats = m.ensure(&keys, &settings).unwrap();
+        assert_eq!(stats, EnsureStats { requested: 6, memoized: 6, cache_hits: 0, simulated: 0 });
+    }
+
+    #[test]
+    fn multi_seed_cells_cache_under_solo_fingerprints() {
+        let dir =
+            std::env::temp_dir().join(format!("memnet-matrix-test-seeds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = Settings { seeds: vec![2], cache_dir: Some(dir.clone()), ..tiny_settings() };
+        let k = tiny_key("mixD");
+        let stats = Matrix::new().ensure(std::slice::from_ref(&k), &settings).unwrap();
+        assert_eq!(stats.simulated, 2);
+
+        // A later solo sweep under the extra seed is served entirely from
+        // the cache the lockstep run populated.
+        let solo_settings = Settings {
+            seed: 2,
+            seeds: Vec::new(),
+            cache_dir: Some(dir.clone()),
+            ..tiny_settings()
+        };
+        let stats = Matrix::new().ensure(std::slice::from_ref(&k), &solo_settings).unwrap();
+        assert_eq!(stats, EnsureStats { requested: 1, memoized: 0, cache_hits: 1, simulated: 0 });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn stress_workloads_are_simulable_matrix_keys() {
         let mut m = Matrix::new();
         let k = tiny_key("adv.flip");
-        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings());
+        let stats = m.ensure(std::slice::from_ref(&k), &tiny_settings()).unwrap();
         assert_eq!(stats.simulated, 1);
         assert!(m.get(&k).accesses_per_us > 0.0, "stress run produced traffic");
     }
@@ -460,7 +616,7 @@ mod tests {
         assert_ne!(k.fingerprint(&tiny_settings()), idd.fingerprint(&tiny_settings()));
         assert!(idd.fingerprint(&tiny_settings()).ends_with("|energy=idd"));
         let mut m = Matrix::new();
-        let stats = m.ensure(&[k.clone(), idd.clone()], &tiny_settings());
+        let stats = m.ensure(&[k.clone(), idd.clone()], &tiny_settings()).unwrap();
         assert_eq!(stats.simulated, 2, "the two backends are distinct configurations");
         // Backends reprice identical activity: every non-energy metric
         // agrees exactly, only the joules differ.

@@ -20,6 +20,15 @@ pub struct Settings {
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Extra replica seeds simulated per matrix cell alongside [`seed`].
+    /// Empty (the default) means one run per cell. Cells with more than
+    /// one seed are driven by the lockstep multi-seed engine, which
+    /// shares per-configuration construction across replicas; each
+    /// seed's result keeps its own cache fingerprint, exactly as if it
+    /// had been swept alone.
+    ///
+    /// [`seed`]: Settings::seed
+    pub seeds: Vec<u64>,
     /// Where the persistent result cache lives; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
     /// Which sweep shard this process computes. Purely an attribution
@@ -56,6 +65,9 @@ impl Settings {
     /// * `MEMNET_THREADS` — sweep worker threads (`0` is rejected with a
     ///   warning and falls back to all cores).
     /// * `MEMNET_SEED` — base RNG seed.
+    /// * `MEMNET_SEEDS` — comma-separated extra replica seeds per cell
+    ///   (e.g. `MEMNET_SEEDS=2,3,4`); cells with several seeds run
+    ///   lockstep.
     /// * `MEMNET_CACHE_DIR` — cache directory.
     /// * `MEMNET_NO_CACHE` — set to `1`/`true` to disable the cache.
     ///
@@ -77,6 +89,18 @@ impl Settings {
         }
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
         let seed = env_parse::<u64>("MEMNET_SEED").unwrap_or(0xC0FFEE);
+        let seeds = match std::env::var("MEMNET_SEEDS") {
+            Err(_) => Vec::new(),
+            Ok(raw) => match parse_seed_list(&raw) {
+                Ok(list) => list,
+                Err(e) => {
+                    memnet_simcore::memnet_warn!(
+                        "[settings] ignoring unparsable MEMNET_SEEDS={raw:?}: {e}"
+                    );
+                    Vec::new()
+                }
+            },
+        };
         let no_cache = match std::env::var("MEMNET_NO_CACHE") {
             Err(_) => false,
             Ok(raw) => match raw.to_ascii_lowercase().as_str() {
@@ -110,11 +134,47 @@ impl Settings {
             eval_period: SimDuration::from_us(eval_us.max(1)),
             threads: threads.max(1),
             seed,
+            seeds,
             cache_dir,
             shard: Shard::full(),
             obs: false,
         }
     }
+
+    /// Every seed a matrix cell runs under: the base [`seed`] followed by
+    /// the [`seeds`] extras, first occurrence wins on duplicates. Never
+    /// empty.
+    ///
+    /// [`seed`]: Settings::seed
+    /// [`seeds`]: Settings::seeds
+    pub fn seed_list(&self) -> Vec<u64> {
+        let mut list = vec![self.seed];
+        for &s in &self.seeds {
+            if !list.contains(&s) {
+                list.push(s);
+            }
+        }
+        list
+    }
+}
+
+/// Parses a comma-separated seed list (as passed to `--seeds` or
+/// `MEMNET_SEEDS`). Empty items are ignored; duplicates are rejected so
+/// a typo cannot silently halve a sweep.
+pub fn parse_seed_list(text: &str) -> Result<Vec<u64>, String> {
+    let mut list = Vec::new();
+    for item in text.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let seed: u64 = item.parse().map_err(|_| format!("bad seed {item:?}"))?;
+        if list.contains(&seed) {
+            return Err(format!("duplicate seed {seed}"));
+        }
+        list.push(seed);
+    }
+    Ok(list)
 }
 
 impl Default for Settings {
@@ -126,6 +186,7 @@ impl Default for Settings {
             eval_period: SimDuration::from_us(1_000),
             threads: 4,
             seed: 0xC0FFEE,
+            seeds: Vec::new(),
             cache_dir: None,
             shard: Shard::full(),
             obs: false,
@@ -145,6 +206,21 @@ mod tests {
         assert_eq!(s.cache_dir, None);
         assert_eq!(s.shard, Shard::full());
         assert!(!s.obs);
+        assert!(s.seeds.is_empty());
+        assert_eq!(s.seed_list(), vec![s.seed]);
+    }
+
+    #[test]
+    fn seed_lists_parse_dedupe_and_reject_typos() {
+        assert_eq!(parse_seed_list("2,3,4").unwrap(), vec![2, 3, 4]);
+        assert_eq!(parse_seed_list(" 7 , 8 ,").unwrap(), vec![7, 8]);
+        assert_eq!(parse_seed_list("").unwrap(), Vec::<u64>::new());
+        assert!(parse_seed_list("2,two").is_err());
+        assert!(parse_seed_list("2,2").is_err(), "duplicates would silently halve a sweep");
+
+        // The base seed leads and is never duplicated by the extras.
+        let s = Settings { seed: 3, seeds: vec![5, 3, 9], ..Settings::default() };
+        assert_eq!(s.seed_list(), vec![3, 5, 9]);
     }
 
     // Environment mutation is process-global, so everything env-related
@@ -154,12 +230,15 @@ mod tests {
         std::env::set_var("MEMNET_EVAL_US", "250");
         std::env::set_var("MEMNET_THREADS", "3");
         std::env::set_var("MEMNET_SEED", "42");
+        std::env::set_var("MEMNET_SEEDS", "43,44");
         std::env::set_var("MEMNET_CACHE_DIR", "/tmp/memnet-test-cache");
         std::env::remove_var("MEMNET_NO_CACHE");
         let s = Settings::from_env();
         assert_eq!(s.eval_period, SimDuration::from_us(250));
         assert_eq!(s.threads, 3);
         assert_eq!(s.seed, 42);
+        assert_eq!(s.seeds, vec![43, 44]);
+        assert_eq!(s.seed_list(), vec![42, 43, 44]);
         assert_eq!(s.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/memnet-test-cache")));
 
         // MEMNET_THREADS=0 parses but is meaningless: it must warn and
@@ -172,11 +251,13 @@ mod tests {
         std::env::set_var("MEMNET_EVAL_US", "a lot");
         std::env::set_var("MEMNET_THREADS", "-2");
         std::env::set_var("MEMNET_SEED", "0x12"); // hex not supported
+        std::env::set_var("MEMNET_SEEDS", "1,1");
         std::env::set_var("MEMNET_NO_CACHE", "maybe");
         std::env::remove_var("MEMNET_CACHE_DIR");
         let s = Settings::from_env();
         assert_eq!(s.eval_period, SimDuration::from_us(1_000));
         assert_eq!(s.seed, 0xC0FFEE);
+        assert!(s.seeds.is_empty(), "duplicate MEMNET_SEEDS warns and falls back");
         assert_eq!(s.cache_dir.as_deref(), Some(std::path::Path::new(DEFAULT_CACHE_DIR)));
 
         // MEMNET_NO_CACHE=1 disables the cache entirely.
@@ -187,6 +268,7 @@ mod tests {
             "MEMNET_EVAL_US",
             "MEMNET_THREADS",
             "MEMNET_SEED",
+            "MEMNET_SEEDS",
             "MEMNET_CACHE_DIR",
             "MEMNET_NO_CACHE",
         ] {

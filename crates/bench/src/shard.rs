@@ -28,7 +28,7 @@
 //! ```json
 //! {"schema":"memnet-sweep","v":1,"shard":0,"of":4,"figures":[...],
 //!  "eval_ps":...,"seed":...,"obs":false,"cells":112,"set":"<digest>"}
-//! {"fp":"v9|...","report":{...}}
+//! {"fp":"v10|...","report":{...}}
 //! {"end":true,"cells":28,"requested":28,"memoized":0,"cache_hits":3,"simulated":25}
 //! ```
 //!
@@ -150,17 +150,21 @@ pub struct SweepPlan {
     /// Digest of the full fingerprint list — shard files must agree on
     /// it before they are allowed to merge.
     pub set_digest: String,
-    cells: Vec<(Key, String)>,
+    cells: Vec<(Key, u64, String)>,
 }
 
 impl SweepPlan {
-    /// Enumerates the plan for the given figures. Fails (naming the
-    /// valid figures) if a name is not in the registry.
+    /// Enumerates the plan for the given figures: every figure's keys in
+    /// registry order, each under every seed of
+    /// [`Settings::seed_list`] (one cell per `(key, seed)`), deduplicated
+    /// by fingerprint. Fails (naming the valid figures) if a name is not
+    /// in the registry.
     pub fn new(figures: &[String], settings: &Settings) -> Result<SweepPlan, String> {
         if figures.is_empty() {
             return Err("a sweep needs at least one figure".into());
         }
-        let mut cells: Vec<(Key, String)> = Vec::new();
+        let seeds = settings.seed_list();
+        let mut cells: Vec<(Key, u64, String)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for name in figures {
             let keys = figures::figure_keys(name).ok_or_else(|| {
@@ -170,19 +174,21 @@ impl SweepPlan {
                 )
             })?;
             for key in keys {
-                let fp = key.fingerprint(settings);
-                if seen.insert(fp.clone()) {
-                    cells.push((key, fp));
+                for &seed in &seeds {
+                    let fp = key.fingerprint_at(settings, seed);
+                    if seen.insert(fp.clone()) {
+                        cells.push((key.clone(), seed, fp));
+                    }
                 }
             }
         }
-        let joined: Vec<&str> = cells.iter().map(|(_, fp)| fp.as_str()).collect();
+        let joined: Vec<&str> = cells.iter().map(|(_, _, fp)| fp.as_str()).collect();
         let set_digest = format!("{:016x}", fnv1a64(joined.join("\n").as_bytes()));
         Ok(SweepPlan { figures: figures.to_vec(), set_digest, cells })
     }
 
-    /// All cells in canonical order.
-    pub fn cells(&self) -> &[(Key, String)] {
+    /// All `(key, seed, fingerprint)` cells in canonical order.
+    pub fn cells(&self) -> &[(Key, u64, String)] {
         &self.cells
     }
 
@@ -196,16 +202,29 @@ impl SweepPlan {
         self.cells.is_empty()
     }
 
-    /// The keys the given shard owns, in canonical order.
-    pub fn shard_keys(&self, shard: Shard) -> Vec<Key> {
-        self.cells.iter().filter(|(_, fp)| shard.contains(fp)).map(|(key, _)| key.clone()).collect()
+    /// The `(key, seed)` cells the given shard owns, in canonical order.
+    /// Seeds shard independently: two seeds of one key may land on
+    /// different shards, because ownership follows the fingerprint.
+    pub fn shard_cells(&self, shard: Shard) -> Vec<(Key, u64)> {
+        self.cells
+            .iter()
+            .filter(|(_, _, fp)| shard.contains(fp))
+            .map(|(key, seed, _)| (key.clone(), *seed))
+            .collect()
     }
 }
 
 fn header_line(shard: Shard, plan: &SweepPlan, settings: &Settings) -> String {
+    // The extra-seed list only appears when set, so single-seed sweep
+    // files stay byte-identical to those of earlier builds.
+    let seeds = if settings.seeds.is_empty() {
+        String::new()
+    } else {
+        format!("\"seeds\":{},", json::to_string(&settings.seeds))
+    };
     format!(
         "{{\"schema\":\"{SWEEP_SCHEMA}\",\"v\":{SWEEP_VERSION},\"shard\":{},\"of\":{},\
-         \"figures\":{},\"eval_ps\":{},\"seed\":{},\"obs\":{},\"cells\":{},\"set\":\"{}\"}}\n",
+         \"figures\":{},\"eval_ps\":{},\"seed\":{},{seeds}\"obs\":{},\"cells\":{},\"set\":\"{}\"}}\n",
         shard.index,
         shard.of,
         json::to_string(&plan.figures),
@@ -232,31 +251,38 @@ fn footer_line(shard: Shard, cells: usize, stats: EnsureStats) -> String {
 }
 
 /// Runs one shard of the plan — ensuring exactly the cells the shard
-/// owns — and renders its `memnet-sweep` result text.
+/// owns (lockstep-batching any key the shard holds several seeds of) —
+/// and renders its `memnet-sweep` result text.
+///
+/// # Errors
+///
+/// Fails without simulating anything if a plan cell cannot be simulated
+/// by the matrix (a replay or calibrated key); the message carries the
+/// offending cell's fingerprint.
 pub fn run_shard(
     plan: &SweepPlan,
     shard: Shard,
     settings: &Settings,
     matrix: &mut Matrix,
-) -> (String, EnsureStats) {
+) -> Result<(String, EnsureStats), String> {
     let shard_settings = Settings { shard, ..settings.clone() };
-    let keys = plan.shard_keys(shard);
-    let stats = matrix.ensure(&keys, &shard_settings);
+    let cells = plan.shard_cells(shard);
+    let stats = matrix.ensure_cells(&cells, &shard_settings)?;
     let mut out = header_line(shard, plan, settings);
-    let mut cells = 0usize;
-    for (key, fp) in plan.cells() {
+    let mut count = 0usize;
+    for (key, seed, fp) in plan.cells() {
         if !shard.contains(fp) {
             continue;
         }
         out.push_str(&format!(
             "{{\"fp\":{},\"report\":{}}}\n",
             json::to_string(fp.as_str()),
-            json::to_string(matrix.get(key)),
+            json::to_string(matrix.get_seeded(key, *seed)),
         ));
-        cells += 1;
+        count += 1;
     }
-    out.push_str(&footer_line(shard, cells, stats));
-    (out, stats)
+    out.push_str(&footer_line(shard, count, stats));
+    Ok((out, stats))
 }
 
 /// A parsed per-shard sweep result file.
@@ -272,6 +298,9 @@ pub struct ShardFile {
     pub eval_ps: u64,
     /// Sweep seed.
     pub seed: u64,
+    /// Extra replica seeds per cell (empty for single-seed sweeps; the
+    /// header omits the field entirely then, so older files parse).
+    pub seeds: Vec<u64>,
     /// Whether observability was enabled for the sweep.
     pub obs: bool,
     /// Total cells of the *whole* sweep (all shards).
@@ -319,12 +348,20 @@ pub fn parse_sweep_file(name: &str, text: &str) -> Result<ShardFile, String> {
         Ok(Value::Bool(b)) => *b,
         _ => return Err(format!("{name}: bad sweep header: missing boolean \"obs\"")),
     };
+    let seeds: Vec<u64> = match hv.get("seeds") {
+        Err(_) => Vec::new(),
+        Ok(v) => v
+            .as_array()
+            .and_then(|items| items.iter().map(|s| s.num::<u64>()).collect())
+            .map_err(|e| format!("{name}: bad sweep header: {e}"))?,
+    };
     let mut file = ShardFile {
         name: name.to_string(),
         shard,
         figures,
         eval_ps: get_num(&hv, "eval_ps", name)?,
         seed: get_num(&hv, "seed", name)?,
+        seeds,
         obs,
         total_cells: get_num(&hv, "cells", name)?,
         set: hv
@@ -414,6 +451,9 @@ pub fn merge(files: &[ShardFile]) -> Result<Merged, String> {
         if other.seed != first.seed {
             return Err(header_mismatch(first, other, "the seed"));
         }
+        if other.seeds != first.seeds {
+            return Err(header_mismatch(first, other, "the extra-seed list"));
+        }
         if other.obs != first.obs {
             return Err(header_mismatch(first, other, "the obs setting"));
         }
@@ -439,6 +479,7 @@ pub fn merge(files: &[ShardFile]) -> Result<Merged, String> {
     let settings = Settings {
         eval_period: memnet_simcore::SimDuration::from_ps(first.eval_ps),
         seed: first.seed,
+        seeds: first.seeds.clone(),
         obs: first.obs,
         ..Settings::default()
     };
@@ -465,8 +506,8 @@ pub fn merge(files: &[ShardFile]) -> Result<Merged, String> {
             let owned: Vec<&str> = plan
                 .cells()
                 .iter()
-                .filter(|(_, fp)| shard.contains(fp))
-                .map(|(_, fp)| fp.as_str())
+                .filter(|(_, _, fp)| shard.contains(fp))
+                .map(|(_, _, fp)| fp.as_str())
                 .collect();
             let sample = owned.first().copied().unwrap_or("-");
             msg.push_str(&format!(
@@ -482,7 +523,7 @@ pub fn merge(files: &[ShardFile]) -> Result<Merged, String> {
     // Index each shard's entries and reject cells that do not belong.
     let mut maps: Vec<HashMap<&str, &str>> = vec![HashMap::new(); of as usize];
     let owner: HashMap<&str, u32> =
-        plan.cells().iter().map(|(_, fp)| (fp.as_str(), assign(fp, of))).collect();
+        plan.cells().iter().map(|(_, _, fp)| (fp.as_str(), assign(fp, of))).collect();
     for file in files {
         for (fp, line) in &file.entries {
             match owner.get(fp.as_str()) {
@@ -505,7 +546,7 @@ pub fn merge(files: &[ShardFile]) -> Result<Merged, String> {
 
     // Walk the canonical plan, re-emitting each shard's lines verbatim.
     let mut text = header_line(Shard::full(), &plan, &settings);
-    for (_, fp) in plan.cells() {
+    for (_, _, fp) in plan.cells() {
         let index = assign(fp, of);
         let line = maps[index as usize].get(fp.as_str()).ok_or_else(|| {
             format!(
@@ -570,7 +611,7 @@ mod tests {
         let settings = Settings::default();
         let plan = SweepPlan::new(&default_figures(), &settings).unwrap();
         let mut seen = std::collections::HashSet::new();
-        for (_, fp) in plan.cells() {
+        for (_, _, fp) in plan.cells() {
             assert!(seen.insert(fp.clone()), "duplicate cell {fp}");
         }
         let again = SweepPlan::new(&default_figures(), &settings).unwrap();
@@ -592,18 +633,59 @@ mod tests {
     }
 
     #[test]
-    fn shard_keys_partition_the_plan() {
+    fn shard_cells_partition_the_plan() {
         let settings = Settings::default();
         let plan = SweepPlan::new(&default_figures(), &settings).unwrap();
         for of in [1u32, 2, 3, 7] {
             let total: usize =
-                (0..of).map(|index| plan.shard_keys(Shard { index, of }).len()).sum();
+                (0..of).map(|index| plan.shard_cells(Shard { index, of }).len()).sum();
             assert_eq!(total, plan.len(), "shards {of} do not cover the plan");
         }
     }
 
     #[test]
+    fn extra_seeds_multiply_the_plan_and_shards_still_partition_it() {
+        let base = Settings::default();
+        let solo = SweepPlan::new(&default_figures(), &base).unwrap();
+        let seeded = Settings { seeds: vec![base.seed + 1, base.seed + 2], ..base };
+        let plan = SweepPlan::new(&default_figures(), &seeded).unwrap();
+        assert_eq!(plan.len(), solo.len() * 3, "each extra seed adds one cell per key");
+        assert_ne!(plan.set_digest, solo.set_digest);
+        let mut seen = std::collections::HashSet::new();
+        for (_, _, fp) in plan.cells() {
+            assert!(seen.insert(fp.clone()), "duplicate cell {fp}");
+        }
+        for of in [1u32, 3] {
+            let total: usize =
+                (0..of).map(|index| plan.shard_cells(Shard { index, of }).len()).sum();
+            assert_eq!(total, plan.len(), "shards {of} do not cover the seeded plan");
+        }
+        // The base seed appearing again in the extras list dedupes away.
+        let dup = Settings { seeds: vec![base.seed], ..Settings::default() };
+        let same = SweepPlan::new(&default_figures(), &dup).unwrap();
+        assert_eq!(same.len(), solo.len());
+    }
+
+    #[test]
     fn merge_requires_at_least_one_file() {
         assert!(merge(&[]).is_err());
+    }
+
+    #[test]
+    fn run_shard_refuses_replay_cells_naming_the_fingerprint() {
+        let settings = Settings::default();
+        let base = SweepPlan::new(&default_figures(), &settings).unwrap();
+        let (key, seed, _) = base.cells()[0].clone();
+        let replay = key.with_replay("deadbeefdeadbeef");
+        let fp = replay.fingerprint_at(&settings, seed);
+        let plan = SweepPlan {
+            figures: base.figures.clone(),
+            set_digest: base.set_digest.clone(),
+            cells: vec![(replay, seed, fp.clone())],
+        };
+        let mut matrix = Matrix::new();
+        let err = run_shard(&plan, Shard::full(), &settings, &mut matrix).unwrap_err();
+        assert!(err.contains("replay keys refuse matrix simulation"), "{err}");
+        assert!(err.contains(&fp), "error must carry the offending fingerprint: {err}");
     }
 }

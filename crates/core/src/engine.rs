@@ -62,7 +62,7 @@ pub const ROUTER_LATENCY: SimDuration = SimDuration::from_ps(4 * 640);
 type PktSlot = u32;
 
 #[derive(Debug, Clone)]
-enum Event {
+pub(crate) enum Event {
     TryInject,
     LinkTryStart(LinkId),
     LinkDone(LinkId),
@@ -77,6 +77,74 @@ enum Event {
     ModeApply(LinkId),
     ChainWake(LinkId),
     EpochEnd,
+}
+
+/// Seed-independent construction products: the (route-around-rewritten)
+/// topology and the flattened routing tables derived from it. Every
+/// replica of a lockstep multi-seed run shares one instance — cloning is
+/// a handful of `Arc` bumps, so K replicas pay the topology build and
+/// route flattening exactly once.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineParts {
+    topo: Arc<Topology>,
+    /// Modules whose failed upstream edge was bridged over a spare port.
+    rerouted_modules: usize,
+    /// Modules no spare port could bridge; their links stay off all run.
+    unreachable: Arc<[ModuleId]>,
+    /// Per-module reachability after route-around.
+    reachable: Arc<[bool]>,
+    /// First hop from the processor toward each destination module.
+    root_of: Arc<[ModuleId]>,
+    /// Flat next-hop table, `current * n + dest` → next module on the
+    /// unique tree path (sentinel when `current` is not on `dest`'s
+    /// route).
+    next_hop: Arc<[ModuleId]>,
+}
+
+impl EngineParts {
+    /// Builds the shared parts for `cfg`. Depends only on the topology
+    /// kind, scale and fault scenario — never on the seed, so replicas
+    /// differing only in `cfg.seed` can share the result.
+    pub(crate) fn build(cfg: &SimConfig) -> EngineParts {
+        let n = cfg.n_hmcs();
+        let built = Topology::build(cfg.topology, n);
+        // Hard-failed upstream edges are routed around before anything
+        // else sees the topology, so the controller, the routing tables
+        // and the wake-chaining helpers all operate on the surviving tree.
+        let (topo, rerouted_modules, unreachable) = if cfg.faults.hard_failed.is_empty() {
+            (built, 0, Vec::new())
+        } else {
+            let failed: Vec<ModuleId> =
+                cfg.faults.hard_failed.iter().map(|&m| ModuleId(m)).collect();
+            let ra = built.route_around(&failed);
+            (ra.topology, ra.rerouted.len(), ra.unreachable)
+        };
+        let topo = Arc::new(topo);
+        let mut reachable = vec![true; n];
+        for &m in &unreachable {
+            reachable[m.0] = false;
+        }
+        // Flatten the per-destination routes into a next-hop table so the
+        // forwarding path is one indexed load instead of a route scan.
+        let sentinel = ModuleId(usize::MAX);
+        let mut root_of = vec![sentinel; n];
+        let mut next_hop = vec![sentinel; n * n];
+        for dest in topo.modules() {
+            let route = topo.route(dest);
+            root_of[dest.0] = route[0];
+            for hop in route.windows(2) {
+                next_hop[hop[0].0 * n + dest.0] = hop[1];
+            }
+        }
+        EngineParts {
+            topo,
+            rerouted_modules,
+            unreachable: unreachable.into(),
+            reachable: reachable.into(),
+            root_of: root_of.into(),
+            next_hop: next_hop.into(),
+        }
+    }
 }
 
 /// The assembled simulator. Construct with [`Engine::new`], execute with
@@ -113,6 +181,10 @@ pub struct Engine {
     issued_scratch: Vec<IssuedOp>,
 
     controller: PowerController,
+    /// Arena for the controller's per-epoch decisions, allocated once and
+    /// reused every epoch (hot-path round 2: `epoch_end` used to return a
+    /// fresh `Vec` per epoch).
+    epoch_decisions: Vec<memnet_policy::LinkDecision>,
     frontend: Frontend,
     /// Prices metered activity into joules. Pricing is read-only with
     /// respect to simulation state, so swapping backends can never change
@@ -127,8 +199,8 @@ pub struct Engine {
     /// (reset when a transmission finally passes CRC).
     retry_attempts: Vec<u32>,
     /// Per-module reachability after route-around (all true without
-    /// hard link failures).
-    reachable: Vec<bool>,
+    /// hard link failures). Shared across lockstep replicas.
+    reachable: Arc<[bool]>,
     rerouted_modules: usize,
     unreachable_modules: usize,
     wake_timeouts: u64,
@@ -147,11 +219,13 @@ pub struct Engine {
     /// Cached module count as `u64` for the address mapping.
     n_modules: u64,
     /// First hop from the processor toward each destination module.
-    root_of: Vec<ModuleId>,
+    /// Shared across lockstep replicas.
+    root_of: Arc<[ModuleId]>,
     /// Flat next-hop table, `current * n + dest` → the next module on the
     /// unique tree path (sentinel when `current` is not on `dest`'s
     /// route). Replaces the per-packet linear scan of a route vector.
-    next_hop: Vec<ModuleId>,
+    /// Shared across lockstep replicas.
+    next_hop: Arc<[ModuleId]>,
     next_packet_id: u64,
     /// Earliest pending TryInject event (dedup guard: completions and
     /// schedule waits would otherwise pile up duplicate events).
@@ -201,20 +275,17 @@ struct ObsEpochState {
 impl Engine {
     /// Builds the simulator for `cfg`.
     pub fn new(cfg: SimConfig) -> Engine {
+        let parts = EngineParts::build(&cfg);
+        Engine::from_parts(cfg, parts)
+    }
+
+    /// Builds the simulator for `cfg` from pre-built shared parts.
+    /// [`Engine::new`] builds the parts itself; lockstep multi-seed runs
+    /// build them once and hand every replica a clone.
+    pub(crate) fn from_parts(cfg: SimConfig, parts: EngineParts) -> Engine {
         let n = cfg.n_hmcs();
-        let built = Topology::build(cfg.topology, n);
-        // Hard-failed upstream edges are routed around before anything
-        // else sees the topology, so the controller, the routing tables
-        // and the wake-chaining helpers all operate on the surviving tree.
-        let (topo, rerouted_modules, unreachable) = if cfg.faults.hard_failed.is_empty() {
-            (built, 0, Vec::new())
-        } else {
-            let failed: Vec<ModuleId> =
-                cfg.faults.hard_failed.iter().map(|&m| ModuleId(m)).collect();
-            let ra = built.route_around(&failed);
-            (ra.topology, ra.rerouted.len(), ra.unreachable)
-        };
-        let topo = Arc::new(topo);
+        let EngineParts { topo, rerouted_modules, unreachable, reachable, root_of, next_hop } =
+            parts;
         let faults =
             (!cfg.faults.is_none()).then(|| FaultModel::new(&cfg.faults, topo.n_links(), cfg.seed));
         let start = SimTime::ZERO;
@@ -237,9 +308,7 @@ impl Engine {
             l.set_roo_params(cfg.roo_params);
             l.set_roo_threshold(d.mode.roo);
         }
-        let mut reachable = vec![true; n];
-        for &m in &unreachable {
-            reachable[m.0] = false;
+        for &m in unreachable.iter() {
             // A severed module's links can never carry traffic: drop
             // them to the 1 % off state for the whole run and keep the
             // ROO machinery from ever trying to wake them.
@@ -255,18 +324,6 @@ impl Engine {
         let vault_tick_at = vec![SimTime::MAX; n * n_vaults];
         let frontend =
             Frontend::new(cfg.traffic_source(), cfg.max_outstanding_reads, cfg.write_buffer);
-        // Flatten the per-destination routes into a next-hop table so the
-        // forwarding path is one indexed load instead of a route scan.
-        let sentinel = ModuleId(usize::MAX);
-        let mut root_of = vec![sentinel; n];
-        let mut next_hop = vec![sentinel; n * n];
-        for dest in topo.modules() {
-            let route = topo.route(dest);
-            root_of[dest.0] = route[0];
-            for hop in route.windows(2) {
-                next_hop[hop[0].0 * n + dest.0] = hop[1];
-            }
-        }
         let end = start + cfg.eval_period;
         let obs_on = cfg.obs.is_active();
         let obs: Box<dyn Recorder> = if obs_on {
@@ -288,6 +345,7 @@ impl Engine {
             vault_reads_in_flight: vec![0; n],
             issued_scratch: Vec::with_capacity(32),
             controller,
+            epoch_decisions: Vec::new(),
             frontend,
             backend: cfg.energy_backend.build(),
             faults,
@@ -370,54 +428,12 @@ impl Engine {
             if limits.progress_every > 0 { limits.progress_every } else { u64::MAX };
         let mut stop = None;
 
-        // Arm idleness timers for links that start with an ROO threshold.
-        for i in 0..self.topo.n_links() {
-            self.arm_turnoff(LinkId(i));
-        }
-        let start = self.now;
-        self.arm_inject(start);
-        self.schedule(self.now + self.cfg.epoch, Event::EpochEnd);
-
-        if self.obs_on {
-            let meta = TraceMeta {
-                workload: self.cfg.workload.name,
-                topology: self.cfg.topology.label(),
-                policy: self.cfg.policy.label(),
-                mechanism: self.cfg.mechanism.label(),
-                seed: self.cfg.seed,
-                epoch_ps: self.cfg.epoch.as_ps(),
-                eval_ps: self.cfg.eval_period.as_ps(),
-                n_links: self.topo.n_links() as u32,
-                n_modules: self.topo.len() as u32,
-            };
-            self.obs.start(&meta);
-            let n = self.topo.len();
-            self.obs_epoch = Some(Box::new(ObsEpochState {
-                index: 0,
-                start: self.now,
-                residency: self.links.iter().map(|l| l.residency_snapshot(start)).collect(),
-                wakes: self.links.iter().map(|l| l.wake_count()).collect(),
-                retries: self.links.iter().map(|l| l.retransmissions()).collect(),
-                reads: vec![0; n],
-                writes: vec![0; n],
-                flits: vec![0; n],
-            }));
-        }
+        self.begin();
 
         let debug = std::env::var_os("MEMNET_DEBUG").is_some();
         let mut histo = [0u64; 14];
         while let Some((t, ev)) = self.queue.pop_at_or_before(self.end) {
-            debug_assert!(t >= self.now, "time went backwards");
-            if self.audit.enabled(AuditLevel::Full) {
-                let now = self.now;
-                self.audit.check(AuditLevel::Full, "event-time-monotonic", t >= now, || {
-                    format!("event scheduled at {t} precedes current time {now}")
-                });
-            }
-            self.now = t;
-            self.events_processed += 1;
             if debug {
-                let processed = self.events_processed;
                 let idx = match ev {
                     Event::TryInject => 0,
                     Event::LinkTryStart(_) => 1,
@@ -435,9 +451,10 @@ impl Engine {
                     Event::LinkRetry(_) => 13,
                 };
                 histo[idx] += 1;
-                if processed.is_multiple_of(1_000_000) {
+                if (self.events_processed + 1).is_multiple_of(1_000_000) {
                     memnet_simcore::memnet_log!(
-                        "[engine] {processed} events, now={}, pending={}, histo={histo:?}, out_rd={}, out_wr={}, inj={}, done_rd={}",
+                        "[engine] {} events, now={}, pending={}, histo={histo:?}, out_rd={}, out_wr={}, inj={}, done_rd={}",
+                        self.events_processed + 1,
                         self.now,
                         self.queue.len(),
                         self.frontend.outstanding_reads(),
@@ -447,7 +464,7 @@ impl Engine {
                     );
                 }
             }
-            self.handle(ev);
+            self.dispatch(t, ev);
             if self.events_processed >= event_budget {
                 stop = Some(StopReason::MaxEvents);
                 break;
@@ -488,6 +505,116 @@ impl Engine {
             }
         };
         LimitedRun { report: self.finalize(), stop }
+    }
+
+    /// Arms the initial event population: idleness timers, the first
+    /// injection, the first epoch boundary and the observability stream.
+    /// Called exactly once, before the first `dispatch`.
+    pub(crate) fn begin(&mut self) {
+        // Arm idleness timers for links that start with an ROO threshold.
+        for i in 0..self.topo.n_links() {
+            self.arm_turnoff(LinkId(i));
+        }
+        let start = self.now;
+        self.arm_inject(start);
+        self.schedule(self.now + self.cfg.epoch, Event::EpochEnd);
+
+        if self.obs_on {
+            let meta = TraceMeta {
+                workload: self.cfg.workload.name,
+                topology: self.cfg.topology.label(),
+                policy: self.cfg.policy.label(),
+                mechanism: self.cfg.mechanism.label(),
+                seed: self.cfg.seed,
+                epoch_ps: self.cfg.epoch.as_ps(),
+                eval_ps: self.cfg.eval_period.as_ps(),
+                n_links: self.topo.n_links() as u32,
+                n_modules: self.topo.len() as u32,
+            };
+            self.obs.start(&meta);
+            let n = self.topo.len();
+            self.obs_epoch = Some(Box::new(ObsEpochState {
+                index: 0,
+                start: self.now,
+                residency: self.links.iter().map(|l| l.residency_snapshot(start)).collect(),
+                wakes: self.links.iter().map(|l| l.wake_count()).collect(),
+                retries: self.links.iter().map(|l| l.retransmissions()).collect(),
+                reads: vec![0; n],
+                writes: vec![0; n],
+                flits: vec![0; n],
+            }));
+        }
+    }
+
+    /// Processes one popped event: advances the clock, bumps the event
+    /// counter, runs the Full-level monotonicity audit and handles the
+    /// event. Factored out of `run_limited` so the lockstep driver
+    /// processes events through exactly the same path as a solo run.
+    #[inline]
+    pub(crate) fn dispatch(&mut self, t: SimTime, ev: Event) {
+        debug_assert!(t >= self.now, "time went backwards");
+        if self.audit.enabled(AuditLevel::Full) {
+            let now = self.now;
+            self.audit.check(AuditLevel::Full, "event-time-monotonic", t >= now, || {
+                format!("event scheduled at {t} precedes current time {now}")
+            });
+        }
+        self.now = t;
+        self.events_processed += 1;
+        self.handle(ev);
+    }
+
+    /// Pops and dispatches up to `max` events bounded by the run window,
+    /// returning how many were processed. Zero means the replica has
+    /// drained its queue (or every remaining event lies past `end`) and
+    /// is ready to finalize. Used by the lockstep multi-seed driver;
+    /// per-replica event order — and therefore every report byte — is
+    /// identical to a solo `run` because each replica owns its queue.
+    pub(crate) fn step_batch(&mut self, max: u64) -> u64 {
+        let mut done = 0;
+        while done < max {
+            match self.queue.pop_at_or_before(self.end) {
+                Some((t, ev)) => {
+                    self.dispatch(t, ev);
+                    done += 1;
+                }
+                None => break,
+            }
+        }
+        done
+    }
+
+    /// Truncates the run window for a per-replica sim-time cap (see
+    /// `run_limited`). Returns whether the cap actually shortened it.
+    pub(crate) fn truncate_end(&mut self, cap: SimTime) -> bool {
+        if cap < self.end {
+            self.end = cap;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ends the accounting window at the last processed event (early
+    /// stop); residency accounting stays exact.
+    pub(crate) fn mark_stopped(&mut self) {
+        self.end = self.now;
+    }
+
+    /// Advances the clock to the end of the (possibly truncated) window
+    /// after the queue drains, mirroring the tail of `run_limited`.
+    pub(crate) fn complete(&mut self) {
+        self.now = self.end;
+    }
+
+    /// Events processed so far (lockstep driver bookkeeping).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current simulated time (lockstep driver bookkeeping).
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
     }
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
@@ -1085,10 +1212,12 @@ impl Engine {
                 self.obs_event(ObsEventKind::Isp { rounds });
             }
         }
-        let decisions = self.controller.epoch_end(self.now);
-        for d in decisions {
+        let mut decisions = std::mem::take(&mut self.epoch_decisions);
+        self.controller.epoch_end_into(self.now, &mut decisions);
+        for d in &decisions {
             self.apply_decision(d.link, d.mode);
         }
+        self.epoch_decisions = decisions;
         self.controller.audit_epoch(&mut self.audit);
         let next = self.now + self.cfg.epoch;
         self.schedule(next, Event::EpochEnd);
@@ -1184,7 +1313,7 @@ impl Engine {
     // Finalization
     // ------------------------------------------------------------------
 
-    fn finalize(mut self) -> RunReport {
+    pub(crate) fn finalize(mut self) -> RunReport {
         // Close the trailing partial epoch (skipped when the evaluation
         // period is an exact multiple of the epoch: the final EpochEnd
         // event already sampled at `end`).

@@ -1,0 +1,415 @@
+//! Lockstep multi-seed execution: advance K replicas of one
+//! [`SimConfig`] through a single driver pass.
+//!
+//! The paper's figures average many seeds per configuration, so the
+//! dominant cost of a sweep cell is K near-identical runs that differ
+//! only in RNG draws. [`Engine::run_many`] builds the seed-independent
+//! engine state once — topology, fault rerouting, reachability, the
+//! flattened route tables — and shares it across replicas behind `Arc`s.
+//! Replicas then execute on every available core (striped over worker
+//! threads), or through a serial interleaved driver on single-core hosts
+//! and whenever [`RunLimits`] demand coordinated stopping.
+//!
+//! # Bit-identity
+//!
+//! Each replica owns its event queue, packet slab, vault state and RNG
+//! streams, and every event flows through the same
+//! [`Engine::dispatch`](crate::engine::Engine) path as a solo run, so a
+//! replica's event order — and therefore every byte of its
+//! [`RunReport`] — is identical to `Engine::run` with that seed. The
+//! metamorphic tests in this module hold that across the
+//! policy×mechanism×faults×obs grid.
+//!
+//! # Limits
+//!
+//! [`Engine::run_many_limited`] applies `max_events` and `max_sim_time`
+//! **per replica** (each replica stops at exactly the event a solo
+//! limited run would), while `wall_time` and `cancel` are global: when
+//! either fires, every still-running replica finalizes at its current
+//! time. Progress callbacks see aggregate event counts across replicas.
+
+use memnet_simcore::SimTime;
+
+use crate::config::SimConfig;
+use crate::engine::{Engine, EngineParts};
+use crate::limits::{LimitedRun, RunLimits, RunProgress, StopReason};
+use crate::metrics::RunReport;
+
+/// Events each replica processes per driver turn. Large enough that the
+/// round-robin bookkeeping vanishes from profiles, small enough that
+/// replicas stay clustered in simulated time and the shared route /
+/// flit-time tables are reused while still resident.
+const LOCKSTEP_BATCH: u64 = 4096;
+
+/// One replica's slot in the driver: the engine while it runs, the
+/// finished run once it stops. (`finalize` consumes the engine.)
+struct Slot {
+    engine: Option<Engine>,
+    truncated: bool,
+    done: Option<LimitedRun>,
+}
+
+impl Engine {
+    /// Runs one replica of `cfg` per seed and returns the reports in seed
+    /// order. Each report is bit-identical to
+    /// `Engine::new({cfg with that seed}).run()`.
+    ///
+    /// Seed-independent construction (topology, fault rerouting,
+    /// reachability, route tables) happens once and is shared across
+    /// replicas. When the host exposes more than one core, replicas run
+    /// on worker threads — each replica is an isolated engine, so
+    /// parallelism cannot influence a single report byte; on one core the
+    /// serial interleaved driver is used instead.
+    pub fn run_many(cfg: &SimConfig, seeds: &[u64]) -> Vec<RunReport> {
+        let par = std::thread::available_parallelism().map_or(1, |n| n.get()).min(seeds.len());
+        if par > 1 {
+            return run_many_parallel(cfg, seeds, par);
+        }
+        Engine::run_many_limited(cfg, seeds, RunLimits::none())
+            .into_iter()
+            .map(|r| r.report)
+            .collect()
+    }
+
+    /// [`Engine::run_many`] under [`RunLimits`]: `max_events` and
+    /// `max_sim_time` bound **each replica** exactly as
+    /// [`Engine::run_limited`] would, `wall_time`/`cancel` stop all
+    /// replicas together, and progress fires on aggregate event counts.
+    pub fn run_many_limited(
+        cfg: &SimConfig,
+        seeds: &[u64],
+        mut limits: RunLimits,
+    ) -> Vec<LimitedRun> {
+        // Seed-independent construction, shared across replicas.
+        let parts = EngineParts::build(cfg);
+        let mut slots: Vec<Slot> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut c = cfg.clone();
+                c.seed = seed;
+                let mut engine = Engine::from_parts(c, parts.clone());
+                let truncated = match limits.max_sim_time {
+                    Some(cap) => engine.truncate_end(SimTime::ZERO + cap),
+                    None => false,
+                };
+                engine.begin();
+                Slot { engine: Some(engine), truncated, done: None }
+            })
+            .collect();
+
+        let event_budget = limits.max_events.unwrap_or(u64::MAX);
+        let deadline = limits.wall_time.map(|d| std::time::Instant::now() + d);
+        let mut next_progress =
+            if limits.progress_every > 0 { limits.progress_every } else { u64::MAX };
+        let mut total: u64 = 0;
+        let mut active = slots.len();
+
+        'drive: while active > 0 {
+            for slot in &mut slots {
+                let Some(engine) = slot.engine.as_mut() else { continue };
+                // Cap the batch so per-replica event budgets stay exact:
+                // a replica never processes past its budget, matching the
+                // event-by-event check in `run_limited`.
+                let step = LOCKSTEP_BATCH.min(event_budget - engine.events_processed());
+                let n = engine.step_batch(step);
+                total += n;
+                if n == step && engine.events_processed() >= event_budget {
+                    finish(slot, StopReason::MaxEvents, &mut active);
+                } else if n < step {
+                    // Queue drained (or everything left lies past `end`).
+                    let engine = slot.engine.as_mut().expect("replica still running");
+                    engine.complete();
+                    let stop =
+                        if slot.truncated { StopReason::MaxSimTime } else { StopReason::Completed };
+                    finish(slot, stop, &mut active);
+                }
+            }
+            // Global stops, polled once per round-robin sweep (at most
+            // K × LOCKSTEP_BATCH events between polls).
+            if let Some(flag) = &limits.cancel {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    stop_all(&mut slots, StopReason::Cancelled, &mut active);
+                    break 'drive;
+                }
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                stop_all(&mut slots, StopReason::WallTime, &mut active);
+                break 'drive;
+            }
+            if total >= next_progress {
+                if let Some(cb) = &mut limits.progress {
+                    let now = slots
+                        .iter()
+                        .filter_map(|s| s.engine.as_ref().map(Engine::now))
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    cb(RunProgress { events: total, now });
+                }
+                next_progress = next_progress.saturating_add(limits.progress_every);
+            }
+        }
+
+        slots.into_iter().map(|s| s.done.expect("every replica finished")).collect()
+    }
+}
+
+/// Fans the replicas out over `par` worker threads (striped assignment,
+/// so early seeds don't all land on one worker) and reassembles reports
+/// in seed order. Each worker runs its replicas to completion through
+/// the same engine code path as a solo run.
+fn run_many_parallel(cfg: &SimConfig, seeds: &[u64], par: usize) -> Vec<RunReport> {
+    let parts = EngineParts::build(cfg);
+    let mut out: Vec<Option<RunReport>> = Vec::new();
+    out.resize_with(seeds.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..par)
+            .map(|t| {
+                let parts = parts.clone();
+                scope.spawn(move || {
+                    seeds
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(par)
+                        .map(|(i, &seed)| {
+                            let mut c = cfg.clone();
+                            c.seed = seed;
+                            (i, Engine::from_parts(c, parts.clone()).run())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, report) in h.join().expect("replica worker panicked") {
+                out[i] = Some(report);
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("every seed produced a report")).collect()
+}
+
+/// Finalizes one replica with `stop`, ending its accounting window at
+/// the last processed event for early stops.
+fn finish(slot: &mut Slot, stop: StopReason, active: &mut usize) {
+    let mut engine = slot.engine.take().expect("replica still running");
+    if stop != StopReason::Completed && stop != StopReason::MaxSimTime {
+        engine.mark_stopped();
+    }
+    slot.done = Some(LimitedRun { report: engine.finalize(), stop });
+    *active -= 1;
+}
+
+/// Stops every still-running replica (wall-clock deadline or cancel).
+fn stop_all(slots: &mut [Slot], stop: StopReason, active: &mut usize) {
+    for slot in slots.iter_mut() {
+        if slot.engine.is_some() {
+            finish(slot, stop, active);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memnet_faults::FaultConfig;
+    use memnet_obs::ObsConfig;
+    use memnet_policy::{Mechanism, PolicyKind};
+    use memnet_simcore::{AuditLevel, SimDuration};
+
+    use super::*;
+
+    const SEEDS: [u64; 3] = [11, 12, 13];
+
+    fn grid_cfg(
+        policy: PolicyKind,
+        mechanism: Mechanism,
+        faults: &str,
+        obs: bool,
+        audit: AuditLevel,
+    ) -> SimConfig {
+        let mut builder = SimConfig::builder()
+            .workload("mixD")
+            .policy(policy)
+            .mechanism(mechanism)
+            .eval_period(SimDuration::from_us(20))
+            .audit(audit)
+            .seed(0);
+        if !faults.is_empty() {
+            builder = builder.faults(FaultConfig::parse(faults).expect("valid fault spec"));
+        }
+        if obs {
+            builder = builder.obs(ObsConfig { enabled: true, ..ObsConfig::off() });
+        }
+        builder.build().expect("valid configuration")
+    }
+
+    fn solo_reports(cfg: &SimConfig, seeds: &[u64]) -> Vec<RunReport> {
+        seeds
+            .iter()
+            .map(|&seed| {
+                let mut c = cfg.clone();
+                c.seed = seed;
+                Engine::new(c).run()
+            })
+            .collect()
+    }
+
+    fn assert_byte_identical(cfg: &SimConfig, label: &str) {
+        let solo = solo_reports(cfg, &SEEDS);
+        let many = Engine::run_many(cfg, &SEEDS);
+        for (i, (s, m)) in solo.iter().zip(&many).enumerate() {
+            assert_eq!(
+                serde::json::to_string(s),
+                serde::json::to_string(m),
+                "{label}: replica for seed {} must be byte-identical to its solo run",
+                SEEDS[i],
+            );
+        }
+    }
+
+    /// The tentpole guarantee: `run_many` reports are byte-identical JSON
+    /// to the corresponding solo runs across the policy × mechanism ×
+    /// faults × obs grid.
+    #[test]
+    fn run_many_is_byte_identical_across_policy_mechanism_grid() {
+        let grid = [
+            (PolicyKind::FullPower, Mechanism::FullPower),
+            (PolicyKind::NetworkUnaware, Mechanism::Vwl),
+            (PolicyKind::NetworkAware, Mechanism::VwlRoo),
+            (PolicyKind::NetworkAware, Mechanism::DvfsRoo),
+            (PolicyKind::StaticSelection, Mechanism::Vwl),
+        ];
+        for (policy, mechanism) in grid {
+            let cfg = grid_cfg(policy, mechanism, "", false, AuditLevel::Cheap);
+            assert_byte_identical(&cfg, &format!("{policy:?}/{mechanism:?}"));
+        }
+    }
+
+    #[test]
+    fn run_many_is_byte_identical_under_faults_and_obs() {
+        let cases = [
+            ("ber=1e-9", false),
+            ("ber=1e-9,degrade=2:4", false),
+            ("fail=1", false),
+            ("", true),
+            ("ber=1e-9", true),
+        ];
+        for (faults, obs) in cases {
+            let cfg = grid_cfg(
+                PolicyKind::NetworkAware,
+                Mechanism::VwlRoo,
+                faults,
+                obs,
+                AuditLevel::Full,
+            );
+            assert_byte_identical(&cfg, &format!("faults={faults:?} obs={obs}"));
+        }
+    }
+
+    /// The serial interleaved driver must agree with the threaded path
+    /// (and therefore with solo runs) — exercised through
+    /// `run_many_limited`, which always uses the interleaved driver.
+    #[test]
+    fn interleaved_driver_is_byte_identical_and_completes() {
+        let cfg = grid_cfg(
+            PolicyKind::NetworkAware,
+            Mechanism::VwlRoo,
+            "ber=1e-9",
+            true,
+            AuditLevel::Full,
+        );
+        let solo = solo_reports(&cfg, &SEEDS);
+        let many = Engine::run_many_limited(&cfg, &SEEDS, RunLimits::none());
+        for (s, m) in solo.iter().zip(&many) {
+            assert_eq!(m.stop, StopReason::Completed);
+            assert_eq!(serde::json::to_string(s), serde::json::to_string(&m.report),);
+        }
+    }
+
+    /// `max_events` bounds each replica exactly, matching solo
+    /// `run_limited` event for event.
+    #[test]
+    fn event_budget_applies_per_replica_and_exactly() {
+        let cfg =
+            grid_cfg(PolicyKind::NetworkAware, Mechanism::VwlRoo, "", false, AuditLevel::Full);
+        let limits = RunLimits { max_events: Some(500), ..RunLimits::none() };
+        let many = Engine::run_many_limited(&cfg, &SEEDS, limits);
+        for (i, run) in many.iter().enumerate() {
+            assert_eq!(run.stop, StopReason::MaxEvents);
+            assert_eq!(run.report.events_processed, 500, "budget is exact per replica");
+            let mut c = cfg.clone();
+            c.seed = SEEDS[i];
+            let solo = Engine::new(c)
+                .run_limited(RunLimits { max_events: Some(500), ..RunLimits::none() });
+            assert_eq!(
+                serde::json::to_string(&run.report),
+                serde::json::to_string(&solo.report),
+                "budget-capped replica equals the budget-capped solo run",
+            );
+        }
+    }
+
+    /// A sim-time cap truncates every replica to the same window a
+    /// directly configured shorter run would use.
+    #[test]
+    fn sim_time_cap_applies_per_replica() {
+        let cfg =
+            grid_cfg(PolicyKind::NetworkAware, Mechanism::VwlRoo, "", false, AuditLevel::Full);
+        let limits = RunLimits { max_sim_time: Some(SimDuration::from_us(5)), ..RunLimits::none() };
+        let many = Engine::run_many_limited(&cfg, &SEEDS, limits);
+        let direct_cfg = {
+            let mut c = cfg.clone();
+            c.eval_period = SimDuration::from_us(5);
+            c
+        };
+        let direct = solo_reports(&direct_cfg, &SEEDS);
+        for (run, d) in many.iter().zip(&direct) {
+            assert_eq!(run.stop, StopReason::MaxSimTime);
+            assert_eq!(serde::json::to_string(&run.report), serde::json::to_string(d),);
+        }
+    }
+
+    /// A pre-set cancel flag stops every replica after its first batch.
+    #[test]
+    fn cancel_stops_all_replicas() {
+        let cfg =
+            grid_cfg(PolicyKind::NetworkAware, Mechanism::VwlRoo, "", false, AuditLevel::Cheap);
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let many = Engine::run_many_limited(
+            &cfg,
+            &SEEDS,
+            RunLimits { cancel: Some(flag), ..RunLimits::none() },
+        );
+        for run in &many {
+            assert_eq!(run.stop, StopReason::Cancelled);
+            assert!(run.report.audit.violations.is_empty());
+        }
+    }
+
+    /// Progress callbacks observe aggregate event counts across replicas.
+    #[test]
+    fn progress_reports_aggregate_events() {
+        let cfg =
+            grid_cfg(PolicyKind::FullPower, Mechanism::FullPower, "", false, AuditLevel::Cheap);
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let limits = RunLimits {
+            progress_every: 10_000,
+            progress: Some(Box::new(move |p| sink.lock().expect("progress sink").push(p.events))),
+            ..RunLimits::none()
+        };
+        let many = Engine::run_many_limited(&cfg, &SEEDS, limits);
+        let total: u64 = many.iter().map(|r| r.report.events_processed).sum();
+        let seen = seen.lock().expect("progress sink");
+        assert!(!seen.is_empty(), "progress fires for multi-replica runs");
+        assert!(seen.iter().all(|&e| e <= total));
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "aggregate counts are monotonic");
+    }
+
+    #[test]
+    fn empty_seed_list_is_empty() {
+        let cfg =
+            grid_cfg(PolicyKind::FullPower, Mechanism::FullPower, "", false, AuditLevel::Cheap);
+        assert!(Engine::run_many(&cfg, &[]).is_empty());
+    }
+}

@@ -211,4 +211,80 @@ mod tests {
         }
         assert_eq!(prefixes.len(), n);
     }
+
+    #[test]
+    fn stream_salt_registry_is_pairwise_distinct() {
+        // The workspace's named stream salts, pinned to their published
+        // values so an edit to any one of them is a conscious act (it
+        // invalidates every cached result), next to the raw 0/1/2 stream
+        // ids the synthetic RequestGenerator forks straight off the run
+        // seed. Every entry must be pairwise distinct: `fork` is
+        // `state ^ salt * GAMMA`, so two consumers forking the same salt
+        // off one parent share a stream — and `fork(0)` is the identity
+        // fork (XOR with zero), i.e. the parent stream itself. That is
+        // why no *named* salt may be 0, 1 or 2: the raw ids are taken.
+        let registry: [(&str, u64); 6] = [
+            ("CHANNEL_STREAM_SALT", CHANNEL_STREAM_SALT),
+            ("FAULT_STREAM_SALT", memnet_faults::FAULT_STREAM_SALT),
+            ("STRESS_STREAM_SALT", memnet_workload::STRESS_STREAM_SALT),
+            ("raw addr stream", 0),
+            ("raw time stream", 1),
+            ("raw kind stream", 2),
+        ];
+        assert_eq!(CHANNEL_STREAM_SALT, 0xC4A2_11E1);
+        assert_eq!(memnet_faults::FAULT_STREAM_SALT, 0xFA01_7CC5);
+        assert_eq!(memnet_workload::STRESS_STREAM_SALT, 0x57E5_50A7);
+        for (i, (a_name, a)) in registry.iter().enumerate() {
+            for (b_name, b) in &registry[i + 1..] {
+                assert_ne!(a, b, "{a_name} and {b_name} share salt {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_seeds_cannot_collide_derived_streams() {
+        // Lockstep replicas adopt their seeds verbatim (Engine::run_many
+        // never derives them), so stream safety across a multi-seed cell
+        // reduces to: for any small set of user-chosen seeds — adjacent
+        // integers being the worst realistic case — every stream any
+        // replica derives is pairwise distinct, across replicas and
+        // across stream families. Covers the synthetic generator's raw
+        // 0/1/2 forks, the stress generator's salted forks, channel
+        // seeds, and per-link fault streams. Identity is a 4-output
+        // prefix, as in channel_seeds_never_collide_with_fault_streams.
+        //
+        // Regression guarded here: the stress generator used to fork raw
+        // 0/1/2 like the synthetic one, so a stress replica and a
+        // synthetic replica with equal seeds drew identical randomness.
+        use std::collections::HashSet;
+        let prefix4 = |rng: &SplitMix64| -> [u64; 4] {
+            let mut rng = rng.clone();
+            std::array::from_fn(|_| rng.next_u64())
+        };
+        let mut seen: HashSet<[u64; 4]> = HashSet::new();
+        let mut n = 0usize;
+        let check = |name: &str, seed: u64, rng: &SplitMix64, seen: &mut HashSet<[u64; 4]>| {
+            assert!(seen.insert(prefix4(rng)), "{name} stream duplicated under seed {seed}");
+        };
+        for seed in 40u64..48 {
+            let root = SplitMix64::new(seed);
+            let stress = root.fork(memnet_workload::STRESS_STREAM_SALT);
+            for stream in 0..3 {
+                check("synthetic", seed, &root.fork(stream), &mut seen);
+                check("stress", seed, &stress.fork(stream), &mut seen);
+                n += 2;
+            }
+            for ch in 0..2 {
+                let ch_seed = channel_seed(seed, ch);
+                check("channel frontend", seed, &SplitMix64::new(ch_seed), &mut seen);
+                n += 1;
+                let faults = SplitMix64::new(ch_seed).fork(memnet_faults::FAULT_STREAM_SALT);
+                for link in 0..4 {
+                    check("fault", seed, &faults.fork(link), &mut seen);
+                    n += 1;
+                }
+            }
+        }
+        assert_eq!(seen.len(), n);
+    }
 }

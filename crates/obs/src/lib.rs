@@ -265,7 +265,11 @@ pub fn saturate_latency(v: i128) -> i64 {
 /// implementation) costs nothing. The engine additionally guards each call
 /// site behind a cached `is_active` flag, so the disabled path never even
 /// constructs event payloads.
-pub trait Recorder {
+///
+/// `Send` is a supertrait so an engine holding a recorder can move to a
+/// worker thread (the lockstep multi-seed driver runs replicas on every
+/// available core).
+pub trait Recorder: Send {
     /// Whether the engine should construct and deliver payloads at all.
     fn is_active(&self) -> bool {
         false

@@ -37,12 +37,37 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 }
 
+fn bench_multi_seed(c: &mut Criterion) {
+    let seeds = kernels::multi_seed_seeds();
+    c.bench_function("components/multi_seed_solo_50us", |b| {
+        b.iter(|| {
+            black_box(
+                kernels::end_to_end_multi_seed_solo(50, &seeds)
+                    .iter()
+                    .map(|r| r.events_processed)
+                    .sum::<u64>(),
+            )
+        });
+    });
+    c.bench_function("components/multi_seed_lockstep_50us", |b| {
+        b.iter(|| {
+            black_box(
+                kernels::end_to_end_multi_seed_lockstep(50, &seeds)
+                    .iter()
+                    .map(|r| r.events_processed)
+                    .sum::<u64>(),
+            )
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_link_pricing,
     bench_fault_draws,
     bench_policy_epochs,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_multi_seed
 );
 criterion_main!(benches);

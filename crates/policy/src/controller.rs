@@ -609,15 +609,24 @@ impl PowerController {
 
     /// Closes the epoch: updates AMS accounts, selects next-epoch modes
     /// (per §V for unaware, per §VI ISP for aware) and resets epoch state.
-    pub fn epoch_end(&mut self, _now: SimTime) -> Vec<LinkDecision> {
-        self.epochs_completed += 1;
-        let decisions = match self.cfg.kind {
-            PolicyKind::FullPower | PolicyKind::StaticSelection => Vec::new(),
-            PolicyKind::NetworkUnaware => self.epoch_end_unaware(),
-            PolicyKind::NetworkAware => self.epoch_end_aware(),
-        };
-        self.reset_epoch_state();
+    pub fn epoch_end(&mut self, now: SimTime) -> Vec<LinkDecision> {
+        let mut decisions = Vec::new();
+        self.epoch_end_into(now, &mut decisions);
         decisions
+    }
+
+    /// Arena variant of [`Self::epoch_end`]: clears `out` and fills it
+    /// with this epoch's decisions so the caller can reuse one allocation
+    /// across every epoch of a run.
+    pub fn epoch_end_into(&mut self, _now: SimTime, out: &mut Vec<LinkDecision>) {
+        out.clear();
+        self.epochs_completed += 1;
+        match self.cfg.kind {
+            PolicyKind::FullPower | PolicyKind::StaticSelection => {}
+            PolicyKind::NetworkUnaware => self.epoch_end_unaware(out),
+            PolicyKind::NetworkAware => self.epoch_end_aware(out),
+        }
+        self.reset_epoch_state();
     }
 
     /// Per-module FEL for the closing epoch: DRAM part plus the link part
@@ -637,14 +646,14 @@ impl PowerController {
         req.overhead() + resp.overhead()
     }
 
-    fn epoch_end_unaware(&mut self) -> Vec<LinkDecision> {
+    fn epoch_end_unaware(&mut self, decisions: &mut Vec<LinkDecision>) {
         let n = self.topo.len();
         for m in 0..n {
             let fel = self.module_fel(m);
             let over = self.module_overhead(m);
             self.modules[m].record_epoch(fel, over);
         }
-        let mut decisions = Vec::with_capacity(self.topo.n_links());
+        decisions.reserve(self.topo.n_links());
         for m in 0..n {
             // Each connectivity link receives an equal share of the
             // module's AMS.
@@ -659,10 +668,9 @@ impl PowerController {
                 decisions.push(LinkDecision { link, mode });
             }
         }
-        decisions
     }
 
-    fn epoch_end_aware(&mut self) -> Vec<LinkDecision> {
+    fn epoch_end_aware(&mut self, decisions: &mut Vec<LinkDecision>) {
         let n = self.topo.len();
         // --- Network-wide AMS via Equation 1, with the §VI-C congestion
         // discount applied while reducing overheads upstream. ---
@@ -706,7 +714,8 @@ impl PowerController {
             // Response links are not SRCs because chaining hides their
             // wake latency entirely (§VI-B) — which also means they can
             // take the most aggressive threshold at zero cost.
-            for l in self.topo.links().collect::<Vec<_>>() {
+            for i in 0..self.topo.n_links() {
+                let l = LinkId(i);
                 if l.direction() == Direction::Response {
                     let (mode, _flo) = self.select_mode(l, 0);
                     self.links[l.0].selected = mode;
@@ -739,7 +748,7 @@ impl PowerController {
         self.pool = pool;
         self.pool_original = pool;
 
-        let mut decisions = Vec::with_capacity(self.topo.n_links());
+        decisions.reserve(self.topo.n_links());
         for l in self.topo.links() {
             let mode = self.links[l.0].selected;
             let flo = self.flo(l, mode);
@@ -747,7 +756,6 @@ impl PowerController {
             st.budget = flo.max(st.isp_ams).max(0);
             decisions.push(LinkDecision { link: l, mode });
         }
-        decisions
     }
 
     fn split_pool(&self, pool: LatencyPs, roo_only: bool) -> (LatencyPs, LatencyPs) {

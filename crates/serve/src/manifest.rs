@@ -914,7 +914,7 @@ mod tests {
         )
         .unwrap();
         let job = m.resolve().unwrap();
-        assert!(job.fingerprint.starts_with("v9|"), "{}", job.fingerprint);
+        assert!(job.fingerprint.starts_with("v10|"), "{}", job.fingerprint);
         assert!(job.fingerprint.contains("wl=mixD"));
         assert!(job.fingerprint.contains("seed=7"));
         assert!(job.cache_eligible);

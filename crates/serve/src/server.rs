@@ -784,7 +784,14 @@ fn run_job(state: &Arc<State>, exec: &Arc<JobExec>) {
     // cache lock is taken alone (never while holding the scheduler).
     if stop == StopReason::Completed && exec.job.cache_eligible {
         if let Some(cache) = &state.cache {
-            let _ = cache.lock().unwrap().store([(exec.job.fingerprint.clone(), report.clone())]);
+            if let Err(e) =
+                cache.lock().unwrap().store([(exec.job.fingerprint.clone(), report.clone())])
+            {
+                // An unusable cache (read-only directory, full disk) only
+                // costs the next process its warm start — the report is
+                // already in hand and must still be delivered.
+                memnet_simcore::memnet_warn!("[serve] failed to persist result: {e}");
+            }
         }
     }
 
@@ -840,7 +847,17 @@ fn run_sweep_shard(state: &Arc<State>, run: &Arc<SweepRun>, index: u32) {
     } else {
         let mut matrix = Matrix::new();
         let piece = Shard { index, of: run.spec.shards };
-        Some(shard::run_shard(&run.plan, piece, &run.settings, &mut matrix))
+        match shard::run_shard(&run.plan, piece, &run.settings, &mut matrix) {
+            Ok(pair) => Some(pair),
+            // Registry plans are always simulable, so this only fires on
+            // a registry bug; degrade to a cancelled sweep rather than
+            // killing the worker.
+            Err(e) => {
+                memnet_simcore::memnet_warn!("[serve] sweep shard {piece} failed: {e}");
+                run.cancel.store(true, Ordering::Relaxed);
+                None
+            }
+        }
     };
 
     let (done, last) = {

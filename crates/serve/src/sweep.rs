@@ -142,7 +142,7 @@ pub fn run_sweep_manifest(manifest: &Manifest) -> Result<(SweepPayload, String),
     for index in 0..spec.shards {
         let mut matrix = Matrix::new();
         let piece = Shard { index, of: spec.shards };
-        let (text, part) = shard::run_shard(&plan, piece, &settings, &mut matrix);
+        let (text, part) = shard::run_shard(&plan, piece, &settings, &mut matrix).map_err(err)?;
         add_stats(&mut stats, part);
         texts.push((format!("shard {piece}"), text));
     }

@@ -46,5 +46,5 @@ pub mod trace;
 pub use cdf::AddressCdf;
 pub use gen::{MemoryRequest, RequestGenerator};
 pub use spec::{WorkloadClass, WorkloadSpec};
-pub use stress::{StressEnv, StressGenerator, StressPattern, StressSpec};
+pub use stress::{StressEnv, StressGenerator, StressPattern, StressSpec, STRESS_STREAM_SALT};
 pub use trace::{RequestTrace, TraceCursor};

@@ -35,6 +35,17 @@ use memnet_simcore::{SimDuration, SimTime, SplitMix64};
 use crate::gen::MemoryRequest;
 use crate::spec::{WorkloadClass, WorkloadSpec};
 
+/// Stream salt separating stress-generator randomness from every other
+/// consumer of the base seed. The synthetic
+/// [`RequestGenerator`](crate::RequestGenerator) forks raw streams 0/1/2
+/// straight off the seed; before this salt existed the stress generator
+/// did the same, so a stress run and a synthetic run under one seed drew
+/// *identical* address/time/kind randomness — and `fork(0)` is the
+/// parent stream itself (XOR with 0 is the identity), colliding with any
+/// direct consumer of the seed. Forking through this salt first gives
+/// stress traffic its own stream family for every replica seed.
+pub const STRESS_STREAM_SALT: u64 = 0x57E5_50A7;
+
 /// Quiet gap between wake-chain storms: comfortably past the largest ROO
 /// idleness threshold (2048 ns), so every managed link is off when the
 /// sweep arrives.
@@ -153,9 +164,11 @@ pub struct StressEnv {
 /// Deterministic request stream for one [`StressSpec`].
 ///
 /// Mirrors [`RequestGenerator`](crate::RequestGenerator)'s construction
-/// discipline: the seed forks into address (0), time (1) and kind (2)
+/// discipline — the root forks into address (0), time (1) and kind (2)
 /// streams, requests are produced in non-decreasing schedule order, and
-/// equal seeds reproduce the stream exactly.
+/// equal seeds reproduce the stream exactly — except that the root is
+/// first forked through [`STRESS_STREAM_SALT`], so stress streams never
+/// coincide with the synthetic generator's under a shared seed.
 #[derive(Debug, Clone)]
 pub struct StressGenerator {
     spec: StressSpec,
@@ -183,10 +196,11 @@ impl StressGenerator {
         assert!(env.chunk_lines > 0, "stress env needs a positive chunk size");
         let mean_ia_ps = spec.base.mean_interarrival().as_ps() as f64;
         let total_lines = spec.base.total_lines();
+        let root = seed.fork(STRESS_STREAM_SALT);
         StressGenerator {
-            addr_rng: seed.fork(0),
-            time_rng: seed.fork(1),
-            kind_rng: seed.fork(2),
+            addr_rng: root.fork(0),
+            time_rng: root.fork(1),
+            kind_rng: root.fork(2),
             clock: SimTime::ZERO,
             seq: 0,
             mean_ia_ps,

@@ -103,7 +103,8 @@ fn usage() -> &'static str {
      \x20      memnet submit MANIFEST [--addr A] [--out FILE]\n\
      \x20      memnet run-manifest MANIFEST [--out FILE]\n\
      \x20      memnet shutdown [--addr A]\n\
-     \x20      memnet sweep [--shard I/N] [--figures LIST] [--obs] [--out FILE]\n\
+     \x20      memnet sweep [--shard I/N] [--figures LIST] [--seeds LIST] [--obs]\n\
+     \x20                   [--out FILE]\n\
      \x20      memnet merge [--check] [--out FILE] SHARD_FILE...\n\
      \x20 --faults SPEC: fault scenario, e.g. ber=1e-6,burst=mild,degrade=2:4,fail=3\n\
      \x20                (defaults to the MEMNET_FAULTS environment variable)\n\
@@ -137,7 +138,9 @@ fn usage() -> &'static str {
      \x20 sweep:         compute one deterministic shard of the figure matrix and\n\
      \x20                dump memnet-sweep JSONL (figures default to the full\n\
      \x20                registry; eval/seed/cache from MEMNET_EVAL_US,\n\
-     \x20                MEMNET_SEED, MEMNET_CACHE_DIR / MEMNET_NO_CACHE)\n\
+     \x20                MEMNET_SEED, MEMNET_CACHE_DIR / MEMNET_NO_CACHE;\n\
+     \x20                --seeds 2,3 adds replica seeds per cell, default\n\
+     \x20                MEMNET_SEEDS, simulated lockstep)\n\
      \x20 merge:         recombine per-shard sweep files into output\n\
      \x20                byte-identical to the unsharded run (exit 0 merged,\n\
      \x20                1 I/O error, 2 mismatched or incomplete shards);\n\
@@ -797,6 +800,7 @@ fn sweep_command(rest: Vec<String>) -> Result<ExitCode, String> {
     let mut figure_list: Option<Vec<String>> = None;
     let mut out: Option<String> = None;
     let mut obs = false;
+    let mut seeds: Option<Vec<u64>> = None;
     let mut it = rest.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -813,6 +817,13 @@ fn sweep_command(rest: Vec<String>) -> Result<ExitCode, String> {
             }
             "--out" => out = Some(value("--out")?),
             "--obs" => obs = true,
+            "--seeds" => {
+                let raw = value("--seeds")?;
+                seeds = Some(
+                    memnet::bench::parse_seed_list(&raw)
+                        .map_err(|e| format!("invalid --seeds {raw:?}: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
@@ -822,11 +833,14 @@ fn sweep_command(rest: Vec<String>) -> Result<ExitCode, String> {
     }
     let mut settings = Settings::from_env();
     settings.obs = obs;
+    if let Some(seeds) = seeds {
+        settings.seeds = seeds;
+    }
     let figure_list = figure_list
         .unwrap_or_else(|| figures::SWEEP_FIGURES.iter().map(|s| s.to_string()).collect());
     let plan = shard::SweepPlan::new(&figure_list, &settings)?;
     let mut matrix = Matrix::new();
-    let (text, stats) = shard::run_shard(&plan, shard_arg, &settings, &mut matrix);
+    let (text, stats) = shard::run_shard(&plan, shard_arg, &settings, &mut matrix)?;
     match &out {
         Some(path) => std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?,
         None => print!("{text}"),

@@ -35,7 +35,7 @@ proptest! {
         );
 
         // Disjoint: exactly one shard owns each fingerprint.
-        for (_, fp) in plan.cells() {
+        for (_, _, fp) in plan.cells() {
             let owners: Vec<u32> =
                 (0..n).filter(|&i| Shard { index: i, of: n }.contains(fp)).collect();
             prop_assert_eq!(owners.len(), 1, "cell {} owned by shards {:?}", fp, &owners);
@@ -48,14 +48,14 @@ proptest! {
         let mut total = 0usize;
         for index in 0..n {
             let piece = Shard { index, of: n };
-            let keys = plan.shard_keys(piece);
+            let cells = plan.shard_cells(piece);
             prop_assert_eq!(
-                &keys, &alt.shard_keys(piece),
+                &cells, &alt.shard_cells(piece),
                 "shard {} must not move with the thread count", piece
             );
-            total += keys.len();
-            for key in keys {
-                prop_assert!(covered.insert(key), "duplicate key across shards");
+            total += cells.len();
+            for cell in cells {
+                prop_assert!(covered.insert(cell), "duplicate (key, seed) across shards");
             }
         }
         prop_assert_eq!(total, plan.len(), "shards cover every cell exactly once");
@@ -79,7 +79,8 @@ fn sharded_merge_is_byte_identical_including_faults_and_obs() {
     assert!(plan.len() > 3, "the faults figure spans more cells than shards");
 
     let mut matrix = Matrix::new();
-    let (unsharded, full_stats) = shard::run_shard(&plan, Shard::full(), &settings, &mut matrix);
+    let (unsharded, full_stats) =
+        shard::run_shard(&plan, Shard::full(), &settings, &mut matrix).unwrap();
 
     let mut files = Vec::new();
     let mut requested = 0usize;
@@ -88,7 +89,7 @@ fn sharded_merge_is_byte_identical_including_faults_and_obs() {
         // Fresh matrix per shard: each slice simulates independently, as
         // separate processes or daemon workers would.
         let mut m = Matrix::new();
-        let (text, stats) = shard::run_shard(&plan, piece, &settings, &mut m);
+        let (text, stats) = shard::run_shard(&plan, piece, &settings, &mut m).unwrap();
         requested += stats.requested;
         files.push(shard::parse_sweep_file(&format!("shard {piece}"), &text).unwrap());
     }
